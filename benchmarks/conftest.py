@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark prints the table or series its experiment regenerates
+(IDs match DESIGN.md's experiment index) and saves a copy under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, title: str, lines: Sequence[str]) -> None:
+    """Print an experiment report and persist it to results/<id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = f"== {experiment_id}: {title} =="
+    body = "\n".join([header, *lines, ""])
+    print("\n" + body)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(body)
+
+
+def table(rows: Sequence[Sequence], headers: Sequence[str]) -> list[str]:
+    """Fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return lines

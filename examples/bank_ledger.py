@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A crash-safe bank ledger, continuously audited against the theory.
+
+Accounts are keys; deposits are ``add`` operations (read-modify-write —
+the non-idempotent kind that breaks naive redo tests), and interest credits
+are ``copyadd`` operations (read one key, write another — the kind that
+creates cross-variable write-read edges).  The ledger runs on the
+logical engine while :func:`repro.sim.audit.audit_instant` lifts its
+stable log to the abstract model and checks the Recovery Invariant after
+every transaction.
+
+Then the machine crashes mid-day, recovers, and the books still balance.
+
+Run:  python examples/bank_ledger.py
+"""
+
+from random import Random
+
+from repro.engine import KVDatabase
+from repro.sim.audit import audit_instant, installation_graph_of
+
+
+def open_accounts(db, names):
+    for name in names:
+        db.execute(("put", name, 1_000))
+
+
+def business_day(db, rng, names, n_transactions=40):
+    """Deposits, withdrawals, and cross-account interest credits."""
+    audits = []
+    for _ in range(n_transactions):
+        roll = rng.random()
+        account = rng.choice(names)
+        if roll < 0.5:
+            db.execute(("add", account, rng.randrange(-200, 400)))
+        elif roll < 0.8:
+            db.execute(("put", account, rng.randrange(500, 5_000)))
+        else:
+            other = rng.choice(names)
+            # credit `account` with other's balance-derived bonus
+            db.execute(("copyadd", account, (other, rng.randrange(1, 50))))
+        audits.append(audit_instant(db))
+    return audits
+
+
+def main() -> None:
+    names = [f"acct-{c}" for c in "abcdef"]
+    db = KVDatabase(
+        method="logical",
+        cache_capacity=4,
+        commit_every=2,        # group commit
+        checkpoint_every=15,   # periodic staging-area swings
+    )
+    rng = Random(2026)
+
+    open_accounts(db, names)
+    audits = business_day(db, rng, names)
+    violations = [a for a in audits if not a.holds]
+    print(f"transactions processed : {len(audits) + len(names)}")
+    print(f"invariant audits       : {len(audits)}  violations: {len(violations)}")
+    assert not violations
+
+    graph = installation_graph_of(db)
+    print(
+        f"lifted installation graph: {len(graph)} operations, "
+        f"{graph.dag.edge_count()} edges "
+        f"({len(graph.removed_edges())} write-read edges removed)"
+    )
+
+    balances_before = {name: db.get(name) for name in names}
+    print("\n-- power failure! --")
+    db.crash_and_recover()
+    durable = db.verify_against()
+    print(f"recovered; {durable} transactions were durable")
+    balances_after = {name: db.get(name) for name in names}
+
+    lost = {
+        name: (balances_before[name], balances_after[name])
+        for name in names
+        if balances_before[name] != balances_after[name]
+    }
+    if lost:
+        print("balances rolled back to the last committed group:")
+        for name, (before, after) in sorted(lost.items()):
+            print(f"  {name}: {before} -> {after}")
+    else:
+        print("every balance survived (the crash hit a commit boundary)")
+
+    # The books balance: the recovered state equals the oracle of the
+    # durable prefix — verified above by verify_against(); and the
+    # recovered ledger accepts new business.
+    db.execute(("add", names[0], 1))
+    db.commit()
+    db.crash_and_recover()
+    db.verify_against()
+    print("post-recovery deposits survive their own crash: books balance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Generalized LSN-based recovery and the B-tree split (§6.4, Figure 8).
+
+Inserts the same key stream into two B-trees — one logging splits
+conventionally (physiological: the moved half is physically imaged into
+the log), one with the paper's generalized multi-page operation (the
+split record just says "read the old page, write the new page") — and
+compares log volume; then demonstrates that the generalized discipline's
+*careful write ordering* (new page to disk before the old page is
+overwritten) is exactly what keeps it crash-safe.
+
+Run:  python examples/btree_split_logging.py
+"""
+
+from repro.btree import BTree
+from repro.cache import CachePolicyError
+from repro.methods.base import Machine
+from repro.workloads.btree_load import BTreeWorkloadSpec, generate_btree_keys
+
+
+def build(discipline: str, pairs, unsafe: bool = False) -> BTree:
+    tree = BTree(
+        Machine(cache_capacity=64),
+        fanout=6,
+        split_discipline=discipline,
+        unsafe_split_flush=unsafe,
+    )
+    for key, payload in pairs:
+        tree.insert(key, payload)
+    tree.commit()
+    return tree
+
+
+def compare_log_volume() -> None:
+    print("=== Log volume: conventional vs generalized split logging ===")
+    pairs = generate_btree_keys(7, BTreeWorkloadSpec(n_keys=200, payload_bytes=128))
+    conventional = build("physiological", pairs)
+    generalized = build("generalized", pairs)
+    assert conventional.items() == generalized.items() == dict(pairs)
+    print(f"keys inserted        : {len(pairs)}")
+    print(f"leaf splits          : {generalized.splits}")
+    print(f"physiological log    : {conventional.log_bytes():>8} bytes")
+    print(f"generalized log      : {generalized.log_bytes():>8} bytes")
+    ratio = conventional.log_bytes() / generalized.log_bytes()
+    print(f"reduction            : {ratio:.2f}x "
+          "(the moved half never enters the log)")
+
+
+def show_careful_write_order() -> None:
+    print("\n=== The careful write ordering the theory demands ===")
+    tree = build("generalized", [(k, b"v") for k in range(8)])
+    constraint = tree.pool.pending_constraints()[0]
+    print(f"after a split the cache holds a write-graph edge: "
+          f"flush {constraint.first_page!r} before {constraint.then_page!r}")
+    try:
+        tree.pool.flush_page(constraint.then_page)
+    except CachePolicyError as exc:
+        print(f"flushing the old page first is refused: {exc}")
+    tree.pool.flush_page(constraint.first_page)
+    tree.pool.flush_page(constraint.then_page)
+    print("flushing new-then-old succeeds; the stable state stays explainable.")
+
+
+def show_ablation() -> None:
+    print("\n=== What happens if the ordering is violated ===")
+    pairs = [(k, f"row-{k}".encode()) for k in range(24)]
+
+    safe = build("generalized", pairs, unsafe=False)
+    safe.crash()
+    safe.recover()
+    print(f"order honored : recovered {len(safe.items())}/{len(pairs)} keys")
+
+    unsafe = build("generalized", pairs, unsafe=True)
+    unsafe.crash()
+    unsafe.recover()
+    lost = len(pairs) - len(unsafe.items())
+    print(f"order VIOLATED: recovered {len(unsafe.items())}/{len(pairs)} keys "
+          f"({lost} keys silently destroyed)")
+    print("the split-move record can only rebuild the new page from the")
+    print("pre-truncation old page; flush the truncation first and the")
+    print("moved half is gone from both the state and the log.")
+
+
+if __name__ == "__main__":
+    compare_log_volume()
+    show_careful_write_order()
+    show_ablation()

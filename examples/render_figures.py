@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as Graphviz dot files.
+
+Writes ``figures/figure4.dot`` (conflict state graph), ``figure5.dot``
+(installation graph with the removed edge dashed), ``figure7.dot``
+(write graph after collapsing the writers of x), and ``figure8.dot``
+(the generalized-split write graph) next to this script.  Render with
+``dot -Tpng figures/figure4.dot -o figure4.png`` if Graphviz is
+installed; the .dot text itself is readable enough to diff against the
+paper.
+
+Run:  python examples/render_figures.py
+"""
+
+import pathlib
+
+from repro.core.conflict import ConflictGraph
+from repro.core.expr import Var, assign
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+from repro.core.state_graph import StateGraph
+from repro.core.write_graph import WriteGraph
+
+FIGURES = pathlib.Path(__file__).parent / "figures"
+
+
+def opq():
+    return [
+        assign("O", "x", Var("x") + 1),
+        assign("P", "y", Var("x") + 1),
+        assign("Q", "x", Var("x") + 2),
+    ]
+
+
+def figure4() -> str:
+    conflict = ConflictGraph(opq())
+    graph = StateGraph.conflict_state_graph(conflict, State())
+    lines = ["digraph figure4 {", '  label="Figure 4: conflict state graph";']
+    for name in ("O", "P", "Q"):
+        writes = ", ".join(f"{k}={v}" for k, v in sorted(graph.writes(name).items()))
+        lines.append(f'  {name} [shape=box label="{name}\\nwrites: {writes}"];')
+    for a, b, labels in conflict.edges():
+        lines.append(f'  {a.name} -> {b.name} [label="{",".join(sorted(labels))}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def figure5() -> str:
+    conflict = ConflictGraph(opq())
+    installation = InstallationGraph(conflict)
+    lines = [
+        "digraph figure5 {",
+        '  label="Figure 5: installation graph (dashed = removed wr edge)";',
+    ]
+    for name in ("O", "P", "Q"):
+        lines.append(f"  {name} [shape=box];")
+    kept = {(a, b) for a, b, _ in installation.dag.edges()}
+    for a, b, labels in conflict.edges():
+        style = "solid" if (a.name, b.name) in kept else "dashed"
+        lines.append(
+            f'  {a.name} -> {b.name} '
+            f'[style={style} label="{",".join(sorted(labels))}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def figure7() -> str:
+    wg = WriteGraph(InstallationGraph(ConflictGraph(opq())), State())
+    wg.collapse(["O", "Q"], new_id="OQ")
+    lines = [
+        "digraph figure7 {",
+        '  label="Figure 7: write graph, writers of x collapsed";',
+    ]
+    for node in wg.nodes():
+        ops = ",".join(sorted(op.name for op in node.ops))
+        writes = ", ".join(f"{k}={v}" for k, v in sorted(node.writes.items()))
+        lines.append(
+            f'  "{node.node_id}" [shape=box label="{{{ops}}}\\nwrites: {writes}"];'
+        )
+    for a, b, _ in wg.dag.edges():
+        lines.append(f'  "{a}" -> "{b}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def figure8() -> str:
+    # P reads old page x and writes new page y; Q overwrites x.
+    P = Operation.from_assignments("P", {"y": Var("x") * 1})
+    Q = Operation.from_assignments("Q", {"x": Var("x") * 0 + 7})
+    wg = WriteGraph(InstallationGraph(ConflictGraph([P, Q])), State({"x": 10}))
+    lines = [
+        "digraph figure8 {",
+        '  label="Figure 8: generalized B-tree split write graph\\n'
+        '(P: read old page, write new page; Q: truncate old page)";',
+    ]
+    for node in wg.nodes():
+        ops = ",".join(sorted(op.name for op in node.ops))
+        lines.append(f'  "{node.node_id}" [shape=box label="{{{ops}}}"];')
+    for a, b, _ in wg.dag.edges():
+        lines.append(f'  "{a}" -> "{b}" [label="careful write order"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    FIGURES.mkdir(exist_ok=True)
+    for name, render in [
+        ("figure4", figure4),
+        ("figure5", figure5),
+        ("figure7", figure7),
+        ("figure8", figure8),
+    ]:
+        path = FIGURES / f"{name}.dot"
+        path.write_text(render() + "\n")
+        print(f"wrote {path}")
+    print("\nrender with: dot -Tpng examples/figures/figure4.dot -o figure4.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` on machines that cannot build
+PEP 660 editable wheels (e.g. offline boxes without `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

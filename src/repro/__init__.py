@@ -1,0 +1,110 @@
+"""repro — an executable theory of redo recovery.
+
+This library reproduces *A Theory of Redo Recovery* (David Lomet and Mark
+Tuttle, SIGMOD 2003) as working code:
+
+- the graph model — conflict graphs, state graphs, installation graphs,
+  exposed variables, explainable states (:mod:`repro.core`);
+- the abstract recovery procedure, the Recovery Invariant, and write
+  graphs (:mod:`repro.core.recovery`, :mod:`repro.core.invariant`,
+  :mod:`repro.core.write_graph`);
+- the real recovery methods of §6 — logical, physical, physiological, and
+  generalized LSN-based recovery — built on simulated disk, cache, and log
+  substrates (:mod:`repro.methods`, :mod:`repro.storage`,
+  :mod:`repro.cache`, :mod:`repro.logmgr`);
+- a recoverable key-value engine and a B-tree whose page splits are logged
+  with the paper's generalized multi-page operations (:mod:`repro.engine`,
+  :mod:`repro.btree`);
+- crash simulation and invariant-audit harnesses (:mod:`repro.sim`).
+
+Quickstart::
+
+    from repro import ConflictGraph, InstallationGraph, State, Var, assign, blind_write
+    from repro import is_explainable
+
+    A = assign("A", "x", Var("y") + 1)
+    B = blind_write("B", "y", 2)
+    conflict = ConflictGraph([A, B])
+    installation = InstallationGraph(conflict)
+
+See ``examples/quickstart.py`` for the full tour.
+"""
+
+from repro.core import (
+    Add,
+    ConflictGraph,
+    Const,
+    Expr,
+    InstallationGraph,
+    InvariantReport,
+    Log,
+    LogRecord,
+    Operation,
+    RecoveryOutcome,
+    RedoDecision,
+    State,
+    StateGraph,
+    Var,
+    WriteGraph,
+    WriteGraphError,
+    WriteNode,
+    assign,
+    blind_write,
+    check_recovery_invariant,
+    explains,
+    exposed_variables,
+    find_explaining_prefixes,
+    increment,
+    installed_set,
+    is_applicable,
+    is_explainable,
+    is_exposed,
+    is_potentially_recoverable,
+    recover,
+    replay,
+    replay_order,
+    run_sequence,
+    state_sequence,
+    unexposed_variables,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Add",
+    "ConflictGraph",
+    "Const",
+    "Expr",
+    "InstallationGraph",
+    "InvariantReport",
+    "Log",
+    "LogRecord",
+    "Operation",
+    "RecoveryOutcome",
+    "RedoDecision",
+    "State",
+    "StateGraph",
+    "Var",
+    "WriteGraph",
+    "WriteGraphError",
+    "WriteNode",
+    "assign",
+    "blind_write",
+    "check_recovery_invariant",
+    "explains",
+    "exposed_variables",
+    "find_explaining_prefixes",
+    "increment",
+    "installed_set",
+    "is_applicable",
+    "is_explainable",
+    "is_exposed",
+    "is_potentially_recoverable",
+    "recover",
+    "replay",
+    "replay_order",
+    "run_sequence",
+    "state_sequence",
+    "unexposed_variables",
+    "__version__",
+]

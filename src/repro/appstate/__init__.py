@@ -1,0 +1,22 @@
+"""Persistent applications through redo recovery (§7 / reference [10]).
+
+The paper's closing direction — "define new classes of logged operations
+having recovery methods with potential advantages ... especially when
+extending recovery to new areas" — points at Lomet's *Persistent
+Applications Using Generalized Redo Recovery* (ICDE 1998): make an
+ordinary deterministic program crash-survivable by logging its *inputs*
+and replaying them through the program's own transition function.
+
+:class:`~repro.appstate.app.PersistentApplication` provides exactly
+that on this library's substrates: events are logical log records, the
+application state is an opaque value rebuilt by replay, and periodic
+checkpoints snapshot the state into the shadow store so replay starts
+from the last snapshot rather than from birth.  The recovery invariant
+specializes cleanly: the snapshot *is* the installed prefix, the events
+after the snapshot LSN *are* the redo set, and determinism of the
+transition function is what makes the replayed state explainable.
+"""
+
+from repro.appstate.app import PersistentApplication, TransitionError
+
+__all__ = ["PersistentApplication", "TransitionError"]

@@ -1,0 +1,28 @@
+"""A recoverable B-tree exercising generalized LSN-based recovery (§6.4).
+
+The tree stores integer keys with byte payloads across leaf pages plus a
+directory page, on the same disk/log/cache substrates as the KV engines.
+Leaf splits are logged under one of two disciplines:
+
+- ``"physiological"`` — the conventional approach: the moved half of the
+  splitting node is *physically* logged (a whole-page image of the new
+  node), followed by single-page records truncating the old node and
+  updating the directory.  Each record reads and writes one page, so the
+  cache may flush pages in any order.
+- ``"generalized"`` — the §6.4 proposal: one multi-page record *reads*
+  the old page and *writes* the new page (and the directory), so the
+  moved half never enters the log; a second record truncates the old
+  page.  The price is a *careful write ordering* obligation — the new
+  page must reach disk before the old page is overwritten — which the
+  tree registers with the buffer pool as a flush constraint (the write
+  graph edge of Figure 8, operationalized).
+
+``unsafe_split_flush`` deliberately violates that ordering (flushing the
+truncated old page first); the E6 ablation uses it to demonstrate that
+the constraint is load-bearing: crash between the two flushes and the
+moved half is gone from both the state and the log.
+"""
+
+from repro.btree.tree import BTree, BTreeError
+
+__all__ = ["BTree", "BTreeError"]

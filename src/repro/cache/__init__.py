@@ -1,0 +1,18 @@
+"""The cache manager (buffer pool).
+
+The cache is where the write graph becomes operational (§5–6): pages
+accumulate the effects of many operations, and flushing a page to disk
+*installs* every operation whose effects it carries.  The pool
+
+- enforces the write-ahead rule (a page cannot reach disk before the log
+  records that produced its updates are stable);
+- honors *careful write ordering* constraints — the write-graph "add an
+  edge" operation surfaced to the cache, e.g. "flush the new B-tree page
+  before overwriting the old one" (§6.4, Figure 8);
+- offers LRU and clock eviction, with steal (flush-dirty-victim) and
+  no-steal modes.
+"""
+
+from repro.cache.pool import BufferPool, CachePolicyError, FlushConstraint
+
+__all__ = ["BufferPool", "CachePolicyError", "FlushConstraint"]

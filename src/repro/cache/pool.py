@@ -1,0 +1,343 @@
+"""The buffer pool.
+
+Pages live in the pool as mutable working copies; the disk holds the last
+flushed image of each.  Flushing is the *install* operation of the
+theory: it atomically moves a page's accumulated updates into stable
+state.  Two disciplines guard it:
+
+- **WAL**: if a log manager is attached, a page tagged with LSN n may be
+  flushed only once the log is stable through n.
+- **FlushConstraint**: a pending constraint ``(first, then)`` forbids
+  flushing ``then`` until ``first`` has been flushed at least once since
+  the constraint was registered.  This is the cache-manager face of the
+  write graph's *Add an edge* (§6.4: new B-tree page before old page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Literal
+
+from repro.logmgr.manager import LogManager
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+
+
+class CachePolicyError(RuntimeError):
+    """An operation violated a cache discipline (ordering, no-steal...)."""
+
+
+@dataclass
+class FlushConstraint:
+    """``first_page`` must be flushed before ``then_page`` may be."""
+
+    first_page: str
+    then_page: str
+    discharged: bool = False
+
+
+@dataclass
+class _Frame:
+    page: Page
+    dirty: bool = False
+    referenced: bool = True  # clock bit
+    pinned: int = 0
+
+
+class BufferPool:
+    """A fixed-capacity page cache over a :class:`Disk`."""
+
+    def __init__(
+        self,
+        disk: Disk,
+        log_manager: LogManager | None = None,
+        capacity: int = 64,
+        policy: Literal["lru", "clock"] = "lru",
+        steal: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.disk = disk
+        self.log_manager = log_manager
+        self.capacity = capacity
+        self.policy = policy
+        self.steal = steal
+        self._frames: dict[str, _Frame] = {}  # insertion order = LRU order
+        self._constraints: list[FlushConstraint] = []
+        self._clock_hand = 0
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.evictions = 0
+        # Optional observer invoked with a page id after every successful
+        # flush; recovery methods use it to keep dirty-page tables honest.
+        self.on_flush: Callable[[str], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+
+    def get_page(self, page_id: str, create: bool = False) -> Page:
+        """The pool's working copy of ``page_id`` (loaded on miss).
+
+        With ``create=True`` a missing page springs into existence empty
+        (the disk image appears at first flush).  The returned object is
+        the pool's own copy: mutate it, then call :meth:`mark_dirty`, or
+        use :meth:`update` which does both.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._touch(page_id, frame)
+            return frame.page
+        self.misses += 1
+        if self.disk.has_page(page_id):
+            page = self.disk.read_page(page_id)
+        elif create:
+            page = Page(page_id)
+        else:
+            raise KeyError(f"page {page_id!r} neither cached nor on disk")
+        self._admit(page)
+        return self._frames[page_id].page
+
+    def update(self, page_id: str, mutate: Callable[[Page], None], create: bool = False) -> Page:
+        """Fetch, mutate, and mark dirty in one step.
+
+        The page is pinned for the duration of ``mutate``: a mutator that
+        reads other pages (a split-move does) can trigger evictions, and
+        the page under mutation must not be the victim.
+        """
+        page = self.get_page(page_id, create=create)
+        self.pin(page_id)
+        try:
+            mutate(page)
+            self.mark_dirty(page_id)
+        finally:
+            self.unpin(page_id)
+        return page
+
+    def mark_dirty(self, page_id: str) -> None:
+        """Record that the cached copy of ``page_id`` differs from disk."""
+        self._frames[page_id].dirty = True
+
+    def is_dirty(self, page_id: str) -> bool:
+        """Is ``page_id`` cached with unflushed changes?"""
+        frame = self._frames.get(page_id)
+        return frame is not None and frame.dirty
+
+    def is_cached(self, page_id: str) -> bool:
+        """Is ``page_id`` resident in the pool?"""
+        return page_id in self._frames
+
+    def dirty_page_ids(self) -> list[str]:
+        """Sorted ids of every dirty cached page."""
+        return sorted(pid for pid, frame in self._frames.items() if frame.dirty)
+
+    def pin(self, page_id: str) -> None:
+        """Forbid eviction of ``page_id`` until unpinned (counted)."""
+        self._frames[page_id].pinned += 1
+
+    def unpin(self, page_id: str) -> None:
+        """Release one pin on ``page_id``."""
+        frame = self._frames[page_id]
+        if frame.pinned == 0:
+            raise CachePolicyError(f"page {page_id!r} is not pinned")
+        frame.pinned -= 1
+
+    # ------------------------------------------------------------------
+    # Flush ordering constraints
+    # ------------------------------------------------------------------
+
+    def add_flush_constraint(self, first_page: str, then_page: str) -> FlushConstraint:
+        """Require ``first_page`` to reach disk before ``then_page``.
+
+        This is the cache-manager face of the write graph's *Add an edge*
+        operation, whose side condition demands acyclicity.  If the new
+        ordering would close a cycle among pending constraints, the cache
+        resolves it the way real systems do: flush ``first_page`` right
+        now (with its own prerequisites), so the obligation is already
+        discharged and no edge is needed.
+        """
+        if self._constraint_path(then_page, first_page):
+            self._flush_with_prerequisites(first_page)
+            return FlushConstraint(first_page, then_page, discharged=True)
+        constraint = FlushConstraint(first_page, then_page)
+        self._constraints.append(constraint)
+        return constraint
+
+    def _constraint_path(self, source: str, target: str) -> bool:
+        """Is there a pending-constraint path source -> ... -> target?"""
+        frontier = [source]
+        seen = set()
+        while frontier:
+            page = frontier.pop()
+            if page == target:
+                return True
+            if page in seen:
+                continue
+            seen.add(page)
+            frontier.extend(
+                c.then_page
+                for c in self._constraints
+                if not c.discharged and c.first_page == page
+            )
+        return False
+
+    def blocked_by(self, page_id: str) -> list[FlushConstraint]:
+        """Pending constraints forbidding a flush of ``page_id``."""
+        return [
+            constraint
+            for constraint in self._constraints
+            if not constraint.discharged and constraint.then_page == page_id
+        ]
+
+    def pending_constraints(self) -> list[FlushConstraint]:
+        """Every registered, not-yet-discharged flush constraint."""
+        return [c for c in self._constraints if not c.discharged]
+
+    # ------------------------------------------------------------------
+    # Flushing (= installing)
+    # ------------------------------------------------------------------
+
+    def flush_page(self, page_id: str, force: bool = False) -> None:
+        """Write the cached page to disk, enforcing WAL and ordering.
+
+        ``force=True`` bypasses the ordering check — it exists solely for
+        the ablation experiments that demonstrate recovery breaking when
+        careful write ordering is violated.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None or not frame.dirty:
+            return
+        if not force:
+            blockers = self.blocked_by(page_id)
+            if blockers:
+                firsts = sorted(c.first_page for c in blockers)
+                raise CachePolicyError(
+                    f"flush of {page_id!r} blocked until {firsts} flushed "
+                    f"(careful write ordering)"
+                )
+        if self.log_manager is not None and frame.page.lsn >= 0:
+            # The write-ahead rule: the records that produced this page's
+            # updates must be stable first.  Like real systems, force the
+            # log rather than fail — that is what "write-ahead" means.
+            if not self.log_manager.is_stable(frame.page.lsn):
+                self.log_manager.flush(up_to_lsn=frame.page.lsn)
+            self.log_manager.wal_check(frame.page.lsn)
+        self.disk.write_page(frame.page)
+        frame.dirty = False
+        self.flushes += 1
+        for constraint in self._constraints:
+            if constraint.first_page == page_id:
+                constraint.discharged = True
+        if self.on_flush is not None:
+            self.on_flush(page_id)
+
+    def flush_all(self) -> None:
+        """Flush every dirty page, in a constraint-respecting order.
+
+        Constraints whose first page already reached disk (it is clean or
+        was flushed along the way) are discharged as encountered — the
+        required image is already stable, which is all the ordering asks.
+        """
+        for page_id in self.dirty_page_ids():
+            if self.is_dirty(page_id):  # may have been flushed as a prereq
+                self._flush_with_prerequisites(page_id)
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def _admit(self, page: Page) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.page_id] = _Frame(page=page)
+
+    def _touch(self, page_id: str, frame: _Frame) -> None:
+        frame.referenced = True
+        if self.policy == "lru":
+            # Reinsert to move to the MRU end of the ordered dict.
+            del self._frames[page_id]
+            self._frames[page_id] = frame
+
+    def _evict_one(self) -> None:
+        victim_id = self._choose_victim()
+        frame = self._frames[victim_id]
+        if frame.dirty:
+            if not self.steal:
+                raise CachePolicyError(
+                    f"no-steal pool is full of dirty pages (victim {victim_id!r})"
+                )
+            self._flush_with_prerequisites(victim_id)
+        del self._frames[victim_id]
+        self.evictions += 1
+
+    def _flush_with_prerequisites(self, page_id: str, _seen: set | None = None) -> None:
+        """Flush ``page_id``, first flushing any pages that careful write
+        ordering requires to go to disk before it.
+
+        ``_seen`` marks pages already handled in this pass — duplicate
+        constraints naming the same prerequisite are common and must not
+        be mistaken for cycles.  Genuine cycles cannot arise:
+        :meth:`add_flush_constraint` refuses to create them (it flushes
+        eagerly instead), mirroring the write graph's acyclicity side
+        condition.
+        """
+        seen = _seen if _seen is not None else set()
+        if page_id in seen:
+            return
+        seen.add(page_id)
+        for constraint in self.blocked_by(page_id):
+            self._flush_with_prerequisites(constraint.first_page, seen)
+            constraint.discharged = True
+        self.flush_page(page_id)
+
+    def _choose_victim(self) -> str:
+        candidates = [
+            page_id for page_id, frame in self._frames.items() if frame.pinned == 0
+        ]
+        if not candidates:
+            raise CachePolicyError("every cached page is pinned; cannot evict")
+        if self.policy == "lru":
+            # First unpinned frame in insertion (LRU) order whose flush is
+            # not blocked; fall back to any unpinned frame.
+            for page_id in candidates:
+                if not self._frames[page_id].dirty or not self.blocked_by(page_id):
+                    return page_id
+            return candidates[0]
+        # Clock: sweep, clearing reference bits.
+        ids = list(self._frames)
+        for _ in range(2 * len(ids)):
+            page_id = ids[self._clock_hand % len(ids)]
+            self._clock_hand += 1
+            frame = self._frames[page_id]
+            if frame.pinned:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            return page_id
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose every cached page and pending constraint (all volatile)."""
+        self._frames.clear()
+        self._constraints.clear()
+
+    def cached_page_ids(self) -> list[str]:
+        """Sorted ids of every resident page."""
+        return sorted(self._frames)
+
+    def __iter__(self) -> Iterator[Page]:
+        for page_id in self.cached_page_ids():
+            yield self._frames[page_id].page
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(cached={len(self._frames)}/{self.capacity}, "
+            f"dirty={len(self.dirty_page_ids())}, policy={self.policy})"
+        )

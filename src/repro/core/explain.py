@@ -1,0 +1,140 @@
+"""Explainable states and operation applicability (§3.2–§3.3).
+
+A prefix σ of the installation graph **explains** a state S when every
+variable *exposed by σ* has the same value in S as in the state determined
+by σ.  Unexposed variables may hold anything — their values are
+overwritten before being read during a replay.  States explained by some
+prefix are **explainable**, and Theorem 3 (in :mod:`repro.core.replay`)
+shows they are potentially recoverable.
+
+An operation O is **applicable** to S when O's read-set variables have the
+same values in S as in the state determined by O's conflict-graph
+predecessors, so O reads — and therefore writes — the same values it did
+in the original execution.  The §3.3 replay step lemma
+(:func:`replay_step_preserves_explanation`) is the induction step of
+Theorem 3 and is property-tested directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.exposed import exposed_variables
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+from repro.core.state_graph import StateGraph
+
+
+def explains(
+    installation: InstallationGraph,
+    prefix: Iterable[Operation],
+    state: State,
+    initial: State,
+) -> bool:
+    """Does installation-graph prefix ``prefix`` explain ``state`` (§3.2)?
+
+    Raises ValueError if ``prefix`` is not actually a prefix of the
+    installation graph; returns a boolean verdict otherwise.
+    """
+    members = set(prefix)
+    if not installation.is_prefix(members):
+        raise ValueError("explains() requires a prefix of the installation graph")
+    determined = installation.determined_state(members, initial)
+    exposed = exposed_variables(installation.conflict, members)
+    return state.agrees_with(determined, exposed)
+
+
+def find_explaining_prefixes(
+    installation: InstallationGraph,
+    state: State,
+    initial: State,
+    limit: int | None = None,
+) -> Iterator[frozenset[Operation]]:
+    """All installation-graph prefixes that explain ``state``.
+
+    Exhaustive search over prefixes; intended for the worked figures, the
+    tests, and the recovery checker, where graphs are small.  Yields
+    prefixes in no particular order.
+    """
+    for prefix in installation.prefixes(limit=limit):
+        if explains(installation, prefix, state, initial):
+            yield prefix
+
+
+def is_explainable(
+    installation: InstallationGraph,
+    state: State,
+    initial: State,
+) -> bool:
+    """Is ``state`` explained by *some* installation-graph prefix?"""
+    return next(
+        find_explaining_prefixes(installation, state, initial), None
+    ) is not None
+
+
+def is_applicable(
+    installation: InstallationGraph,
+    operation: Operation,
+    state: State,
+    initial: State,
+) -> bool:
+    """Is ``operation`` applicable to ``state`` (§3.3)?
+
+    Compares the operation's read-set values in ``state`` with their
+    values in the state determined by the operation's conflict-graph
+    predecessors.
+    """
+    conflict = installation.conflict
+    predecessors = conflict.predecessors(operation)
+    state_graph = StateGraph.conflict_state_graph(conflict, initial)
+    reference = state_graph.determined_state(
+        initial, {op.name for op in predecessors}
+    )
+    return state.agrees_with(reference, operation.read_set)
+
+
+def extend_prefix(
+    installation: InstallationGraph,
+    prefix: Iterable[Operation],
+    operation: Operation,
+) -> frozenset[Operation]:
+    """``sigma; O`` — the prefix extended by a minimal uninstalled operation.
+
+    Validates that ``operation`` really is a minimal uninstalled operation
+    after ``prefix`` and that the result is again an installation-graph
+    prefix (it always is; the check is an executable proof obligation).
+    """
+    members = set(prefix)
+    minimal = installation.minimal_uninstalled(members)
+    if operation not in minimal:
+        raise ValueError(
+            f"{operation.name!r} is not a minimal uninstalled operation"
+        )
+    extended = frozenset(members | {operation})
+    if not installation.is_prefix(extended):
+        raise AssertionError(
+            "extending a prefix by a minimal uninstalled operation must "
+            "yield a prefix; the theory guarantees this"
+        )
+    return extended
+
+
+def replay_step_preserves_explanation(
+    installation: InstallationGraph,
+    prefix: Iterable[Operation],
+    operation: Operation,
+    state: State,
+    initial: State,
+) -> bool:
+    """The §3.3 step lemma, checked executable-style.
+
+    Given σ explaining S and a minimal uninstalled O: O is applicable to S,
+    and σ;O explains S;O.  Returns True when both conclusions hold.
+    """
+    members = set(prefix)
+    if not explains(installation, members, state, initial):
+        raise ValueError("precondition failed: prefix does not explain state")
+    if not is_applicable(installation, operation, state, initial):
+        return False
+    extended = extend_prefix(installation, members, operation)
+    return explains(installation, extended, operation.apply(state), initial)

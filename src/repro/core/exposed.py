@@ -1,0 +1,115 @@
+"""Exposed and unexposed variables (§2.3).
+
+Fix a conflict graph C and a subset I of its operations (the operations
+considered installed).  A variable ``x`` is **exposed by I** iff
+
+- no operation outside I accesses ``x`` (x already has its final value and
+  nothing will regenerate it), or
+- some operation outside I accesses ``x`` and a *minimal* such operation
+  (in conflict-graph order restricted to the accessors outside I) *reads*
+  ``x`` — so the value must be right if the system crashes now.
+
+``x`` is **unexposed** otherwise, i.e. some operation outside I accesses
+``x`` and every minimal accessor outside I writes ``x`` without reading it
+(a blind write): whatever value ``x`` holds will be overwritten before
+anything reads it, so the value is irrelevant.
+
+Note the definition quantifies over *a* minimal accessor.  Distinct
+minimal accessors of the same variable are incomparable, and since one of
+them could be replayed first, exposure requires only that *some* minimal
+accessor reads (the paper's wording); the stricter "all minimal accessors
+read" variant is available for comparison as
+:func:`strictly_exposed_variables` and coincides whenever accesses to each
+variable are totally ordered (which ww/rw/wr conflicts in fact guarantee
+for writers; two blind-write-free readers can tie).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.conflict import ConflictGraph
+from repro.core.model import Operation
+
+
+def _accessors_outside(
+    graph: ConflictGraph, installed: set[Operation], variable: str
+) -> list[Operation]:
+    return [
+        operation
+        for operation in graph.operations
+        if operation not in installed and operation.accesses(variable)
+    ]
+
+
+def is_exposed(
+    graph: ConflictGraph, installed: Iterable[Operation], variable: str
+) -> bool:
+    """Is ``variable`` exposed by the installed set (§2.3 definition)?"""
+    installed_set = set(installed)
+    outside = _accessors_outside(graph, installed_set, variable)
+    if not outside:
+        return True
+    minimal = graph.minimal_operations(outside)
+    return any(operation.reads(variable) for operation in minimal)
+
+
+def is_unexposed(
+    graph: ConflictGraph, installed: Iterable[Operation], variable: str
+) -> bool:
+    """Negation of :func:`is_exposed`."""
+    return not is_exposed(graph, installed, variable)
+
+
+def all_variables(graph: ConflictGraph) -> set[str]:
+    """Every variable accessed by any operation in the graph."""
+    variables: set[str] = set()
+    for operation in graph.operations:
+        variables |= operation.variables()
+    return variables
+
+
+def exposed_variables(
+    graph: ConflictGraph,
+    installed: Iterable[Operation],
+    variables: Iterable[str] | None = None,
+) -> set[str]:
+    """The subset of ``variables`` (default: all accessed) exposed by I."""
+    installed_set = set(installed)
+    candidates = all_variables(graph) if variables is None else set(variables)
+    return {
+        variable
+        for variable in candidates
+        if is_exposed(graph, installed_set, variable)
+    }
+
+
+def unexposed_variables(
+    graph: ConflictGraph,
+    installed: Iterable[Operation],
+    variables: Iterable[str] | None = None,
+) -> set[str]:
+    """Complement of :func:`exposed_variables` within the candidate set."""
+    installed_set = set(installed)
+    candidates = all_variables(graph) if variables is None else set(variables)
+    return candidates - exposed_variables(graph, installed_set, candidates)
+
+
+def strictly_exposed_variables(
+    graph: ConflictGraph,
+    installed: Iterable[Operation],
+    variables: Iterable[str] | None = None,
+) -> set[str]:
+    """The "every minimal accessor reads" variant (see module docstring)."""
+    installed_set = set(installed)
+    candidates = all_variables(graph) if variables is None else set(variables)
+    result: set[str] = set()
+    for variable in candidates:
+        outside = _accessors_outside(graph, installed_set, variable)
+        if not outside:
+            result.add(variable)
+            continue
+        minimal = graph.minimal_operations(outside)
+        if all(operation.reads(variable) for operation in minimal):
+            result.add(variable)
+    return result

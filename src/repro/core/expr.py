@@ -1,0 +1,179 @@
+"""A tiny expression language for defining operations declaratively.
+
+The paper writes operations like ``A: x <- y + 1`` and
+``C: <x <- x + 1; y <- y + 1>``.  Modeling the right-hand sides as data
+rather than opaque Python callables buys three things:
+
+1. the read set of an operation can be *derived* from its expressions, so
+   tests can check that declared read sets match actual data flow;
+2. operations are printable, comparable, and hashable, which the log
+   manager needs when it serializes logical operations into log records;
+3. expressions evaluate deterministically during replay, which is the
+   determinism assumption the whole theory rests on.
+
+Only what the paper's examples need is provided: variables, constants,
+arithmetic, and a few convenience constructors (:func:`assign`,
+:func:`increment`, :func:`blind_write`).  Operation bodies that cannot be
+expressed here can still be built from raw callables via
+:class:`repro.core.model.Operation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+Value = Union[int, float, str, bytes, tuple, frozenset, None]
+
+
+class Expr:
+    """Base class for expression nodes.
+
+    Subclasses are frozen dataclasses, so expressions compare and hash by
+    structure.  Operator overloads build arithmetic trees:
+    ``Var("x") + 1`` is ``Add(Var("x"), Const(1))``.
+    """
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        """Evaluate under an environment mapping variable names to values."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """The variables this expression reads."""
+        raise NotImplementedError
+
+    # -- operator sugar -------------------------------------------------
+    def __add__(self, other: "Expr | Value") -> "Add":
+        return Add(self, _lift(other))
+
+    def __radd__(self, other: "Expr | Value") -> "Add":
+        return Add(_lift(other), self)
+
+    def __sub__(self, other: "Expr | Value") -> "Sub":
+        return Sub(self, _lift(other))
+
+    def __rsub__(self, other: "Expr | Value") -> "Sub":
+        return Sub(_lift(other), self)
+
+    def __mul__(self, other: "Expr | Value") -> "Mul":
+        return Mul(self, _lift(other))
+
+    def __rmul__(self, other: "Expr | Value") -> "Mul":
+        return Mul(_lift(other), self)
+
+
+def _lift(value: "Expr | Value") -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: Value
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        """The literal value, regardless of environment."""
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        """Constants read nothing."""
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A reference to a state variable."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        """Look the variable up in the environment."""
+        return env[self.name]
+
+    def variables(self) -> frozenset[str]:
+        """A variable reads exactly itself."""
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class _Binary(Expr):
+    left: Expr
+    right: Expr
+
+    _symbol = "?"
+    # Subclasses set `_apply` to a plain staticmethod; it is deliberately
+    # not annotated so dataclasses treat it as a class attribute, not a field.
+    _apply = staticmethod(lambda a, b: None)
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        return type(self)._apply(self.left.evaluate(env), self.right.evaluate(env))
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+@dataclass(frozen=True)
+class Add(_Binary):
+    _symbol = "+"
+    _apply = staticmethod(lambda a, b: a + b)
+
+
+@dataclass(frozen=True)
+class Sub(_Binary):
+    _symbol = "-"
+    _apply = staticmethod(lambda a, b: a - b)
+
+
+@dataclass(frozen=True)
+class Mul(_Binary):
+    _symbol = "*"
+    _apply = staticmethod(lambda a, b: a * b)
+
+
+@dataclass(frozen=True)
+class Concat(_Binary):
+    """Concatenation for string/bytes/tuple-valued variables."""
+
+    _symbol = "++"
+    _apply = staticmethod(lambda a, b: a + b)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors for the paper's operation shapes
+# ----------------------------------------------------------------------
+
+def assign(name: str, target: str, expression: "Expr | Value") -> "Operation":
+    """The operation ``name: target <- expression``.
+
+    The paper's operation ``A: x <- y + 1`` is ``assign("A", "x",
+    Var("y") + 1)``.  Read set is derived from the expression.
+    """
+    from repro.core.model import Operation
+
+    expression = _lift(expression)
+    return Operation.from_assignments(name, {target: expression})
+
+
+def blind_write(name: str, target: str, value: Value) -> "Operation":
+    """The operation ``name: target <- value`` with an empty read set.
+
+    The paper's ``B: y <- 2`` is ``blind_write("B", "y", 2)``.  Blind
+    writes are what make variables unexposed, and are the entire substance
+    of physical logging (§6.2).
+    """
+    return assign(name, target, Const(value))
+
+
+def increment(name: str, target: str, amount: Value = 1) -> "Operation":
+    """The operation ``name: target <- target + amount`` (reads its target)."""
+    return assign(name, target, Var(target) + amount)

@@ -1,0 +1,214 @@
+"""The system model of §2.1: variables, values, states, and operations.
+
+A *state* maps every variable to a value.  An *operation* is a function
+with a fixed read set and a fixed write set: applied to a state, it reads
+the values of its read-set variables and produces new values for its
+write-set variables.  Operations are deterministic — replaying an
+operation against the same read values writes the same values — which is
+the assumption that makes redo recovery meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.expr import Expr, Value
+
+
+class State:
+    """A total function from variables to values, with an implicit default.
+
+    The paper's states are total functions.  We represent one as a dict of
+    explicit bindings over a default value (0 unless otherwise chosen),
+    which matches the examples ("x and y, both initially 0") and lets
+    states over large variable universes stay small.
+
+    States are mutable via :meth:`set` but all model-level code treats them
+    as values and uses :meth:`apply`/:meth:`updated`, which copy.
+    """
+
+    __slots__ = ("_values", "default")
+
+    def __init__(self, values: Mapping[str, Value] | None = None, default: Value = 0):
+        self._values: dict[str, Value] = dict(values or {})
+        self.default = default
+
+    def __getitem__(self, variable: str) -> Value:
+        return self._values.get(variable, self.default)
+
+    def get(self, variable: str) -> Value:
+        """Alias for ``state[variable]``."""
+        return self[variable]
+
+    def set(self, variable: str, value: Value) -> None:
+        """Destructively bind ``variable`` (storage layers use this)."""
+        self._values[variable] = value
+
+    def updated(self, writes: Mapping[str, Value]) -> "State":
+        """A copy of this state with ``writes`` applied."""
+        new_values = dict(self._values)
+        new_values.update(writes)
+        return State(new_values, default=self.default)
+
+    def copy(self) -> "State":
+        """An independent copy of this state."""
+        return State(self._values, default=self.default)
+
+    def bound_variables(self) -> set[str]:
+        """Variables with explicit (non-default) bindings."""
+        return set(self._values)
+
+    def restrict(self, variables: Iterable[str]) -> dict[str, Value]:
+        """The sub-assignment on ``variables`` as a plain dict."""
+        return {variable: self[variable] for variable in variables}
+
+    def agrees_with(self, other: "State", variables: Iterable[str]) -> bool:
+        """True iff this state and ``other`` coincide on ``variables``."""
+        return all(self[variable] == other[variable] for variable in variables)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        variables = self.bound_variables() | other.bound_variables()
+        return self.default == other.default and self.agrees_with(other, variables)
+
+    def __hash__(self):  # pragma: no cover - states are not meant to be keys
+        raise TypeError("State is unhashable; compare with == or agrees_with()")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"State({inner}; default={self.default!r})"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A logged operation: fixed read/write sets plus a deterministic body.
+
+    ``compute`` maps a dict of read-set values to a dict of write-set
+    values.  Most operations are built from expressions with
+    :meth:`from_assignments` (or the helpers in :mod:`repro.core.expr`),
+    which also derives the read set; raw callables are accepted for bodies
+    outside the expression language.
+
+    Operations are identified by ``name``: the paper assumes the operations
+    labeling a graph are distinct, and we inherit that by hashing and
+    comparing on the name alone.  Two operations with equal names are the
+    same operation.
+    """
+
+    name: str
+    read_set: frozenset[str]
+    write_set: frozenset[str]
+    compute: Callable[[Mapping[str, Value]], Mapping[str, Value]] = field(compare=False)
+    assignments: tuple[tuple[str, Expr], ...] = field(default=(), compare=False)
+
+    def __post_init__(self):
+        if not self.write_set:
+            raise ValueError(f"operation {self.name!r} writes nothing")
+
+    @staticmethod
+    def from_assignments(name: str, assignments: Mapping[str, Expr]) -> "Operation":
+        """Build an operation from simultaneous assignments ``var <- expr``.
+
+        All right-hand sides are evaluated against the *pre* state, matching
+        the paper's atomic read-then-write semantics: in
+        ``<x <- x + 1; y <- y + 1>`` both increments see the old values.
+        """
+        items = tuple(sorted(assignments.items()))
+        read_set = frozenset().union(*(expr.variables() for _, expr in items)) if items else frozenset()
+        write_set = frozenset(var for var, _ in items)
+
+        def compute(reads: Mapping[str, Value]) -> dict[str, Value]:
+            return {var: expr.evaluate(reads) for var, expr in items}
+
+        return Operation(
+            name=name,
+            read_set=read_set,
+            write_set=write_set,
+            compute=compute,
+            assignments=items,
+        )
+
+    def variables(self) -> frozenset[str]:
+        """All variables this operation accesses (reads or writes)."""
+        return self.read_set | self.write_set
+
+    def reads(self, variable: str) -> bool:
+        """Is ``variable`` in the read set?"""
+        return variable in self.read_set
+
+    def writes(self, variable: str) -> bool:
+        """Is ``variable`` in the write set?"""
+        return variable in self.write_set
+
+    def accesses(self, variable: str) -> bool:
+        """Is ``variable`` read or written by this operation?"""
+        return variable in self.read_set or variable in self.write_set
+
+    def writes_blindly(self, variable: str) -> bool:
+        """True iff this operation writes ``variable`` without reading it."""
+        return variable in self.write_set and variable not in self.read_set
+
+    def evaluate(self, state: State) -> dict[str, Value]:
+        """The writes this operation performs against ``state``."""
+        written = dict(self.compute(state.restrict(self.read_set)))
+        if set(written) != set(self.write_set):
+            raise ValueError(
+                f"operation {self.name!r} declared write set {sorted(self.write_set)} "
+                f"but wrote {sorted(written)}"
+            )
+        return written
+
+    def apply(self, state: State) -> State:
+        """The state resulting from performing this operation (a copy)."""
+        return state.updated(self.evaluate(state))
+
+    def __str__(self) -> str:
+        if self.assignments:
+            body = "; ".join(f"{var} <- {expr}" for var, expr in self.assignments)
+        else:
+            body = f"reads {sorted(self.read_set)}, writes {sorted(self.write_set)}"
+        return f"{self.name}: {body}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+def state_sequence(operations: Sequence[Operation], initial: State) -> list[State]:
+    """The state sequence ``S0 S1 ... Sk`` generated by an operation sequence.
+
+    ``S0`` is ``initial`` and each ``Si`` is the result of applying ``Oi``
+    to ``S(i-1)`` (§2.1).
+    """
+    states = [initial.copy()]
+    for operation in operations:
+        states.append(operation.apply(states[-1]))
+    return states
+
+
+def run_sequence(operations: Sequence[Operation], initial: State) -> State:
+    """The final state generated by the sequence (last element of the above)."""
+    state = initial.copy()
+    for operation in operations:
+        state = operation.apply(state)
+    return state
+
+
+def check_distinct_names(operations: Iterable[Operation]) -> None:
+    """Raise ValueError if two distinct operations share a name.
+
+    The theory assumes graph nodes are labeled with distinct operations;
+    graph constructors call this so violations fail fast.
+    """
+    seen: dict[str, Operation] = {}
+    for operation in operations:
+        prior = seen.get(operation.name)
+        if prior is not None and prior is not operation:
+            raise ValueError(f"duplicate operation name {operation.name!r}")
+        seen[operation.name] = operation

@@ -1,0 +1,232 @@
+"""The abstract redo recovery procedure (§4, Figure 6).
+
+Recovery begins with the state and the log as of the crash, plus a
+checkpoint (a set of operations recovery may ignore).  It walks the
+unrecovered operations in log order; for each it runs an *analysis* phase
+and then a *redo test*, replaying the operation iff the test says yes.
+
+The procedure is deliberately parameterized the way the paper's is:
+
+- ``analyze(state, log, unrecovered, analysis) -> analysis`` runs at the
+  top of every loop iteration.  The common "one analysis pass at the
+  start" pattern is the special case that does real work only when the
+  incoming analysis is ``None`` (see :func:`analysis_once`).
+- ``redo(operation, state, log, analysis) -> bool`` decides replay.
+
+:func:`recover` returns a :class:`RecoveryOutcome` recording the final
+state, the ``redo_set``, the per-iteration trace, and the ``installed_i``
+bookkeeping of §4.4 — everything Corollary 4 and the Recovery Invariant
+talk about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.conflict import ConflictGraph
+from repro.core.model import Operation, State
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log record: an operation plus bookkeeping labels.
+
+    ``lsn`` is the record's log sequence number (its position for linear
+    logs).  ``labels`` carries whatever extra information a concrete
+    recovery method logs — page ids, byte images, before/after values —
+    opaque to the abstract procedure.
+    """
+
+    lsn: int
+    operation: Operation
+    labels: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __str__(self) -> str:
+        return f"[{self.lsn}] {self.operation}"
+
+
+class Log:
+    """A log for a conflict graph (§4.1).
+
+    Practical logs are linear, and this class stores records in a total
+    order; §4.1 only requires consistency with the conflict order, which
+    :meth:`is_log_for` verifies.  Records are append-only and LSNs are
+    dense and increasing.
+    """
+
+    def __init__(self, records: Iterable[LogRecord] = ()):
+        self._records: list[LogRecord] = list(records)
+
+    @staticmethod
+    def from_operations(operations: Sequence[Operation]) -> "Log":
+        return Log(
+            LogRecord(lsn=index, operation=operation)
+            for index, operation in enumerate(operations)
+        )
+
+    def append(self, operation: Operation, **labels: Any) -> LogRecord:
+        """Append ``operation`` with the next LSN; returns the record."""
+        record = LogRecord(lsn=len(self._records), operation=operation, labels=labels)
+        self._records.append(record)
+        return record
+
+    def records(self) -> list[LogRecord]:
+        """All records, in log order."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def operations(self) -> list[Operation]:
+        """``operations(log)`` in log order."""
+        return [record.operation for record in self._records]
+
+    def record_for(self, operation: Operation) -> LogRecord:
+        """The record logging ``operation`` (KeyError if not logged)."""
+        for record in self._records:
+            if record.operation == operation:
+                return record
+        raise KeyError(f"no log record for operation {operation.name!r}")
+
+    def is_log_for(self, conflict: ConflictGraph) -> bool:
+        """§4.1: same operations, and log order extends conflict order."""
+        if set(self.operations()) != set(conflict.operations):
+            return False
+        position = {record.operation.name: index for index, record in enumerate(self._records)}
+        if len(position) != len(self._records):
+            return False  # duplicate operations
+        return all(
+            position[a.name] < position[b.name]
+            for a, b, _ in conflict.edges()
+        )
+
+    def suffix_from(self, lsn: int) -> "Log":
+        """Records with LSN >= ``lsn`` (what a checkpoint lets recovery scan)."""
+        return Log(record for record in self._records if record.lsn >= lsn)
+
+    def __repr__(self) -> str:
+        return f"Log(records={len(self._records)})"
+
+
+RedoTest = Callable[[Operation, State, Log, Any], bool]
+AnalyzeFn = Callable[[State, Log, "set[Operation]", Any], Any]
+
+
+@dataclass
+class RedoDecision:
+    """Trace entry for one iteration of the recovery loop."""
+
+    operation: Operation
+    redone: bool
+    analysis: Any
+
+
+@dataclass
+class RecoveryOutcome:
+    """Everything §4.4 defines about one execution of ``recover``."""
+
+    state: State
+    redo_set: set[Operation]
+    decisions: list[RedoDecision]
+    checkpoint: frozenset[Operation]
+    logged: frozenset[Operation]
+
+    @property
+    def installed(self) -> set[Operation]:
+        """``operations(log) - redo_set`` — the installed operations."""
+        return set(self.logged) - self.redo_set
+
+    def installed_after(self, iteration: int) -> set[Operation]:
+        """``installed_i``: logged operations that will not be redone after
+        iteration ``iteration`` (0 = before the first iteration)."""
+        future_redos = {
+            decision.operation
+            for decision in self.decisions[iteration:]
+            if decision.redone
+        }
+        return set(self.logged) - future_redos
+
+    def replayed_in_order(self) -> list[Operation]:
+        """The operations the redo test chose, in replay order."""
+        return [decision.operation for decision in self.decisions if decision.redone]
+
+
+def analysis_once(analysis_fn: Callable[[State, Log, set], Any]) -> AnalyzeFn:
+    """Lift a run-once analysis into the per-iteration protocol.
+
+    The returned function performs ``analysis_fn`` when the incoming
+    analysis is ``None`` (the first iteration) and is the identity
+    afterwards — the "single analysis phase at the start" pattern of §4.3.
+    """
+
+    def analyze(state: State, log: Log, unrecovered: set, analysis: Any) -> Any:
+        if analysis is None:
+            return analysis_fn(state, log, unrecovered)
+        return analysis
+
+    return analyze
+
+
+def always_redo(operation: Operation, state: State, log: Log, analysis: Any) -> bool:
+    """The trivial redo test: replay everything not checkpointed.
+
+    This is what logical (§6.1) and physical (§6.2) recovery do — the
+    subtlety lives entirely in how their checkpoints move operations out
+    of the unrecovered set.
+    """
+    return True
+
+
+def recover(
+    state: State,
+    log: Log,
+    checkpoint: Iterable[Operation] = (),
+    redo: RedoTest = always_redo,
+    analyze: AnalyzeFn | None = None,
+) -> RecoveryOutcome:
+    """The redo recovery procedure of Figure 6.
+
+    ``state`` is consumed conceptually but not mutated; the outcome holds
+    the rebuilt state.  ``checkpoint`` is the set of operations recovery
+    may ignore.  Operations are considered in log order: the minimal
+    unrecovered operation is always the earliest unrecovered log record,
+    which is minimal in any order the log is consistent with.
+    """
+    if analyze is None:
+        analyze = analysis_once(lambda s, l, u: None)
+
+    current = state.copy()
+    logged = frozenset(log.operations())
+    checkpoint_set = frozenset(checkpoint)
+    unrecovered = [
+        record.operation
+        for record in log
+        if record.operation not in checkpoint_set
+    ]
+    analysis: Any = None
+    decisions: list[RedoDecision] = []
+    redo_set: set[Operation] = set()
+
+    remaining = list(unrecovered)
+    while remaining:
+        operation = remaining[0]  # minimal in log order
+        analysis = analyze(current, log, set(remaining), analysis)
+        if redo(operation, current, log, analysis):
+            current = operation.apply(current)
+            redo_set.add(operation)
+            decisions.append(RedoDecision(operation, True, analysis))
+        else:
+            decisions.append(RedoDecision(operation, False, analysis))
+        remaining = remaining[1:]
+
+    return RecoveryOutcome(
+        state=current,
+        redo_set=redo_set,
+        decisions=decisions,
+        checkpoint=checkpoint_set,
+        logged=logged,
+    )

@@ -1,0 +1,137 @@
+"""Replaying uninstalled operations — Theorem 3 (§3.4).
+
+**Potential Recoverability Theorem.**  If S is a state explained by a
+prefix σ of the installation graph, then replaying the operations outside
+σ against S in any order consistent with the conflict graph yields the
+final state determined by the conflict graph.
+
+:func:`replay` performs such a replay; :func:`is_potentially_recoverable`
+implements the definition at the top of §3 directly (does *some* subset
+replayed in conflict order reach the final state?), which the tests use as
+an independent oracle against Theorem 3 — including for the paper's
+Scenario 1, where no subset works.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, Sequence
+
+from repro.core.conflict import ConflictGraph
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+
+
+def replay_order(
+    conflict: ConflictGraph, uninstalled: Iterable[Operation]
+) -> list[Operation]:
+    """The uninstalled operations in (one) conflict-graph order."""
+    return conflict.linear_extension(uninstalled)
+
+
+def replay(
+    conflict: ConflictGraph,
+    uninstalled: Iterable[Operation],
+    state: State,
+    order: Sequence[Operation] | None = None,
+) -> State:
+    """Apply ``uninstalled`` to ``state`` in conflict-graph order.
+
+    ``order`` may supply a specific linear extension of the uninstalled
+    set; it is validated against the conflict order.  Returns the replayed
+    state (a copy; ``state`` is unmodified).
+    """
+    members = set(uninstalled)
+    if order is None:
+        sequence = replay_order(conflict, members)
+    else:
+        sequence = list(order)
+        if set(sequence) != members or len(sequence) != len(members):
+            raise ValueError("replay order must enumerate the uninstalled set exactly")
+        position = {op.name: i for i, op in enumerate(sequence)}
+        for a in sequence:
+            for b in sequence:
+                if conflict.ordered_before(a, b) and position[a.name] > position[b.name]:
+                    raise ValueError(
+                        f"replay order violates conflict order: {a.name} before {b.name}"
+                    )
+    result = state.copy()
+    for operation in sequence:
+        result = operation.apply(result)
+    return result
+
+
+def recovers(
+    conflict: ConflictGraph,
+    uninstalled: Iterable[Operation],
+    state: State,
+    initial: State,
+) -> bool:
+    """Does replaying ``uninstalled`` from ``state`` reach the final state?"""
+    final = conflict.final_state(initial)
+    replayed = replay(conflict, uninstalled, state)
+    variables = set()
+    for operation in conflict.operations:
+        variables |= operation.variables()
+    return replayed.agrees_with(final, variables)
+
+
+def is_potentially_recoverable(
+    conflict: ConflictGraph,
+    state: State,
+    initial: State,
+) -> bool:
+    """§3 definition, by exhaustive search over replay subsets.
+
+    True iff *some* subset of the conflict graph's operations, replayed
+    from ``state`` in conflict-graph order, yields the final state.
+    Exponential in the number of operations — this is the independent
+    oracle for small examples, not the production path (Theorem 3 plus
+    :func:`repro.core.explain.is_explainable` is).
+    """
+    operations = list(conflict.operations)
+    subsets = chain.from_iterable(
+        combinations(operations, size) for size in range(len(operations) + 1)
+    )
+    return any(
+        recovers(conflict, subset, state, initial) for subset in subsets
+    )
+
+
+def certify_theorem3(
+    installation: InstallationGraph,
+    prefix: Iterable[Operation],
+    state: State,
+    initial: State,
+    try_all_orders: bool = False,
+    order_limit: int = 24,
+) -> bool:
+    """Check Theorem 3's conclusion for one (prefix, state) pair.
+
+    Requires ``prefix`` to explain ``state``.  Replays the complement in
+    conflict order and compares with the final state; with
+    ``try_all_orders`` every conflict-consistent order of the complement
+    (up to ``order_limit``) is tried, matching the theorem's "any order"
+    wording.
+    """
+    from repro.core.explain import explains
+    from repro.graphs.algorithms import all_topological_sorts, restrict_order
+
+    members = set(prefix)
+    if not explains(installation, members, state, initial):
+        raise ValueError("certify_theorem3 requires an explaining prefix")
+    conflict = installation.conflict
+    uninstalled = [op for op in conflict.operations if op not in members]
+    if not try_all_orders:
+        return recovers(conflict, uninstalled, state, initial)
+    order_dag = restrict_order(conflict.dag, [op.name for op in uninstalled])
+    final = conflict.final_state(initial)
+    variables = set()
+    for operation in conflict.operations:
+        variables |= operation.variables()
+    for names in all_topological_sorts(order_dag, limit=order_limit):
+        sequence = [conflict.operation(name) for name in names]
+        replayed = replay(conflict, uninstalled, state, order=sequence)
+        if not replayed.agrees_with(final, variables):
+            return False
+    return True

@@ -1,0 +1,366 @@
+"""Write graphs (§5): how real systems batch installs.
+
+A write graph is a state graph whose nodes carry an ``installed`` bit,
+with the installed nodes forming a prefix.  It starts life as the
+installation state graph (one node per operation) and evolves under four
+operations, each with the paper's side conditions enforced:
+
+- **install** a node (all predecessors already installed);
+- **add an edge** (target uninstalled, graph stays acyclic) — how a cache
+  manager adds ordering constraints such as the B-tree careful write;
+- **collapse nodes** into one (graph stays acyclic; last-writer-wins on
+  writes) — how a cache keeps one copy of a page, and how flushing a page
+  installs all operations accumulated on it;
+- **remove a write** (only when no uninstalled reader needs the value) —
+  the unexposed-variable optimization that shrinks atomic write sets.
+
+Corollary 5 — the state determined by a write-graph prefix is potentially
+recoverable — is checked executable-style by :meth:`WriteGraph.audit`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.core.exposed import exposed_variables
+from repro.core.explain import explains
+from repro.core.expr import Value
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+from repro.graphs import CycleError, Dag
+
+
+class WriteGraphError(ValueError):
+    """A write-graph operation's side condition was violated."""
+
+
+@dataclass
+class WriteNode:
+    """One write-graph node: operations, pending writes, installed bit."""
+
+    node_id: Hashable
+    ops: frozenset[Operation]
+    writes: dict[str, Value] = field(default_factory=dict)
+    installed: bool = False
+
+    def vars(self) -> set[str]:
+        """The variables this node writes."""
+        return set(self.writes)
+
+    def reads(self, variable: str) -> bool:
+        """Does any operation in this node read ``variable``?"""
+        return any(op.reads(variable) for op in self.ops)
+
+    def __str__(self) -> str:
+        ops = ",".join(sorted(op.name for op in self.ops))
+        writes = ", ".join(f"{k}={v!r}" for k, v in sorted(self.writes.items()))
+        flag = "*" if self.installed else ""
+        return f"{{{ops}}}{flag}[{writes}]"
+
+
+class WriteGraph:
+    """A write graph tied to the installation graph it was derived from."""
+
+    def __init__(self, installation: InstallationGraph, initial: State):
+        self.installation = installation
+        self.initial = initial.copy()
+        self.dag = Dag()
+        self._nodes: dict[Hashable, WriteNode] = {}
+        self._fresh = itertools.count()
+
+        state_graph = installation.state_graph(initial)
+        for operation in installation.operations:
+            node = WriteNode(
+                node_id=operation.name,
+                ops=frozenset({operation}),
+                writes=state_graph.writes(operation.name),
+            )
+            self._nodes[operation.name] = node
+            self.dag.add_node(operation.name)
+        for source, target, labels in state_graph.dag.edges():
+            self.dag.add_edge(source, target, labels=labels, check_acyclic=False)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: Hashable) -> WriteNode:
+        """The node with identifier ``node_id`` (KeyError if absent)."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> list[WriteNode]:
+        """All nodes, in graph insertion order."""
+        return [self._nodes[node_id] for node_id in self.dag.nodes()]
+
+    def node_ids(self) -> list[Hashable]:
+        """All node identifiers."""
+        return self.dag.nodes()
+
+    def node_of(self, operation: Operation) -> WriteNode:
+        """The node whose operation set contains ``operation``."""
+        for node in self._nodes.values():
+            if operation in node.ops:
+                return node
+        raise KeyError(f"operation {operation.name!r} labels no write-graph node")
+
+    def installed_nodes(self) -> list[WriteNode]:
+        """Nodes whose installed bit is set (they form a prefix)."""
+        return [node for node in self.nodes() if node.installed]
+
+    def uninstalled_nodes(self) -> list[WriteNode]:
+        """Nodes not yet installed."""
+        return [node for node in self.nodes() if not node.installed]
+
+    def installed_operations(self) -> set[Operation]:
+        """Every operation labeling an installed node."""
+        result: set[Operation] = set()
+        for node in self.installed_nodes():
+            result |= node.ops
+        return result
+
+    def minimal_uninstalled_nodes(self) -> list[WriteNode]:
+        """Uninstalled nodes whose predecessors are all installed.
+
+        These are the nodes a cache manager may flush next; flushing any
+        of them (in any order) respects write-graph order.
+        """
+        result = []
+        for node in self.uninstalled_nodes():
+            preds = self.dag.direct_predecessors(node.node_id)
+            if all(self._nodes[p].installed for p in preds):
+                result.append(node)
+        return result
+
+    # ------------------------------------------------------------------
+    # The four §5 operations
+    # ------------------------------------------------------------------
+
+    def install(self, node_id: Hashable) -> WriteNode:
+        """*Install a node*: requires every predecessor already installed."""
+        node = self._nodes[node_id]
+        for pred in self.dag.direct_predecessors(node_id):
+            if not self._nodes[pred].installed:
+                raise WriteGraphError(
+                    f"cannot install {node_id!r}: predecessor {pred!r} is uninstalled"
+                )
+        node.installed = True
+        return node
+
+    def add_edge(self, source_id: Hashable, target_id: Hashable) -> None:
+        """*Add an edge*: target must be uninstalled; graph must stay acyclic."""
+        if target_id not in self._nodes or source_id not in self._nodes:
+            raise WriteGraphError("add_edge endpoints must be existing nodes")
+        if self._nodes[target_id].installed:
+            raise WriteGraphError(
+                f"cannot add edge into installed node {target_id!r}"
+            )
+        try:
+            self.dag.add_edge(source_id, target_id, labels={"added"})
+        except CycleError as exc:
+            raise WriteGraphError(str(exc)) from exc
+
+    def collapse(
+        self, node_ids: Iterable[Hashable], new_id: Hashable | None = None
+    ) -> WriteNode:
+        """*Collapse nodes*: merge ``node_ids`` into one node.
+
+        Writes are last-writer-wins among the collapsed set (the §5 rule:
+        keep the pair from the node ordered after every other collapsed
+        writer of that variable).  The result must be acyclic, and the
+        installed bits must still form a prefix — collapsing an installed
+        node with an uninstalled *successor-closed* group is how systems
+        install; collapsing that would strand an installed node behind an
+        uninstalled one is rejected.
+        """
+        members = [self._nodes[node_id] for node_id in dict.fromkeys(node_ids)]
+        if len(members) < 2:
+            raise WriteGraphError("collapse requires at least two nodes")
+        member_ids = {node.node_id for node in members}
+
+        merged_writes: dict[str, tuple[Hashable, Value]] = {}
+        for node in members:
+            for variable, value in node.writes.items():
+                current = merged_writes.get(variable)
+                if current is None:
+                    merged_writes[variable] = (node.node_id, value)
+                    continue
+                if self.dag.has_path(current[0], node.node_id):
+                    merged_writes[variable] = (node.node_id, value)
+                elif not self.dag.has_path(node.node_id, current[0]):
+                    raise WriteGraphError(
+                        f"collapsed nodes write {variable!r} but are unordered"
+                    )
+
+        merged_ops = frozenset().union(*(node.ops for node in members))
+        installed = any(node.installed for node in members)
+        if new_id is None:
+            new_id = f"collapsed-{next(self._fresh)}"
+        if new_id in self._nodes:
+            raise WriteGraphError(f"node id {new_id!r} already exists")
+
+        incoming = set()
+        outgoing = set()
+        for node in members:
+            incoming |= self.dag.direct_predecessors(node.node_id) - member_ids
+            outgoing |= self.dag.direct_successors(node.node_id) - member_ids
+
+        # Acyclicity: an external node both reachable from the group and
+        # reaching into it would close a cycle through the merged node.
+        for external in incoming:
+            for node in members:
+                if self.dag.has_path(node.node_id, external):
+                    raise WriteGraphError(
+                        f"collapsing {sorted(map(str, member_ids))} would create a cycle "
+                        f"through {external!r}"
+                    )
+
+        # Installed-prefix preservation, checked BEFORE mutating so a
+        # rejected collapse leaves the graph untouched.  Only the case
+        # where the merged node comes out installed can break the
+        # property: an uninstalled external predecessor of any member
+        # would then sit before installed work.
+        if installed:
+            for external_id, external in self._nodes.items():
+                if external_id in member_ids or external.installed:
+                    continue
+                if any(
+                    self.dag.has_path(external_id, node.node_id)
+                    for node in members
+                ):
+                    raise WriteGraphError(
+                        "collapse would install work ahead of uninstalled "
+                        f"predecessor {external_id!r}; install or include it first"
+                    )
+
+        for node in members:
+            self.dag.remove_node(node.node_id)
+            del self._nodes[node.node_id]
+        merged = WriteNode(
+            node_id=new_id,
+            ops=merged_ops,
+            writes={variable: value for variable, (_, value) in merged_writes.items()},
+            installed=installed,
+        )
+        self._nodes[new_id] = merged
+        self.dag.add_node(new_id)
+        for source in incoming:
+            self.dag.add_edge(source, new_id, check_acyclic=False)
+        for target in outgoing:
+            self.dag.add_edge(new_id, target, check_acyclic=False)
+
+        assert self._installed_bits_form_prefix(), (
+            "internal error: pre-validated collapse broke the installed prefix"
+        )
+        return merged
+
+    def remove_write(self, node_id: Hashable, variable: str) -> None:
+        """*Remove a write*: drop ``variable`` from ``writes(node)``.
+
+        Side condition (§5): every node ``m`` reading ``variable`` is
+        either installed, or ordered before ``node`` while some node
+        following ``node`` blind-writes ``variable`` — i.e. no uninstalled
+        reader can ever need the removed value.
+        """
+        node = self._nodes[node_id]
+        if variable not in node.writes:
+            raise WriteGraphError(f"node {node_id!r} does not write {variable!r}")
+        if node.installed:
+            # Removing a write models choosing not to write the variable
+            # when the node installs; an installed node's values are
+            # already in the stable state and cannot be un-written.
+            raise WriteGraphError(
+                f"cannot remove a write from installed node {node_id!r}"
+            )
+        # (b) The removed value must never be needed as the final value:
+        # some node ordered after this one must overwrite the variable,
+        # either blindly (its replay regenerates the final value without
+        # reading) or while already installed (the stable state already
+        # holds the later value).
+        overwriter = any(
+            other.node_id != node_id
+            and self.dag.has_path(node_id, other.node_id)
+            and (
+                other.installed
+                or any(op.writes_blindly(variable) for op in other.ops)
+            )
+            for other in self._nodes.values()
+        )
+        if not overwriter:
+            raise WriteGraphError(
+                f"cannot remove write of {variable!r} from {node_id!r}: "
+                f"no following node overwrites it, so the value is final"
+            )
+        # (a) No uninstalled reader may need the removed value.  The node's
+        # own read is exempt: once the node installs it is never replayed,
+        # and until then the stable value is untouched by this removal.
+        for other in self._nodes.values():
+            if other.node_id == node_id or not other.reads(variable):
+                continue
+            if other.installed:
+                continue
+            if self.dag.has_path(other.node_id, node_id):
+                continue  # reads an earlier version; ordered before us
+            raise WriteGraphError(
+                f"cannot remove write of {variable!r} from {node_id!r}: "
+                f"uninstalled node {other.node_id!r} reads it"
+            )
+        del node.writes[variable]
+
+    # ------------------------------------------------------------------
+    # States and audits
+    # ------------------------------------------------------------------
+
+    def _installed_bits_form_prefix(self) -> bool:
+        installed_ids = {node.node_id for node in self.installed_nodes()}
+        return self.dag.is_prefix(installed_ids)
+
+    def determined_state(self, within: Iterable[Hashable] | None = None) -> State:
+        """The state determined by the node set ``within`` (default: the
+        installed prefix).  ``within`` must be a prefix of the write graph."""
+        if within is None:
+            members = {node.node_id for node in self.installed_nodes()}
+        else:
+            members = set(within)
+            if not self.dag.is_prefix(members):
+                raise WriteGraphError("determined_state requires a write-graph prefix")
+        state = self.initial.copy()
+        assignments: dict[str, tuple[Hashable, Value]] = {}
+        for node_id in members:
+            for variable, value in self._nodes[node_id].writes.items():
+                current = assignments.get(variable)
+                if current is None or self.dag.has_path(current[0], node_id):
+                    assignments[variable] = (node_id, value)
+        for variable, (_, value) in assignments.items():
+            state.set(variable, value)
+        return state
+
+    def stable_state(self) -> State:
+        """The state determined by the installed prefix — the simulated disk."""
+        return self.determined_state()
+
+    def audit(self) -> bool:
+        """Corollary 5 check: the installed prefix's operations form an
+        installation-graph prefix that explains the stable state."""
+        installed_ops = self.installed_operations()
+        if not self.installation.is_prefix(installed_ops):
+            return False
+        return explains(
+            self.installation, installed_ops, self.stable_state(), self.initial
+        )
+
+    def unexposed_now(self) -> set[str]:
+        """Variables currently unexposed by the installed operations."""
+        conflict = self.installation.conflict
+        installed_ops = self.installed_operations()
+        variables: set[str] = set()
+        for operation in conflict.operations:
+            variables |= operation.variables()
+        return variables - exposed_variables(conflict, installed_ops, variables)
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteGraph(nodes={len(self.dag)}, installed="
+            f"{len(self.installed_nodes())}/{len(self.dag)})"
+        )

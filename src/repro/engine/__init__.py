@@ -1,0 +1,10 @@
+"""A recoverable key-value database assembled from the substrates.
+
+:class:`~repro.engine.kv.KVDatabase` wraps any §6 recovery method with an
+operation stream runner, commit/checkpoint cadence control, and a
+durability oracle — the component the crash simulator drives.
+"""
+
+from repro.engine.kv import KVDatabase, VerificationError
+
+__all__ = ["KVDatabase", "VerificationError"]

@@ -1,0 +1,163 @@
+"""The recoverable key-value database.
+
+``KVDatabase`` composes a recovery method with cadence policy:
+
+- ``commit_every``: force the log every N operations (N=1 is synchronous
+  commit; larger N models group commit and widens the window of
+  operations a crash may lose);
+- ``checkpoint_every``: take a method checkpoint every N operations
+  (None = never), trading normal-operation work against recovery work —
+  the knob behind the checkpoint-frequency benchmark.
+
+The durability contract is checked by :meth:`verify_against`: after a
+crash and recovery, the visible state must equal the oracle applied to
+exactly the first ``durable_count()`` operations of the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.methods import METHODS, Machine, RecoveryMethodKV
+from repro.workloads.kv import KVOp, apply_to_oracle
+
+
+class VerificationError(AssertionError):
+    """The recovered state does not match the durable-prefix oracle."""
+
+
+class KVDatabase:
+    """A crash-recoverable KV store with configurable method and cadence."""
+
+    def __init__(
+        self,
+        method: str = "physiological",
+        cache_capacity: int = 16,
+        cache_policy: str = "lru",
+        n_pages: int = 8,
+        commit_every: int = 1,
+        checkpoint_every: int | None = None,
+        method_options: dict | None = None,
+    ):
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; choose from {sorted(METHODS)}"
+            )
+        machine = Machine(cache_capacity=cache_capacity, cache_policy=cache_policy)
+        self.method: RecoveryMethodKV = METHODS[method](
+            machine, n_pages=n_pages, **(method_options or {})
+        )
+        self.method_name = method
+        self.commit_every = max(1, commit_every)
+        self.checkpoint_every = checkpoint_every
+        self._since_commit = 0
+        self._since_checkpoint = 0
+        self.applied: list[KVOp] = []
+
+    # ------------------------------------------------------------------
+    # Normal operation
+    # ------------------------------------------------------------------
+
+    def execute(self, command: KVOp) -> Any:
+        """Run one command, honoring the commit/checkpoint cadence."""
+        kind = command[0]
+        result = self.method.apply(command)
+        if kind in ("put", "add", "copyadd", "delete"):
+            self.applied.append(command)
+            self._since_commit += 1
+            self._since_checkpoint += 1
+            if self._since_commit >= self.commit_every:
+                self.commit()
+            if (
+                self.checkpoint_every is not None
+                and self._since_checkpoint >= self.checkpoint_every
+            ):
+                self.checkpoint()
+        return result
+
+    def run(self, stream: Sequence[KVOp]) -> None:
+        """Execute every command of ``stream`` in order."""
+        for command in stream:
+            self.execute(command)
+
+    def commit(self) -> None:
+        """Force the log; resets the group-commit counter."""
+        self.method.commit()
+        self._since_commit = 0
+
+    def checkpoint(self) -> None:
+        """Take a method checkpoint; resets the cadence counter."""
+        self.method.checkpoint()
+        self._since_checkpoint = 0
+
+    def get(self, key: str) -> Any:
+        """Read ``key`` through the method's cache."""
+        return self.method.get(key)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery / verification
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the cache and the unforced log tail."""
+        self.method.crash()
+
+    def recover(self) -> None:
+        """Run the method's recovery procedure."""
+        self.method.recover()
+
+    def crash_and_recover(self) -> None:
+        """Crash, then recover — one full fault cycle."""
+        self.crash()
+        self.recover()
+
+    def durable_count(self) -> int:
+        """Operations that would survive a crash right now."""
+        return self.method.durable_count()
+
+    def verify_against(self, mutation_stream: Sequence[KVOp] | None = None) -> int:
+        """Check the durability contract; returns the durable count.
+
+        ``mutation_stream`` defaults to the mutations this database has
+        executed (gets excluded).  The recovered state must equal the
+        oracle applied to the durable prefix.
+        """
+        mutations = (
+            [c for c in mutation_stream if c[0] in ("put", "add", "copyadd", "delete")]
+            if mutation_stream is not None
+            else self.applied
+        )
+        durable = self.durable_count()
+        if durable > len(mutations):
+            raise VerificationError(
+                f"durable count {durable} exceeds mutations issued {len(mutations)}"
+            )
+        expected = apply_to_oracle(mutations[:durable])
+        actual = self.method.dump()
+        if actual != expected:
+            missing = {k: v for k, v in expected.items() if actual.get(k) != v}
+            extra = {k: v for k, v in actual.items() if expected.get(k) != v}
+            raise VerificationError(
+                f"recovered state diverges from the durable prefix of "
+                f"{durable} operations; missing/wrong={missing!r} extra={extra!r}"
+            )
+        return durable
+
+    # ------------------------------------------------------------------
+    # Stats for benchmarks
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict[str, Any]:
+        """Method stats plus log/disk/cache counters, as a dict."""
+        stats = self.method.stats.as_dict()
+        machine = self.method.machine
+        stats.update(
+            method=self.method_name,
+            log_bytes=machine.log.total_bytes(),
+            log_records=len(machine.log),
+            page_writes=machine.disk.page_writes,
+            disk_bytes=machine.disk.bytes_written,
+            cache_hits=machine.pool.hits,
+            cache_misses=machine.pool.misses,
+        )
+        return stats

@@ -1,0 +1,40 @@
+"""Directed-acyclic-graph kernel used by every graph in the theory.
+
+The paper works with four kinds of graphs — conflict graphs, installation
+graphs, state graphs, and write graphs — and all of them share the same
+substrate: a finite DAG over distinct node identifiers with a handful of
+order-theoretic notions (predecessors, prefixes, minimal nodes, linear
+extensions).  This package provides that substrate once, so the theory
+modules in :mod:`repro.core` only add the labels each graph kind needs.
+
+Public surface:
+
+- :class:`~repro.graphs.dag.Dag` — the graph type.
+- :func:`~repro.graphs.algorithms.topological_sort`
+- :func:`~repro.graphs.algorithms.all_topological_sorts`
+- :func:`~repro.graphs.algorithms.all_prefixes`
+- :func:`~repro.graphs.algorithms.count_prefixes`
+- :func:`~repro.graphs.algorithms.is_linear_extension`
+- :func:`~repro.graphs.algorithms.transitive_reduction`
+"""
+
+from repro.graphs.dag import CycleError, Dag
+from repro.graphs.algorithms import (
+    all_prefixes,
+    all_topological_sorts,
+    count_prefixes,
+    is_linear_extension,
+    topological_sort,
+    transitive_reduction,
+)
+
+__all__ = [
+    "CycleError",
+    "Dag",
+    "all_prefixes",
+    "all_topological_sorts",
+    "count_prefixes",
+    "is_linear_extension",
+    "topological_sort",
+    "transitive_reduction",
+]

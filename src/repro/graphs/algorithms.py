@@ -1,0 +1,166 @@
+"""Order-theoretic algorithms on :class:`~repro.graphs.dag.Dag`.
+
+These are the combinatorial tools the theory modules lean on:
+
+- *linear extensions* (topological orders) model "any total ordering of the
+  operations labeling a conflict graph" (Lemma 1) and "replay in conflict
+  graph order" (Theorem 3);
+- *prefix enumeration / counting* measures the flexibility a graph grants
+  the state-update process (experiment E7 compares conflict-graph and
+  installation-graph prefix counts).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.graphs.dag import CycleError, Dag
+
+
+def topological_sort(dag: Dag, tie_break: bool = True) -> list[Hashable]:
+    """One linear extension of ``dag`` (Kahn's algorithm).
+
+    With ``tie_break=True`` ready nodes are taken in insertion order, making
+    the result deterministic; insertion order is execution order for graphs
+    generated from operation sequences, so the returned order is then the
+    original sequence whenever that sequence is a linear extension.
+    """
+    in_degree = {node: dag.in_degree(node) for node in dag}
+    ready = [node for node in dag if in_degree[node] == 0]
+    order: list[Hashable] = []
+    while ready:
+        node = ready.pop(0) if tie_break else ready.pop()
+        order.append(node)
+        for target in dag.direct_successors(node):
+            in_degree[target] -= 1
+            if in_degree[target] == 0:
+                ready.append(target)
+    if len(order) != len(dag):
+        raise CycleError("graph has a cycle; no topological order exists")
+    return order
+
+
+def is_linear_extension(dag: Dag, sequence: Sequence[Hashable]) -> bool:
+    """True iff ``sequence`` is a total order of all nodes respecting the DAG."""
+    if len(sequence) != len(dag) or set(sequence) != set(dag.nodes()):
+        return False
+    position = {node: index for index, node in enumerate(sequence)}
+    return all(
+        position[source] < position[target]
+        for source, target, _ in dag.edges()
+    )
+
+
+def all_topological_sorts(dag: Dag, limit: int | None = None) -> Iterator[list[Hashable]]:
+    """Yield every linear extension of ``dag`` (optionally at most ``limit``).
+
+    Classic backtracking enumeration; exponential in general, so callers
+    pass ``limit`` or keep graphs small (tests and the worked figures do).
+    """
+    in_degree = {node: dag.in_degree(node) for node in dag}
+    order: list[Hashable] = []
+    emitted = 0
+
+    def backtrack() -> Iterator[list[Hashable]]:
+        nonlocal emitted
+        if limit is not None and emitted >= limit:
+            return
+        ready = [node for node in dag if in_degree[node] == 0 and node not in taken]
+        if not ready:
+            if len(order) == len(dag):
+                emitted += 1
+                yield list(order)
+            return
+        for node in ready:
+            taken.add(node)
+            order.append(node)
+            for target in dag.direct_successors(node):
+                in_degree[target] -= 1
+            yield from backtrack()
+            for target in dag.direct_successors(node):
+                in_degree[target] += 1
+            order.pop()
+            taken.discard(node)
+            if limit is not None and emitted >= limit:
+                return
+
+    taken: set[Hashable] = set()
+    yield from backtrack()
+
+
+def all_prefixes(dag: Dag, limit: int | None = None) -> Iterator[frozenset]:
+    """Yield every prefix (down-set) of ``dag`` as a frozenset of nodes.
+
+    Enumerates antichain-by-antichain: a prefix is extended by any minimal
+    node of its complement.  The empty prefix is always yielded first.
+    Exponential in general (the number of down-sets of an antichain of n
+    nodes is 2^n), so callers pass ``limit`` for large graphs.
+    """
+    seen: set[frozenset] = set()
+    frontier = [frozenset()]
+    emitted = 0
+    while frontier:
+        prefix = frontier.pop()
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        yield prefix
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+        remaining = set(dag.nodes()) - prefix
+        for node in dag.minimal_nodes(remaining):
+            extended = prefix | {node}
+            if extended not in seen:
+                frontier.append(extended)
+
+
+def count_prefixes(dag: Dag) -> int:
+    """The exact number of prefixes (down-sets) of ``dag``.
+
+    Counted by dynamic programming over the node set in topological order
+    with memoization on the "frontier" (the antichain of maximal elements of
+    the prefix).  For the graph sizes used in experiments (<= ~24 nodes)
+    plain enumeration is fine, so this simply counts :func:`all_prefixes`.
+    """
+    return sum(1 for _ in all_prefixes(dag))
+
+
+def transitive_reduction(dag: Dag) -> Dag:
+    """The minimal edge set with the same reachability relation.
+
+    Labels on retained edges are preserved.  Used when rendering figures so
+    the drawn graphs match the paper's (which never draw implied edges).
+    """
+    reduced = Dag()
+    for node in dag:
+        reduced.add_node(node)
+    for source, target, labels in dag.edges():
+        # The edge is redundant iff some other successor of `source`
+        # reaches `target`.
+        redundant = any(
+            mid != target and dag.has_path(mid, target)
+            for mid in dag.direct_successors(source)
+        )
+        if not redundant:
+            reduced.add_edge(source, target, labels=labels, check_acyclic=False)
+    return reduced
+
+
+def restrict_order(dag: Dag, nodes: Iterable[Hashable]) -> Dag:
+    """The partial order induced on ``nodes`` by reachability in ``dag``.
+
+    Unlike :meth:`Dag.induced_subgraph`, this keeps an edge a -> b whenever
+    there is a *path* from a to b in ``dag``, even if intermediate nodes are
+    outside ``nodes``.  This is the right notion for "conflict graph order
+    restricted to the uninstalled operations".
+    """
+    members = list(dict.fromkeys(nodes))
+    order = Dag()
+    for node in members:
+        order.add_node(node)
+    for a in members:
+        for b in members:
+            if a is not b and dag.has_path(a, b):
+                order.add_edge(a, b, check_acyclic=False)
+    return order

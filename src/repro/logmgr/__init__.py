@@ -1,0 +1,32 @@
+"""The log manager: LSNs, typed redo records, volatile tail vs stable prefix.
+
+Records (:mod:`repro.logmgr.records`) come in the four §6 flavors —
+physical, logical, physiological, and generalized multi-page — plus
+checkpoint records.  The manager (:mod:`repro.logmgr.manager`) assigns
+monotonically increasing LSNs, tracks which prefix of the log has been
+forced to stable storage, enforces the write-ahead rule on request, and
+drops the volatile tail at a crash.
+"""
+
+from repro.logmgr.records import (
+    CheckpointRecord,
+    LogEntry,
+    LogicalRedo,
+    MultiPageRedo,
+    PageAction,
+    PhysicalRedo,
+    PhysiologicalRedo,
+)
+from repro.logmgr.manager import LogManager, WalViolation
+
+__all__ = [
+    "CheckpointRecord",
+    "LogEntry",
+    "LogManager",
+    "LogicalRedo",
+    "MultiPageRedo",
+    "PageAction",
+    "PhysicalRedo",
+    "PhysiologicalRedo",
+    "WalViolation",
+]

@@ -1,0 +1,121 @@
+"""The log manager: append, force, crash.
+
+The manager is the only component that assigns LSNs, so "LSNs increase
+monotonically with each new operation" (§6.3) holds by construction.  The
+log has a *stable prefix* (forced to disk) and a *volatile tail*; a crash
+truncates the tail.  :meth:`LogManager.wal_check` implements the
+write-ahead rule a cache manager must consult before flushing a page: the
+record that produced a page's latest update must be stable before the
+page may reach disk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.logmgr.records import LogEntry, Payload
+
+
+class WalViolation(RuntimeError):
+    """A page flush was attempted before its log records were stable."""
+
+
+class LogManager:
+    """An append-only log with an explicit stable/volatile boundary."""
+
+    def __init__(self):
+        self._entries: list[LogEntry] = []
+        self._stable_count = 0
+        self.forced_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Append / force
+    # ------------------------------------------------------------------
+
+    def append(self, payload: Payload) -> LogEntry:
+        """Append ``payload`` with the next LSN; returns the entry."""
+        entry = LogEntry(lsn=len(self._entries), payload=payload)
+        self._entries.append(entry)
+        return entry
+
+    def flush(self, up_to_lsn: int | None = None) -> None:
+        """Force the log to disk through ``up_to_lsn`` (default: all)."""
+        if up_to_lsn is None:
+            target = len(self._entries)
+        else:
+            target = min(up_to_lsn + 1, len(self._entries))
+        if target > self._stable_count:
+            self._stable_count = target
+            self.forced_flushes += 1
+
+    @property
+    def next_lsn(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stable_lsn(self) -> int:
+        """The highest LSN guaranteed on disk (-1 if none)."""
+        return self._stable_count - 1
+
+    def is_stable(self, lsn: int) -> bool:
+        """Has the record at ``lsn`` been forced to disk?"""
+        return lsn < self._stable_count
+
+    def wal_check(self, page_lsn: int) -> None:
+        """Raise :class:`WalViolation` unless every record up to
+        ``page_lsn`` is stable — call before flushing a page tagged with
+        that LSN."""
+        if page_lsn >= self._stable_count:
+            raise WalViolation(
+                f"page tagged with LSN {page_lsn} but log is stable only "
+                f"through {self.stable_lsn}"
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def entries(self, volatile: bool = True) -> list[LogEntry]:
+        """All entries; with ``volatile=False`` only the stable prefix."""
+        if volatile:
+            return list(self._entries)
+        return list(self._entries[: self._stable_count])
+
+    def stable_entries(self) -> list[LogEntry]:
+        """The stable prefix (what recovery will see)."""
+        return self.entries(volatile=False)
+
+    def entries_from(self, lsn: int, volatile: bool = True) -> Iterator[LogEntry]:
+        """Entries with LSN >= ``lsn``, in order."""
+        for entry in self.entries(volatile):
+            if entry.lsn >= lsn:
+                yield entry
+
+    def entry(self, lsn: int) -> LogEntry:
+        """The entry with exactly this LSN."""
+        return self._entries[lsn]
+
+    def stable_bytes(self) -> int:
+        """Bytes in the stable prefix."""
+        return sum(entry.size_bytes() for entry in self.stable_entries())
+
+    def total_bytes(self) -> int:
+        """Bytes in the whole log, volatile tail included."""
+        return sum(entry.size_bytes() for entry in self._entries)
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop the volatile tail; the stable prefix survives."""
+        self._entries = self._entries[: self._stable_count]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"LogManager(entries={len(self._entries)}, "
+            f"stable={self._stable_count})"
+        )

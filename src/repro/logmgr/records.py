@@ -1,0 +1,196 @@
+"""Typed log records for the four §6 recovery disciplines.
+
+Every payload is plain data: replay is performed by interpreting the
+record against pages, never by calling captured closures, because a log
+that survives a crash can only contain data.  ``size_bytes`` estimates
+are deterministic and value-proportional so the log-volume experiments
+(notably E6, the B-tree split comparison) measure something meaningful.
+
+The action vocabulary for page-logical records is deliberately small —
+``put``, ``delete``, ``add``, ``copycell``, ``copyfrom``,
+``split-move``, ``truncate``, ``set-meta`` — matching exactly what the
+KV engines and the B-tree need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.page import Page
+
+
+@dataclass(frozen=True)
+class PageAction:
+    """One logical action against one page.
+
+    ``kind`` selects the interpretation:
+
+    - ``"put"``: args = (cell, value) — upsert a cell.
+    - ``"delete"``: args = (cell,) — remove a cell.
+    - ``"add"``: args = (cell, delta) — arithmetic update reading the cell.
+    - ``"split-move"``: args = (source_page_id, split_key) — fill this page
+      with every cell of the *source* page whose key is >= split_key
+      (reads another page: only legal in multi-page records).
+    - ``"truncate"``: args = (split_key,) — drop every cell >= split_key.
+    - ``"set-meta"``: args = (cell, value) — metadata cell upsert (same as
+      put; named separately so traces read well).
+    - ``"copycell"``: args = (dst_cell, src_cell, delta) — dst <- (src or
+      0) + delta, both cells on this page.
+    - ``"copyfrom"``: args = (src_page_id, src_cell, dst_cell, delta) —
+      like copycell but the source cell lives on another page (reads
+      another page: only legal in multi-page records).
+    """
+
+    kind: str
+    args: tuple = ()
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log-volume accounting."""
+        return len(self.kind) + sum(len(repr(a)) for a in self.args) + 4
+
+    def apply_to(self, page: Page, lsn: int | None = None, reader=None) -> None:
+        """Interpret this action against ``page``.
+
+        ``reader`` supplies other pages for ``split-move`` (a callable
+        page_id -> Page); single-page disciplines never pass one.
+        """
+        if self.kind in ("put", "set-meta"):
+            cell, value = self.args
+            page.put(cell, value, lsn)
+        elif self.kind == "delete":
+            (cell,) = self.args
+            page.delete(cell, lsn)
+        elif self.kind == "add":
+            cell, delta = self.args
+            page.put(cell, page.get(cell, 0) + delta, lsn)
+        elif self.kind == "truncate":
+            (split_key,) = self.args
+            for cell in [c for c in page.cells if c >= split_key]:
+                page.delete(cell)
+            if lsn is not None:
+                page.stamp(lsn)
+        elif self.kind == "copycell":
+            dst_cell, src_cell, delta = self.args
+            page.put(dst_cell, (page.get(src_cell) or 0) + delta, lsn)
+        elif self.kind == "copyfrom":
+            src_page_id, src_cell, dst_cell, delta = self.args
+            if reader is None:
+                raise ValueError("copyfrom needs a page reader (multi-page record)")
+            source = reader(src_page_id)
+            page.put(dst_cell, (source.get(src_cell) or 0) + delta, lsn)
+        elif self.kind == "split-move":
+            source_page_id, split_key = self.args
+            if reader is None:
+                raise ValueError("split-move needs a page reader (multi-page record)")
+            source = reader(source_page_id)
+            page.cells.clear()
+            for cell, value in source:
+                if cell >= split_key:
+                    page.cells[cell] = value
+            if lsn is not None:
+                page.stamp(lsn)
+        else:
+            raise ValueError(f"unknown page action kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.args}"
+
+
+@dataclass(frozen=True)
+class PhysicalRedo:
+    """§6.2: the exact cells (byte ranges) written, by location.
+
+    Physical operations only write — replay blindly installs the cells.
+    ``whole_page`` distinguishes full-page from partial-page logging [1].
+    """
+
+    page_id: str
+    cells: dict = field(hash=False)
+    whole_page: bool = False
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log-volume accounting."""
+        return (
+            len(self.page_id)
+            + sum(len(repr(k)) + len(repr(v)) for k, v in self.cells.items())
+            + 8
+        )
+
+
+@dataclass(frozen=True)
+class PhysiologicalRedo:
+    """§6.3: a logical action against one physically identified page."""
+
+    page_id: str
+    action: PageAction
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log-volume accounting."""
+        return len(self.page_id) + self.action.size_bytes() + 8
+
+
+@dataclass(frozen=True)
+class LogicalRedo:
+    """§6.1: a database-level operation (may read and write any page).
+
+    ``description`` is engine-interpreted data, e.g. ``("kv-put", key,
+    value)``; the logical engine replays it through its normal code path.
+    """
+
+    description: tuple
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log-volume accounting."""
+        return sum(len(repr(part)) for part in self.description) + 8
+
+
+@dataclass(frozen=True)
+class MultiPageRedo:
+    """§6.4: a generalized operation reading and writing different pages.
+
+    ``writes`` maps written page ids to the actions applied to them;
+    ``read_page_ids`` lists the pages those actions may read.  Every
+    written page is LSN-stamped with the record's LSN at replay, which is
+    what makes the per-page redo test sound for multi-page operations.
+    """
+
+    read_page_ids: tuple[str, ...]
+    writes: dict = field(hash=False)  # page_id -> tuple[PageAction, ...]
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log-volume accounting."""
+        total = sum(len(p) for p in self.read_page_ids) + 8
+        for page_id, actions in self.writes.items():
+            total += len(page_id) + sum(action.size_bytes() for action in actions)
+        return total
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """A checkpoint: data is method-specific (e.g. the swung directory for
+    logical recovery, the dirty-page table for physiological)."""
+
+    data: tuple = ()
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log-volume accounting."""
+        return sum(len(repr(part)) for part in self.data) + 8
+
+
+Payload = Any  # one of the dataclasses above
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A payload with its manager-assigned LSN."""
+
+    lsn: int
+    payload: Payload
+
+    def size_bytes(self) -> int:
+        """Payload size plus the LSN header."""
+        return self.payload.size_bytes() + 8
+
+    def __str__(self) -> str:
+        return f"[{self.lsn}] {self.payload}"

@@ -1,0 +1,44 @@
+"""The real recovery methods of §6, as runnable key-value engines.
+
+Each method drives the same substrates — :class:`~repro.storage.Disk`,
+:class:`~repro.logmgr.LogManager`, :class:`~repro.cache.BufferPool` — and
+offers the same interface (:class:`~repro.methods.base.RecoveryMethodKV`):
+``put``/``get``/``delete``, ``checkpoint``, ``crash``, ``recover``.
+
+- :class:`~repro.methods.logical.LogicalKV` — §6.1, System R style:
+  stable state untouched between checkpoints, staged pages installed by
+  an atomic pointer swing, full replay of the log suffix.
+- :class:`~repro.methods.physical.PhysicalKV` — §6.2: blind cell writes
+  logged by exact location, full replay of the log suffix; checkpoint
+  flushes the cache so replays are harmless re-installs.
+- :class:`~repro.methods.physiological.PhysiologicalKV` — §6.3: one-page
+  logical records, page-LSN tags, and the LSN redo test; steal/no-force.
+- :class:`~repro.methods.generalized.GeneralizedKV` — §6.4: multi-page
+  records (cross-key ``copyadd``) with per-page LSN tags and careful
+  write ordering.  The method's other natural application, B-tree split
+  logging, lives in :mod:`repro.btree`.
+"""
+
+from repro.methods.base import Machine, MethodStats, RecoveryMethodKV
+from repro.methods.generalized import GeneralizedKV
+from repro.methods.logical import LogicalKV
+from repro.methods.physical import PhysicalKV
+from repro.methods.physiological import PhysiologicalKV
+
+METHODS = {
+    "logical": LogicalKV,
+    "physical": PhysicalKV,
+    "physiological": PhysiologicalKV,
+    "generalized": GeneralizedKV,
+}
+
+__all__ = [
+    "METHODS",
+    "GeneralizedKV",
+    "LogicalKV",
+    "Machine",
+    "MethodStats",
+    "PhysicalKV",
+    "PhysiologicalKV",
+    "RecoveryMethodKV",
+]

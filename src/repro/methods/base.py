@@ -1,0 +1,245 @@
+"""Common machinery for the §6 recovery-method engines.
+
+A :class:`Machine` bundles one node's disk, log, and cache, with the
+standard failure semantics: :meth:`Machine.crash` drops the cache and the
+volatile log tail and leaves the disk alone.
+
+:class:`RecoveryMethodKV` is the contract every method implements.  All
+methods store key-value pairs hashed across a fixed set of data pages, so
+their log volumes, IO counts, and recovery work are directly comparable —
+the E5 benchmarks rely on this.
+
+The durability contract shared by all methods: after ``crash()`` +
+``recover()``, the visible key-value state equals the result of applying
+exactly the operations whose log records were stable at the crash
+(``durable_count()`` of them, a prefix of the operation stream).
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cache import BufferPool
+from repro.logmgr import LogManager
+from repro.storage import Disk
+
+
+@dataclass
+class MethodStats:
+    """Counters the benchmarks report for each method."""
+
+    operations: int = 0
+    checkpoints: int = 0
+    records_scanned: int = 0
+    records_replayed: int = 0
+    records_skipped: int = 0
+    recoveries: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for benchmark reports)."""
+        return {
+            "operations": self.operations,
+            "checkpoints": self.checkpoints,
+            "records_scanned": self.records_scanned,
+            "records_replayed": self.records_replayed,
+            "records_skipped": self.records_skipped,
+            "recoveries": self.recoveries,
+        }
+
+
+class Machine:
+    """One simulated node: disk (stable), log and cache (volatile tail)."""
+
+    def __init__(
+        self,
+        cache_capacity: int = 16,
+        cache_policy: str = "lru",
+        enforce_wal: bool = True,
+    ):
+        self.disk = Disk()
+        self.log = LogManager()
+        self.enforce_wal = enforce_wal
+        self.pool = BufferPool(
+            self.disk,
+            self.log if enforce_wal else None,
+            capacity=cache_capacity,
+            policy=cache_policy,  # type: ignore[arg-type]
+        )
+        self.crashed = False
+
+    def crash(self) -> None:
+        """Lose everything volatile: cached pages and the log tail."""
+        self.pool.crash()
+        self.log.crash()
+        self.crashed = True
+
+    def reboot_pool(self) -> None:
+        """A fresh (empty) buffer pool for the recovered incarnation."""
+        self.pool = BufferPool(
+            self.disk,
+            self.log if self.enforce_wal else None,
+            capacity=self.pool.capacity,
+            policy=self.pool.policy,  # type: ignore[arg-type]
+        )
+        self.crashed = False
+
+
+def page_of(key: str, n_pages: int, prefix: str = "data") -> str:
+    """Deterministic key-to-page placement (crc32, not Python's salted hash)."""
+    return f"{prefix}{zlib.crc32(key.encode()) % n_pages:03d}"
+
+
+class RecoveryMethodKV(ABC):
+    """A recoverable key-value store driven by one recovery discipline."""
+
+    name = "abstract"
+
+    def __init__(self, machine: Machine | None = None, n_pages: int = 8):
+        self.machine = machine if machine is not None else Machine()
+        self.n_pages = n_pages
+        self.stats = MethodStats()
+
+    # -- the KV interface ------------------------------------------------
+
+    @abstractmethod
+    def put(self, key: str, value: Any) -> None:
+        """Durably-loggable upsert."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Durably-loggable removal."""
+
+    @abstractmethod
+    def add(self, key: str, delta: int) -> None:
+        """Durably-loggable read-modify-write: key <- (key or 0) + delta.
+
+        The interesting operation of the suite: it *reads*.  How each
+        method logs it is where the §6 disciplines genuinely diverge —
+        physical logging computes the result and logs it blindly, while
+        logical and physiological logging replay the read at recovery.
+        """
+
+    @abstractmethod
+    def get(self, key: str) -> Any:
+        """Read through the cache (None if absent)."""
+
+    def copyadd(self, dst: str, src: str, delta: int) -> None:
+        """Cross-key derivation: dst <- (src or 0) + delta.
+
+        Reads one key, writes another — the operation shape that creates
+        write-read edges between *different* variables.  Physical logging
+        supports it trivially (log the computed result blindly); logical
+        logging replays the read.  Physiological logging cannot express
+        it when the keys live on different pages — one-page records are
+        its defining restriction (§6.3), and lifting it is precisely what
+        §6.4's generalized operations are for.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support cross-key operations"
+        )
+
+    def apply(self, command: tuple) -> Any:
+        """Run one workload command (kind, key, value)."""
+        kind, key, value = command
+        if kind == "put":
+            return self.put(key, value)
+        if kind == "add":
+            return self.add(key, value)
+        if kind == "copyadd":
+            src, delta = value
+            return self.copyadd(key, src, delta)
+        if kind == "delete":
+            return self.delete(key)
+        if kind == "get":
+            return self.get(key)
+        raise ValueError(f"unknown command kind {kind!r}")
+
+    # -- durability control ----------------------------------------------
+
+    @abstractmethod
+    def checkpoint(self) -> None:
+        """Take a checkpoint (method-specific)."""
+
+    def commit(self) -> None:
+        """Force the log: everything issued so far becomes durable."""
+        self.machine.log.flush()
+
+    @abstractmethod
+    def durable_count(self) -> int:
+        """How many operations would survive a crash right now."""
+
+    # -- crash / recovery --------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the underlying machine (cache + log tail lost)."""
+        self.machine.crash()
+
+    @abstractmethod
+    def recover(self, full_scan: bool = False) -> None:
+        """Rebuild a consistent state from the disk and the stable log.
+
+        ``full_scan=True`` ignores checkpoint shortcuts and scans the log
+        from its head — required for media recovery, where the restored
+        disk is *older* than the last checkpoint and the analysis-derived
+        redo start point would skip work the backup has not seen.  Sound
+        for every method: blind physical replays are always harmless, and
+        LSN tests bypass whatever the backup does contain.
+        """
+
+    # -- media failure ---------------------------------------------------
+
+    def backup(self) -> dict:
+        """A fuzzy online backup: a snapshot of the stable state.
+
+        Any instant's disk image works — it is explained by whatever
+        prefix of the installation graph was installed when the snapshot
+        was cut, so Theorem 3 says replaying the surviving log recovers.
+        The log is assumed to live on separate media (the standard
+        archive assumption).
+        """
+        return self.machine.disk.snapshot()
+
+    def media_failure(self) -> None:
+        """The disk is destroyed; cache and volatile log tail go with it.
+        The stable log survives on its own device."""
+        from repro.storage import Disk
+
+        self.machine.crash()
+        self.machine.disk = Disk()
+        self.machine.reboot_pool()
+
+    def restore_from_backup(self, backup: dict) -> None:
+        """Media recovery: lay down the backup image, then redo the whole
+        surviving log against it."""
+        for page in backup.values():
+            self.machine.disk.write_page(page)
+        self.recover(full_scan=True)
+
+    # -- inspection --------------------------------------------------------
+
+    def page_of(self, key: str) -> str:
+        """The data page this method stores ``key`` on."""
+        return page_of(key, self.n_pages)
+
+    def dump(self) -> dict[str, Any]:
+        """The full visible key-value mapping (for oracle comparison)."""
+        result: dict[str, Any] = {}
+        for index in range(self.n_pages):
+            page_id = f"data{index:03d}"
+            try:
+                page = self.machine.pool.get_page(page_id)
+            except KeyError:
+                continue
+            for cell, value in page:
+                result[cell] = value
+        return result
+
+    def log_bytes(self) -> int:
+        """Total log bytes this method has appended."""
+        return self.machine.log.total_bytes()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(pages={self.n_pages}, ops={self.stats.operations})"

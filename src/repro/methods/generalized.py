@@ -1,0 +1,195 @@
+"""Generalized LSN-based recovery (§6.4) as a key-value engine.
+
+Physiological recovery's defining restriction is one page per operation
+(§6.3).  Section 6.4 lifts it: log operations may read and write
+*different* pages, every written page is tagged with the record's LSN,
+and the cache manager enforces the write orderings the installation
+graph implies.  Here that buys a genuinely logical cross-key operation —
+``copyadd(dst, src, delta)`` — whose log record carries only the key
+names and delta (the read happens again at replay), even when the two
+keys live on different pages.
+
+The careful write ordering: after ``copyadd``, the destination page must
+reach disk before the source page may carry *later* updates to disk —
+otherwise a crash could leave a stable source the replayed record would
+mis-read.  The engine registers exactly that flush constraint, and the
+pool resolves would-be cycles by eager flushing (the write graph's
+acyclicity side condition, operationalized).
+
+Everything single-page (put/add/delete) behaves exactly like
+:class:`~repro.methods.physiological.PhysiologicalKV`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.logmgr import (
+    CheckpointRecord,
+    MultiPageRedo,
+    PageAction,
+    PhysiologicalRedo,
+)
+from repro.methods.base import Machine, RecoveryMethodKV
+
+
+class GeneralizedKV(RecoveryMethodKV):
+    """Key-value store recovered by generalized LSN-based logging."""
+
+    name = "generalized"
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        n_pages: int = 8,
+        sharp_checkpoints: bool = False,
+    ):
+        super().__init__(machine, n_pages)
+        self._dirty_table: dict[str, int] = {}
+        self.sharp_checkpoints = sharp_checkpoints
+        self.machine.pool.on_flush = self._note_flush
+
+    def _note_flush(self, page_id: str) -> None:
+        self._dirty_table.pop(page_id, None)
+
+    # ------------------------------------------------------------------
+    # Single-page operations (as in physiological recovery)
+    # ------------------------------------------------------------------
+
+    def _log_and_apply(self, page_id: str, action: PageAction) -> None:
+        entry = self.machine.log.append(PhysiologicalRedo(page_id, action))
+        self._dirty_table.setdefault(page_id, entry.lsn)
+        self.machine.pool.update(
+            page_id, lambda p: action.apply_to(p, lsn=entry.lsn), create=True
+        )
+        self.stats.operations += 1
+
+    def put(self, key: str, value: Any) -> None:
+        self._log_and_apply(self.page_of(key), PageAction("put", (key, value)))
+
+    def delete(self, key: str) -> None:
+        self._log_and_apply(self.page_of(key), PageAction("delete", (key,)))
+
+    def add(self, key: str, delta: int) -> None:
+        self._log_and_apply(self.page_of(key), PageAction("add", (key, delta)))
+
+    def get(self, key: str) -> Any:
+        try:
+            return self.machine.pool.get_page(self.page_of(key)).get(key)
+        except KeyError:
+            return None
+
+    # ------------------------------------------------------------------
+    # The §6.4 operation: cross-page read-write
+    # ------------------------------------------------------------------
+
+    def copyadd(self, dst: str, src: str, delta: int) -> None:
+        dst_page = self.page_of(dst)
+        src_page = self.page_of(src)
+        pool = self.machine.pool
+        if dst_page == src_page:
+            # Same page: an ordinary physiological record suffices.
+            self._log_and_apply(
+                dst_page, PageAction("copycell", (dst, src, delta))
+            )
+            return
+        action = PageAction("copyfrom", (src_page, src, dst, delta))
+        entry = self.machine.log.append(
+            MultiPageRedo(read_page_ids=(src_page,), writes={dst_page: (action,)})
+        )
+        self._dirty_table.setdefault(dst_page, entry.lsn)
+        reader = lambda pid: pool.get_page(pid, create=True)
+        pool.update(
+            dst_page,
+            lambda p: action.apply_to(p, lsn=entry.lsn, reader=reader),
+            create=True,
+        )
+        # Careful write ordering: the destination page must be installed
+        # before the source page can carry later updates to disk.
+        pool.add_flush_constraint(dst_page, src_page)
+        self.stats.operations += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint / durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Log a dirty-page-table snapshot (fuzzy unless sharp)."""
+        if self.sharp_checkpoints:
+            self.machine.log.flush()
+            self.machine.pool.flush_all()
+        snapshot = tuple(sorted(self._dirty_table.items()))
+        self.machine.log.append(CheckpointRecord(("generalized", snapshot)))
+        self.machine.log.flush()
+        self.stats.checkpoints += 1
+
+    def durable_count(self) -> int:
+        return sum(
+            1
+            for entry in self.machine.log.stable_entries()
+            if isinstance(entry.payload, (PhysiologicalRedo, MultiPageRedo))
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, full_scan: bool = False) -> None:
+        """Analysis (reconstruct the dirty page table), then LSN-test redo.
+        ``full_scan`` starts the scan at the head (media recovery)."""
+        from repro.methods.physiological import analysis_pass
+
+        self.machine.reboot_pool()
+        self.machine.pool.on_flush = self._note_flush
+        self._dirty_table.clear()
+
+        stable = self.machine.log.entries(volatile=False)
+        _, redo_start = analysis_pass(stable)
+        if full_scan:
+            redo_start = 0
+
+        pool = self.machine.pool
+        reader = lambda pid: pool.get_page(pid, create=True)
+        for entry in stable:
+            self.stats.records_scanned += 1
+            if entry.lsn < redo_start:
+                self.stats.records_skipped += 1
+                continue
+            payload = entry.payload
+            if isinstance(payload, PhysiologicalRedo):
+                page = pool.get_page(payload.page_id, create=True)
+                if page.lsn >= entry.lsn:
+                    self.stats.records_skipped += 1
+                    continue
+                self._dirty_table.setdefault(payload.page_id, entry.lsn)
+                pool.update(
+                    payload.page_id,
+                    lambda p, a=payload.action, l=entry.lsn: a.apply_to(p, lsn=l),
+                )
+                self.stats.records_replayed += 1
+            elif isinstance(payload, MultiPageRedo):
+                replayed = False
+                for page_id, actions in payload.writes.items():
+                    page = pool.get_page(page_id, create=True)
+                    if page.lsn >= entry.lsn:
+                        continue
+                    self._dirty_table.setdefault(page_id, entry.lsn)
+
+                    def apply_actions(p, actions=actions, lsn=entry.lsn):
+                        for action in actions:
+                            action.apply_to(p, lsn=lsn, reader=reader)
+
+                    pool.update(page_id, apply_actions)
+                    replayed = True
+                    # Re-arm the careful write ordering for the recovered
+                    # incarnation.
+                    for read_id in payload.read_page_ids:
+                        if read_id != page_id:
+                            pool.add_flush_constraint(page_id, read_id)
+                if replayed:
+                    self.stats.records_replayed += 1
+                else:
+                    self.stats.records_skipped += 1
+            else:
+                self.stats.records_skipped += 1
+        self.stats.recoveries += 1

@@ -1,0 +1,185 @@
+"""Logical recovery (§6.1), System R style.
+
+A logical operation is conceptually a map from one whole database state
+to the next, so installing one requires atomically transforming the
+entire stable state.  System R achieved this with a staging area and a
+checkpoint record that "swings a pointer":
+
+- between checkpoints the stable state is *never touched*; updated pages
+  live in the cache;
+- a checkpoint quiesces, forces the log, writes the cached pages to the
+  staging area, and then performs one atomic root write that makes the
+  staging area the stable state (see :class:`repro.storage.ShadowStore`);
+- that single atomic action installs every operation logged since the
+  previous checkpoint *and* removes them from ``redo_set`` (recovery
+  starts after the checkpoint LSN recorded in the root), so the recovery
+  invariant is maintained — the §6.1 argument, executable.
+
+In write-graph terms the system is a two-node graph: the stable state
+node and one node accumulating everything since the last checkpoint; the
+pointer swing is the collapse of the two.
+
+After a crash, recovery replays *all* logical records after the root's
+checkpoint LSN through the normal update code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.logmgr import CheckpointRecord, LogicalRedo
+from repro.methods.base import Machine, RecoveryMethodKV
+from repro.storage import Page, ShadowStore
+
+
+class LogicalKV(RecoveryMethodKV):
+    """Key-value store recovered by logical logging over a shadow store."""
+
+    name = "logical"
+
+    def __init__(self, machine: Machine | None = None, n_pages: int = 8):
+        super().__init__(machine, n_pages)
+        self.shadow = ShadowStore(self.machine.disk)
+        # The System R cache: every page updated since the last checkpoint
+        # stays here in full; the stable directory is never touched.
+        self._cache: dict[str, Page] = {}
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+
+    def _page_for_update(self, page_id: str) -> Page:
+        page = self._cache.get(page_id)
+        if page is None:
+            if self.shadow.has_current(page_id):
+                page = self.shadow.read_current(page_id)
+            else:
+                page = Page(page_id)
+            self._cache[page_id] = page
+        return page
+
+    def _page_for_read(self, page_id: str) -> Page | None:
+        page = self._cache.get(page_id)
+        if page is not None:
+            return page
+        if self.shadow.has_current(page_id):
+            return self.shadow.read_current(page_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Normal operation
+    # ------------------------------------------------------------------
+
+    def _apply_logical(self, description: tuple) -> None:
+        """The normal update path; recovery replays through this too."""
+        kind, key, value = description
+        page = self._page_for_update(self.page_of(key))
+        if kind == "kv-put":
+            page.put(key, value)
+        elif kind == "kv-delete":
+            page.delete(key)
+        elif kind == "kv-add":
+            # The read happens at replay time too: a logical add record
+            # carries the delta, not the result.
+            page.put(key, (page.get(key) or 0) + value)
+        elif kind == "kv-copyadd":
+            src, delta = value
+            src_page = self._page_for_read(self.page_of(src))
+            src_value = src_page.get(src) if src_page is not None else None
+            page.put(key, (src_value or 0) + delta)
+        else:
+            raise ValueError(f"unknown logical operation {kind!r}")
+
+    def put(self, key: str, value: Any) -> None:
+        description = ("kv-put", key, value)
+        self.machine.log.append(LogicalRedo(description))
+        self._apply_logical(description)
+        self.stats.operations += 1
+
+    def delete(self, key: str) -> None:
+        description = ("kv-delete", key, None)
+        self.machine.log.append(LogicalRedo(description))
+        self._apply_logical(description)
+        self.stats.operations += 1
+
+    def add(self, key: str, delta: int) -> None:
+        description = ("kv-add", key, delta)
+        self.machine.log.append(LogicalRedo(description))
+        self._apply_logical(description)
+        self.stats.operations += 1
+
+    def copyadd(self, dst: str, src: str, delta: int) -> None:
+        """A truly logical cross-key operation: the record carries the
+        source key and delta; replay performs the read."""
+        description = ("kv-copyadd", dst, (src, delta))
+        self.machine.log.append(LogicalRedo(description))
+        self._apply_logical(description)
+        self.stats.operations += 1
+
+    def get(self, key: str) -> Any:
+        page = self._page_for_read(self.page_of(key))
+        return None if page is None else page.get(key)
+
+    # ------------------------------------------------------------------
+    # Checkpoint: the quiesce-and-swing of §6.1
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        self.machine.log.flush()  # force the log before installing
+        checkpoint_lsn = self.machine.log.stable_lsn
+        for page in self._cache.values():
+            self.shadow.stage_page(page)
+        self.machine.log.append(CheckpointRecord(("logical", checkpoint_lsn)))
+        self.machine.log.flush()
+        # THE atomic installation: one root write installs every staged
+        # page and moves every logged operation out of redo_set at once.
+        self.shadow.swing_pointer(checkpoint_lsn)
+        self._cache.clear()
+        self.stats.checkpoints += 1
+
+    def durable_count(self) -> int:
+        return sum(
+            1
+            for entry in self.machine.log.stable_entries()
+            if isinstance(entry.payload, LogicalRedo)
+        )
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        super().crash()
+        self._cache.clear()
+
+    def recover(self, full_scan: bool = False) -> None:
+        """Start from the stable state named by the root pointer and
+        replay every later stable logical record.  ``full_scan`` is
+        accepted for interface parity; the restored root pointer already
+        names the right replay start (the backup's own checkpoint LSN)."""
+        self.machine.reboot_pool()
+        self._cache.clear()
+        self.shadow = ShadowStore(self.machine.disk)
+        self.shadow.abandon_staging()  # half-built staging is garbage
+        checkpoint_lsn = self.shadow.checkpoint_lsn()
+        for entry in self.machine.log.entries(volatile=False):
+            self.stats.records_scanned += 1
+            if entry.lsn <= checkpoint_lsn or not isinstance(entry.payload, LogicalRedo):
+                self.stats.records_skipped += 1
+                continue
+            self._apply_logical(entry.payload.description)
+            self.stats.records_replayed += 1
+        self.stats.recoveries += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def dump(self) -> dict[str, Any]:
+        result: dict[str, Any] = {}
+        page_ids = set(self.shadow.current_page_ids()) | set(self._cache)
+        for page_id in sorted(page_ids):
+            page = self._page_for_read(page_id)
+            if page is not None:
+                result.update(page.cells)
+        return result

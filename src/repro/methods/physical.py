@@ -1,0 +1,156 @@
+"""Physical recovery (§6.2).
+
+"Early recovery techniques frequently exploited physical recovery,
+logging the exact bytes of data and the exact locations written."
+Physical operations only *write* — there are no write–read or read–write
+conflicts, the installation graph is a set of per-page ww chains, and the
+write graph collapses to one node per page.
+
+Consequences implemented here:
+
+- A ``put`` logs the exact cell written (partial-page logging); a
+  ``delete`` logs the whole-page after-image, because "write these bytes"
+  cannot express "remove those bytes" any other way.
+- The redo test is trivially *replay everything after the checkpoint*:
+  while operations sit in ``redo_set``, their target cells are unexposed
+  (nothing reads them during recovery), so replaying them against
+  whatever the disk holds is always harmless and always sufficient.
+- A checkpoint first flushes the cache (so every logged effect is in the
+  stable state), then appends and forces a checkpoint record: that single
+  log append atomically moves all earlier operations out of ``redo_set``
+  — their effects are already installed, so the recovery invariant is
+  preserved (the §6.2 argument, executable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.logmgr import CheckpointRecord, PhysicalRedo
+from repro.methods.base import Machine, RecoveryMethodKV
+from repro.storage.page import Page
+
+
+class PhysicalKV(RecoveryMethodKV):
+    """Key-value store recovered by physical (location/value) logging."""
+
+    name = "physical"
+
+    def __init__(self, machine: Machine | None = None, n_pages: int = 8):
+        super().__init__(machine, n_pages)
+
+    # ------------------------------------------------------------------
+    # Normal operation
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        page_id = self.page_of(key)
+        entry = self.machine.log.append(PhysicalRedo(page_id, {key: value}))
+        self.machine.pool.update(
+            page_id, lambda p: p.put(key, value, lsn=entry.lsn), create=True
+        )
+        self.stats.operations += 1
+
+    def delete(self, key: str) -> None:
+        page_id = self.page_of(key)
+        page = self.machine.pool.get_page(page_id, create=True)
+        after_image = {k: v for k, v in page.cells.items() if k != key}
+        entry = self.machine.log.append(
+            PhysicalRedo(page_id, after_image, whole_page=True)
+        )
+        self.machine.pool.update(
+            page_id, lambda p: p.delete(key, lsn=entry.lsn), create=True
+        )
+        self.stats.operations += 1
+
+    def add(self, key: str, delta: int) -> None:
+        """Physical logging of a read-modify-write: the *result* is
+        computed at execution time and logged as a blind value write.
+        Replay never reads — the §6.2 property that makes every variable
+        in ``redo_set`` unexposed and replays unconditionally safe."""
+        page_id = self.page_of(key)
+        page = self.machine.pool.get_page(page_id, create=True)
+        result = (page.get(key) or 0) + delta
+        entry = self.machine.log.append(PhysicalRedo(page_id, {key: result}))
+        self.machine.pool.update(
+            page_id, lambda p: p.put(key, result, lsn=entry.lsn)
+        )
+        self.stats.operations += 1
+
+    def copyadd(self, dst: str, src: str, delta: int) -> None:
+        """Cross-key derivation, physically logged: the read of ``src``
+        happens now; the log sees only the blind write of the result."""
+        src_page = self.machine.pool.get_page(self.page_of(src), create=True)
+        result = (src_page.get(src) or 0) + delta
+        dst_page_id = self.page_of(dst)
+        entry = self.machine.log.append(PhysicalRedo(dst_page_id, {dst: result}))
+        self.machine.pool.update(
+            dst_page_id, lambda p: p.put(dst, result, lsn=entry.lsn), create=True
+        )
+        self.stats.operations += 1
+
+    def get(self, key: str) -> Any:
+        try:
+            return self.machine.pool.get_page(self.page_of(key)).get(key)
+        except KeyError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush cache, then atomically retire the log prefix (§6.2)."""
+        self.machine.log.flush()          # WAL: records before pages
+        self.machine.pool.flush_all()     # install every logged effect
+        self.machine.log.append(CheckpointRecord(("physical",)))
+        self.machine.log.flush()          # the atomic redo_set update
+        self.stats.checkpoints += 1
+
+    def durable_count(self) -> int:
+        """Operations with stable log records (checkpoint records don't
+        count as operations)."""
+        return sum(
+            1
+            for entry in self.machine.log.stable_entries()
+            if isinstance(entry.payload, PhysicalRedo)
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, full_scan: bool = False) -> None:
+        """Replay every stable physical record after the last stable
+        checkpoint (or the whole log for media recovery), in log order,
+        blindly — §6.2: blind replays are always harmless."""
+        self.machine.reboot_pool()
+        stable = self.machine.log.entries(volatile=False)
+        start = 0
+        if not full_scan:
+            for entry in stable:
+                if isinstance(entry.payload, CheckpointRecord):
+                    start = entry.lsn + 1
+        pool = self.machine.pool
+        for entry in stable:
+            self.stats.records_scanned += 1
+            if entry.lsn < start or not isinstance(entry.payload, PhysicalRedo):
+                self.stats.records_skipped += 1
+                continue
+            payload = entry.payload
+            if payload.whole_page:
+                def reinstall(p, cells=payload.cells, lsn=entry.lsn):
+                    p.cells.clear()
+                    p.cells.update(cells)
+                    p.stamp(max(p.lsn, lsn))
+
+                pool.update(payload.page_id, reinstall, create=True)
+            else:
+                def install(p, cells=payload.cells, lsn=entry.lsn):
+                    for cell, value in cells.items():
+                        p.put(cell, value)
+                    p.stamp(max(p.lsn, lsn))
+
+                pool.update(payload.page_id, install, create=True)
+            self.stats.records_replayed += 1
+        self.stats.recoveries += 1

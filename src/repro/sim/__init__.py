@@ -1,0 +1,12 @@
+"""Crash simulation harnesses.
+
+:func:`~repro.sim.crash.crash_once` runs a workload to a chosen instant,
+crashes, recovers, and verifies the durability contract;
+:func:`~repro.sim.crash.crash_sweep` does it at every instant (or a
+sample), which is how experiment E5 certifies that the §6 methods recover
+from *any* crash point.
+"""
+
+from repro.sim.crash import CrashResult, crash_once, crash_sweep, repeated_crashes
+
+__all__ = ["CrashResult", "crash_once", "crash_sweep", "repeated_crashes"]

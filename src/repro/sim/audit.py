@@ -1,0 +1,345 @@
+"""Auditing a live engine against the theory — the bridge module.
+
+The §6 arguments were checked abstractly in :mod:`repro.core`; this
+module checks them *against the running engines*.  At any instant of
+normal operation it:
+
+1. lifts the engine's **stable log records** to abstract operations
+   (variables = keys) — and here the disciplines genuinely diverge:
+   a physical record lifts to a *blind* write (the result was computed
+   before logging), while logical and physiological ``add`` records lift
+   to read-modify-writes, so the *same* workload yields different
+   conflict and installation graphs under different methods;
+2. reconstructs the engine's **stable model state** (what recovery would
+   start from: disk pages, or the shadow store's current directory);
+3. simulates the engine's **redo decision** per record (checkpoint
+   cut-off, pointer LSN, or page-LSN test against the disk image);
+4. evaluates the **Recovery Invariant**: the not-redone operations must
+   induce an installation-graph prefix explaining the stable state.
+
+`audit_instant` is the single-instant check; `audited_run` executes a
+workload calling it after every command.  Because the engines' caches,
+evictions, WAL forces, checkpoints, and group commits all run for real,
+a bug in any of them shows up as a flagged instant — this is the
+"recovery checker" use of the theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.conflict import ConflictGraph
+from repro.core.exposed import exposed_variables
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+from repro.engine import KVDatabase
+from repro.logmgr import (
+    CheckpointRecord,
+    LogEntry,
+    LogicalRedo,
+    MultiPageRedo,
+    PhysicalRedo,
+    PhysiologicalRedo,
+)
+from repro.methods import GeneralizedKV, LogicalKV, PhysicalKV, PhysiologicalKV
+from repro.workloads.kv import KVOp
+
+
+class AuditError(AssertionError):
+    """A record could not be lifted to the abstract model."""
+
+
+@dataclass
+class InstantAudit:
+    """The invariant verdict at one instant of normal operation."""
+
+    instant: int
+    stable_records: int
+    redo_count: int
+    holds: bool
+    is_prefix: bool
+    explains_state: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+# ----------------------------------------------------------------------
+# Lifting log records to abstract operations
+# ----------------------------------------------------------------------
+
+def _lift_record(entry: LogEntry) -> Operation | None:
+    """The abstract operation a stable log record denotes (None for
+    checkpoint records, which are not operations)."""
+    name = f"L{entry.lsn}"
+    payload = entry.payload
+
+    if isinstance(payload, CheckpointRecord):
+        return None
+
+    if isinstance(payload, PhysicalRedo):
+        if payload.whole_page:
+            raise AuditError(
+                "whole-page physical images mix per-key and per-page "
+                "granularity; audit put/add workloads (no deletes) instead"
+            )
+        cells = dict(payload.cells)
+        return Operation(
+            name=name,
+            read_set=frozenset(),
+            write_set=frozenset(cells),
+            compute=lambda reads, cells=cells: dict(cells),
+        )
+
+    if isinstance(payload, LogicalRedo):
+        kind, key, value = payload.description
+        if kind == "kv-put":
+            return Operation(
+                name=name,
+                read_set=frozenset(),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key, value=value: {key: value},
+            )
+        if kind == "kv-add":
+            return Operation(
+                name=name,
+                read_set=frozenset({key}),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key, value=value: {
+                    key: (reads[key] or 0) + value
+                },
+            )
+        if kind == "kv-copyadd":
+            src, delta = value
+            return Operation(
+                name=name,
+                read_set=frozenset({src}),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key, src=src, delta=delta: {
+                    key: (reads[src] or 0) + delta
+                },
+            )
+        if kind == "kv-delete":
+            return Operation(
+                name=name,
+                read_set=frozenset(),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key: {key: None},
+            )
+        raise AuditError(f"unknown logical record {kind!r}")
+
+    if isinstance(payload, MultiPageRedo):
+        operations = []
+        for page_id, actions in payload.writes.items():
+            for action in actions:
+                if action.kind != "copyfrom":
+                    raise AuditError(
+                        f"unliftable multi-page action {action.kind!r} "
+                        "(KV audits cover copyfrom records; B-tree splits "
+                        "work at page granularity)"
+                    )
+                _, src, dst, delta = action.args
+                operations.append((src, dst, delta))
+        if len(operations) != 1:
+            raise AuditError("expected exactly one copyfrom per KV record")
+        src, dst, delta = operations[0]
+        return Operation(
+            name=name,
+            read_set=frozenset({src}),
+            write_set=frozenset({dst}),
+            compute=lambda reads, src=src, dst=dst, delta=delta: {
+                dst: (reads[src] or 0) + delta
+            },
+        )
+
+    if isinstance(payload, PhysiologicalRedo):
+        action = payload.action
+        if action.kind == "copycell":
+            dst, src, delta = action.args
+            return Operation(
+                name=name,
+                read_set=frozenset({src}),
+                write_set=frozenset({dst}),
+                compute=lambda reads, src=src, dst=dst, delta=delta: {
+                    dst: (reads[src] or 0) + delta
+                },
+            )
+        if action.kind == "put":
+            key, value = action.args
+            return Operation(
+                name=name,
+                read_set=frozenset(),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key, value=value: {key: value},
+            )
+        if action.kind == "add":
+            key, delta = action.args
+            return Operation(
+                name=name,
+                read_set=frozenset({key}),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key, delta=delta: {
+                    key: (reads[key] or 0) + delta
+                },
+            )
+        if action.kind == "delete":
+            (key,) = action.args
+            return Operation(
+                name=name,
+                read_set=frozenset(),
+                write_set=frozenset({key}),
+                compute=lambda reads, key=key: {key: None},
+            )
+        raise AuditError(f"unliftable page action {action.kind!r}")
+
+    raise AuditError(f"unliftable record type {type(payload).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Reconstructing the stable model state
+# ----------------------------------------------------------------------
+
+def _stable_model_state(method) -> State:
+    """The key-value state recovery would start from."""
+    state = State(default=None)
+    if isinstance(method, LogicalKV):
+        for page_id in method.shadow.current_page_ids():
+            for cell, value in method.shadow.read_current(page_id):
+                state.set(cell, value)
+        return state
+    for page in method.machine.disk.pages():
+        if page.page_id.startswith("data"):
+            for cell, value in page:
+                state.set(cell, value)
+    return state
+
+
+# ----------------------------------------------------------------------
+# Simulating the redo decision
+# ----------------------------------------------------------------------
+
+def _redo_lsns(method, entries: Sequence[LogEntry]) -> set[int]:
+    """The LSNs the method's recovery would replay, given the current
+    stable state — mirroring each §6 recovery procedure exactly."""
+    if isinstance(method, LogicalKV):
+        cut = method.shadow.checkpoint_lsn()
+        return {
+            e.lsn
+            for e in entries
+            if e.lsn > cut and not isinstance(e.payload, CheckpointRecord)
+        }
+    if isinstance(method, PhysicalKV):
+        start = 0
+        for entry in entries:
+            if isinstance(entry.payload, CheckpointRecord):
+                start = entry.lsn + 1
+        return {
+            e.lsn
+            for e in entries
+            if e.lsn >= start and not isinstance(e.payload, CheckpointRecord)
+        }
+    if isinstance(method, (PhysiologicalKV, GeneralizedKV)):
+        from repro.methods.physiological import analysis_pass
+
+        _, redo_start = analysis_pass(entries)
+        disk = method.machine.disk
+
+        def page_lsn(page_id: str) -> int:
+            return disk.read_page(page_id).lsn if disk.has_page(page_id) else -1
+
+        chosen = set()
+        for entry in entries:
+            if entry.lsn < redo_start:
+                continue
+            if isinstance(entry.payload, PhysiologicalRedo):
+                if page_lsn(entry.payload.page_id) < entry.lsn:
+                    chosen.add(entry.lsn)
+            elif isinstance(entry.payload, MultiPageRedo):
+                if any(
+                    page_lsn(page_id) < entry.lsn
+                    for page_id in entry.payload.writes
+                ):
+                    chosen.add(entry.lsn)
+        return chosen
+    raise AuditError(f"no redo model for {type(method).__name__}")
+
+
+# ----------------------------------------------------------------------
+# The audit itself
+# ----------------------------------------------------------------------
+
+def audit_instant(db: KVDatabase, instant: int = -1) -> InstantAudit:
+    """Evaluate the Recovery Invariant for ``db`` right now."""
+    method = db.method
+    entries = method.machine.log.stable_entries()
+    operations = []
+    by_lsn: dict[int, Operation] = {}
+    for entry in entries:
+        lifted = _lift_record(entry)
+        if lifted is not None:
+            operations.append(lifted)
+            by_lsn[entry.lsn] = lifted
+
+    conflict = ConflictGraph(operations)
+    installation = InstallationGraph(conflict)
+    redo = _redo_lsns(method, entries)
+    installed = [op for lsn, op in by_lsn.items() if lsn not in redo]
+
+    initial = State(default=None)
+    stable = _stable_model_state(method)
+
+    prefix_ok = installation.is_prefix(installed)
+    explains_ok = False
+    detail = ""
+    if prefix_ok:
+        determined = installation.determined_state(installed, initial)
+        exposed = exposed_variables(conflict, installed)
+        mismatched = sorted(
+            variable
+            for variable in exposed
+            if stable[variable] != determined[variable]
+        )
+        explains_ok = not mismatched
+        if mismatched:
+            detail = f"exposed variables with wrong stable values: {mismatched}"
+    else:
+        detail = "installed set is not an installation-graph prefix"
+
+    return InstantAudit(
+        instant=instant,
+        stable_records=len(operations),
+        redo_count=len(redo),
+        holds=prefix_ok and explains_ok,
+        is_prefix=prefix_ok,
+        explains_state=explains_ok,
+        detail=detail,
+    )
+
+
+def audited_run(
+    db: KVDatabase,
+    stream: Sequence[KVOp],
+    audit_every: int = 1,
+) -> list[InstantAudit]:
+    """Run ``stream`` on ``db``, auditing after every ``audit_every``-th
+    command (plus once at the start and once at the end)."""
+    audits = [audit_instant(db, instant=0)]
+    for index, command in enumerate(stream, start=1):
+        db.execute(command)
+        if index % audit_every == 0:
+            audits.append(audit_instant(db, instant=index))
+    db.commit()
+    audits.append(audit_instant(db, instant=len(stream)))
+    return audits
+
+
+def installation_graph_of(db: KVDatabase) -> InstallationGraph:
+    """The abstract installation graph of the engine's stable log — used
+    by the E9 experiment to show the disciplines shape the graph."""
+    entries = db.method.machine.log.stable_entries()
+    operations = [
+        op for op in (_lift_record(e) for e in entries) if op is not None
+    ]
+    return InstallationGraph(ConflictGraph(operations))

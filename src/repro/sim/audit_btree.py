@@ -1,0 +1,229 @@
+"""Auditing the recoverable B-tree against the theory, page-granular.
+
+Variables here are *pages* (their value: the cell dict), matching §6's
+own granularity.  Each stable log record lifts to abstract operations:
+
+- a single-page record (put/delete/add/truncate/set-meta) lifts to one
+  operation that reads and writes its page (the action transforms the
+  page's prior contents);
+- a whole-page physical image lifts to a blind page write;
+- a multi-page record lifts to **one operation per written page**, each
+  reading the record's read pages (plus its own page when its actions
+  need the prior contents).  This decomposition is legitimate precisely
+  because a written page's actions never read the record's *other*
+  written pages — the same fact that makes the engine's per-page LSN
+  replay sound — and the audit turns that argument into a checked
+  invariant: the per-page redo decisions must leave an installed set
+  that is an installation-graph prefix explaining the stable disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree.tree import BTree
+from repro.core.conflict import ConflictGraph
+from repro.core.exposed import exposed_variables
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+from repro.logmgr import (
+    CheckpointRecord,
+    LogEntry,
+    MultiPageRedo,
+    PageAction,
+    PhysicalRedo,
+    PhysiologicalRedo,
+)
+
+
+@dataclass
+class BTreeAudit:
+    """The page-granular invariant verdict for one instant."""
+
+    holds: bool
+    is_prefix: bool
+    explains_state: bool
+    operations: int
+    redo_count: int
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _interpret(actions: tuple[PageAction, ...], reads: dict, page_id: str) -> dict:
+    """Apply page actions functionally: reads maps page ids to cell
+    dicts; returns the written page's new cell dict."""
+    cells = dict(reads.get(page_id) or {})
+    for action in actions:
+        if action.kind in ("put", "set-meta"):
+            cell, value = action.args
+            cells[cell] = value
+        elif action.kind == "delete":
+            (cell,) = action.args
+            cells.pop(cell, None)
+        elif action.kind == "add":
+            cell, delta = action.args
+            cells[cell] = (cells.get(cell) or 0) + delta
+        elif action.kind == "truncate":
+            (split_key,) = action.args
+            cells = {c: v for c, v in cells.items() if c < split_key}
+        elif action.kind == "split-move":
+            source_page_id, split_key = action.args
+            source = reads.get(source_page_id) or {}
+            cells = {c: v for c, v in source.items() if c >= split_key}
+        else:
+            raise ValueError(f"unliftable B-tree action {action.kind!r}")
+    return cells
+
+
+def _read_pages_of(actions: tuple[PageAction, ...], page_id: str) -> set[str]:
+    """The pages these actions actually read, derived per action.
+
+    Incremental actions (put/delete/add/truncate/set-meta) read the
+    written page's prior state; a leading split-move replaces the
+    contents wholesale (blind for the written page) and reads its source
+    page instead.  Deriving this per action — rather than handing every
+    written page the record's whole read set — keeps the lifted graph
+    free of spurious read-write edges.
+    """
+    reads: set[str] = set()
+    for action in actions:
+        if action.kind == "split-move":
+            reads.add(action.args[0])
+        elif action.kind == "copyfrom":
+            reads.add(action.args[0])
+    # The page's own prior state is read unless the first action is a
+    # wholesale replacement (split-move clears before filling).
+    if not (actions and actions[0].kind == "split-move"):
+        reads.add(page_id)
+    return reads
+
+
+def lift_btree_log(entries: list[LogEntry]) -> tuple[list[Operation], dict]:
+    """Lift stable records to page-granular operations.
+
+    Returns the operations plus a map lsn -> list of (operation, page_id)
+    for the per-page redo bookkeeping.
+    """
+    operations: list[Operation] = []
+    by_lsn: dict[int, list[tuple[Operation, str]]] = {}
+
+    def make(name, read_pages, page_id, actions):
+        read_set = frozenset(read_pages)
+
+        def compute(reads, actions=actions, page_id=page_id):
+            return {page_id: _interpret(actions, reads, page_id)}
+
+        return Operation(
+            name=name,
+            read_set=read_set,
+            write_set=frozenset({page_id}),
+            compute=compute,
+        )
+
+    for entry in entries:
+        payload = entry.payload
+        if isinstance(payload, CheckpointRecord):
+            continue
+        if isinstance(payload, PhysiologicalRedo):
+            op = make(
+                f"L{entry.lsn}",
+                {payload.page_id},
+                payload.page_id,
+                (payload.action,),
+            )
+            operations.append(op)
+            by_lsn[entry.lsn] = [(op, payload.page_id)]
+        elif isinstance(payload, PhysicalRedo):
+            cells = dict(payload.cells)
+
+            def blind(reads, cells=cells, page_id=payload.page_id):
+                return {page_id: dict(cells)}
+
+            op = Operation(
+                name=f"L{entry.lsn}",
+                read_set=frozenset(),
+                write_set=frozenset({payload.page_id}),
+                compute=blind,
+            )
+            operations.append(op)
+            by_lsn[entry.lsn] = [(op, payload.page_id)]
+        elif isinstance(payload, MultiPageRedo):
+            group = []
+            for page_id, actions in payload.writes.items():
+                reads = _read_pages_of(actions, page_id)
+                op = make(f"L{entry.lsn}.{page_id}", reads, page_id, actions)
+                operations.append(op)
+                group.append((op, page_id))
+            by_lsn[entry.lsn] = group
+        else:
+            raise ValueError(f"unliftable record {type(payload).__name__}")
+    return operations, by_lsn
+
+
+def audit_btree(tree: BTree) -> BTreeAudit:
+    """Evaluate the Recovery Invariant for the tree's current stable
+    configuration (disk + stable log + per-page LSN redo decisions)."""
+    entries = tree.machine.log.entries(volatile=False)
+    operations, by_lsn = lift_btree_log(entries)
+    conflict = ConflictGraph(operations)
+    installation = InstallationGraph(conflict)
+
+    disk = tree.machine.disk
+
+    def page_lsn(page_id: str) -> int:
+        return disk.read_page(page_id).lsn if disk.has_page(page_id) else -1
+
+    redo_start = 0
+    for entry in entries:
+        if isinstance(entry.payload, CheckpointRecord):
+            redo_start = entry.payload.data[1]
+
+    installed: list[Operation] = []
+    redo_count = 0
+    for lsn, group in by_lsn.items():
+        for op, page_id in group:
+            if lsn < redo_start or page_lsn(page_id) >= lsn:
+                installed.append(op)
+            else:
+                redo_count += 1
+
+    # The initial state is the unlogged idempotent bootstrap (§-free by
+    # design: recovery recreates it identically), and a page absent from
+    # disk holds its initial value — states are total functions.
+    from repro.btree.tree import FIRST_PAGE, META_PAGE, TYPE_CELL
+
+    initial = State(default=None)
+    initial.set(META_PAGE, {"root": FIRST_PAGE})
+    initial.set(FIRST_PAGE, {TYPE_CELL: "leaf"})
+
+    stable = initial.copy()
+    for page in disk.pages():
+        stable.set(page.page_id, dict(page.cells))
+
+    prefix_ok = installation.is_prefix(installed)
+    explains_ok = False
+    detail = ""
+    if prefix_ok:
+        determined = installation.determined_state(installed, initial)
+        exposed = exposed_variables(conflict, installed)
+        mismatched = sorted(
+            page_id
+            for page_id in exposed
+            if (stable[page_id] or {}) != (determined[page_id] or {})
+        )
+        explains_ok = not mismatched
+        if mismatched:
+            detail = f"exposed pages with wrong stable contents: {mismatched}"
+    else:
+        detail = "installed per-page operations do not form a prefix"
+
+    return BTreeAudit(
+        holds=prefix_ok and explains_ok,
+        is_prefix=prefix_ok,
+        explains_state=explains_ok,
+        operations=len(operations),
+        redo_count=redo_count,
+        detail=detail,
+    )

@@ -1,0 +1,29 @@
+"""Simulated stable storage.
+
+The paper's theory is indifferent to how state is physically stored; the
+§6 methods, however, rely on one hardware fact — a *page write is atomic*
+— and on the failure model that a crash loses everything volatile and
+nothing stable.  This package provides exactly that substrate:
+
+- :class:`~repro.storage.page.Page` — a page of key/value cells tagged
+  with an LSN (§6.3's page tag);
+- :class:`~repro.storage.disk.Disk` — atomic page writes, crash-immune
+  contents, write counters, and optional fault injection (lost and torn
+  writes) for failure-injection tests;
+- :class:`~repro.storage.shadow.ShadowStore` — the System R-style staging
+  area with an atomically swung root pointer (§6.1's substitution: the
+  paper's description of System R maps to a shadow page directory).
+"""
+
+from repro.storage.page import Page
+from repro.storage.disk import Disk, DiskFault, LostWriteFault, TornWriteFault
+from repro.storage.shadow import ShadowStore
+
+__all__ = [
+    "Disk",
+    "DiskFault",
+    "LostWriteFault",
+    "Page",
+    "ShadowStore",
+    "TornWriteFault",
+]

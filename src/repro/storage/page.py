@@ -1,0 +1,83 @@
+"""Pages: the unit of atomic stable-state update.
+
+A page holds named cells (key → value).  Cells stand in for byte ranges;
+:meth:`Page.size_bytes` gives a deterministic size estimate used by the
+log-volume experiments, computed from the repr of the contents so that
+bigger values genuinely cost more.
+
+Each page carries ``lsn`` — "each page of the system state is tagged with
+the LSN of the last operation that updated it" (§6.3).  Methods that do
+not use LSNs simply leave the tag at its initial ``-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+UNTAGGED = -1
+
+
+@dataclass
+class Page:
+    """A mutable page of cells with an LSN tag."""
+
+    page_id: str
+    cells: dict[str, Any] = field(default_factory=dict)
+    lsn: int = UNTAGGED
+
+    def get(self, cell: str, default: Any = None) -> Any:
+        """The cell's value, or ``default`` if absent."""
+        return self.cells.get(cell, default)
+
+    def put(self, cell: str, value: Any, lsn: int | None = None) -> None:
+        """Write one cell, optionally advancing the page LSN tag."""
+        self.cells[cell] = value
+        if lsn is not None:
+            self.stamp(lsn)
+
+    def delete(self, cell: str, lsn: int | None = None) -> None:
+        """Remove one cell, optionally advancing the page LSN tag."""
+        self.cells.pop(cell, None)
+        if lsn is not None:
+            self.stamp(lsn)
+
+    def stamp(self, lsn: int) -> None:
+        """Advance the page LSN tag (LSNs increase monotonically, §6.3)."""
+        if lsn < self.lsn:
+            raise ValueError(
+                f"page {self.page_id}: LSN must not regress "
+                f"({lsn} < {self.lsn})"
+            )
+        self.lsn = lsn
+
+    def copy(self) -> "Page":
+        """An independent snapshot (cells shallow-copied; values are
+        treated as immutable throughout the library)."""
+        return Page(self.page_id, dict(self.cells), self.lsn)
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(sorted(self.cells.items()))
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Page):
+            return NotImplemented
+        return (
+            self.page_id == other.page_id
+            and self.cells == other.cells
+            and self.lsn == other.lsn
+        )
+
+    def same_contents(self, other: "Page") -> bool:
+        """Equality ignoring the LSN tag (some methods do not maintain it)."""
+        return self.page_id == other.page_id and self.cells == other.cells
+
+    def size_bytes(self) -> int:
+        """Deterministic size estimate for log/IO accounting."""
+        return sum(len(repr(k)) + len(repr(v)) for k, v in self.cells.items()) + 16
+
+    def __repr__(self) -> str:
+        return f"Page({self.page_id!r}, cells={len(self.cells)}, lsn={self.lsn})"

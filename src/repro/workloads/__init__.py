@@ -1,0 +1,21 @@
+"""Workload generators.
+
+Random operation sequences parameterized by conflict density
+(:mod:`repro.workloads.opgen`), key-value workloads for the engine
+(:mod:`repro.workloads.kv`), and B-tree insert workloads
+(:mod:`repro.workloads.btree_load`).
+"""
+
+from repro.workloads.opgen import OpSequenceSpec, random_operations, scenario_library
+from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+from repro.workloads.btree_load import BTreeWorkloadSpec, generate_btree_keys
+
+__all__ = [
+    "BTreeWorkloadSpec",
+    "KVWorkloadSpec",
+    "OpSequenceSpec",
+    "generate_btree_keys",
+    "generate_kv_workload",
+    "random_operations",
+    "scenario_library",
+]

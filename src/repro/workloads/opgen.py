@@ -1,0 +1,176 @@
+"""Random operation-sequence generation.
+
+The theory experiments (E1–E4, E7, E8) need many operation sequences with
+controllable shape: how many variables, how often operations read, how
+often writes are blind, and how many variables one operation may write.
+``random_operations`` produces sequences from a seeded
+:class:`random.Random`, so every experiment is reproducible from its seed.
+
+Operation bodies are built from the expression DSL so their read sets are
+honest (derived from the expressions), and every generated body is
+injective enough that wrong replays are *detectable*: values are drawn
+from distinct affine transforms, so two different execution orders rarely
+collide on the same state by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterable
+
+from repro.core.expr import Const, Expr, Var
+from repro.core.model import Operation
+
+
+@dataclass(frozen=True)
+class OpSequenceSpec:
+    """Shape parameters for a random operation sequence.
+
+    ``blind_ratio`` is the probability that a generated assignment ignores
+    existing state (a blind write) — the knob that creates unexposed
+    variables.  ``read_extra`` is the probability of folding an extra read
+    variable into an assignment's expression, which raises conflict
+    density.  ``multi_write_ratio`` is the probability an operation writes
+    two variables (like the paper's C and H).
+    """
+
+    n_operations: int = 8
+    n_variables: int = 4
+    blind_ratio: float = 0.4
+    read_extra: float = 0.35
+    multi_write_ratio: float = 0.2
+    value_range: int = 97  # prime; keeps affine maps well-mixed
+
+    def variables(self) -> list[str]:
+        """The variable names this spec draws from."""
+        return [f"v{i}" for i in range(self.n_variables)]
+
+
+def _random_expr(rng: Random, spec: OpSequenceSpec, blind: bool, target: str) -> Expr:
+    """One right-hand side; blind means no variables are read."""
+    if blind:
+        return Const(rng.randrange(spec.value_range))
+    source = rng.choice(spec.variables())
+    expr: Expr = Var(source) * (1 + rng.randrange(5)) + rng.randrange(spec.value_range)
+    if rng.random() < spec.read_extra:
+        other = rng.choice(spec.variables())
+        expr = expr + Var(other) * (1 + rng.randrange(3))
+    return expr
+
+
+def random_operations(seed: int, spec: OpSequenceSpec | None = None) -> list[Operation]:
+    """A reproducible random operation sequence for ``seed``."""
+    spec = spec or OpSequenceSpec()
+    rng = Random(seed)
+    operations = []
+    for index in range(spec.n_operations):
+        if rng.random() < spec.multi_write_ratio and spec.n_variables >= 2:
+            targets = rng.sample(spec.variables(), 2)
+        else:
+            targets = [rng.choice(spec.variables())]
+        assignments = {}
+        for target in targets:
+            blind = rng.random() < spec.blind_ratio
+            assignments[target] = _random_expr(rng, spec, blind, target)
+        operations.append(Operation.from_assignments(f"O{index}", assignments))
+    return operations
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named worked example from the paper, ready to run."""
+
+    name: str
+    description: str
+    operations: tuple[Operation, ...]
+    crashed_values: dict = field(hash=False)
+    expected_recoverable: bool
+
+
+def scenario_library() -> dict[str, Scenario]:
+    """The paper's worked examples (Figures 1–5 and the §5 examples).
+
+    Keys: ``figure1``, ``figure2``, ``figure3``, ``figure4`` (the O,P,Q
+    running example), ``section5_efg``, ``section5_hj``.  Crashed values
+    describe the stable state at the crash instant each figure discusses.
+    """
+    from repro.core.expr import assign, blind_write
+
+    A = assign("A", "x", Var("y") + 1)
+    B = blind_write("B", "y", 2)
+    C = Operation.from_assignments("C", {"x": Var("x") + 1, "y": Var("y") + 1})
+    D = assign("D", "x", Var("y") + 1)
+
+    O = assign("O", "x", Var("x") + 1)
+    P = assign("P", "y", Var("x") + 1)
+    Q = assign("Q", "x", Var("x") + 2)
+
+    E = assign("E", "x", Var("y") + 1)
+    F = assign("F", "y", Var("x") + 1)
+    G = assign("G", "x", Var("x") + 1)
+
+    H = Operation.from_assignments("H", {"x": Var("x") + 1, "y": Var("y") + 1})
+    J = blind_write("J", "y", 0)
+
+    return {
+        "figure1": Scenario(
+            name="figure1",
+            description="Scenario 1: A then B; B installed first violates the "
+            "read-write edge, state is unrecoverable",
+            operations=(A, B),
+            crashed_values={"x": 0, "y": 2},
+            expected_recoverable=False,
+        ),
+        "figure2": Scenario(
+            name="figure2",
+            description="Scenario 2: B then A; installing A first only violates "
+            "a write-read edge, replaying B recovers",
+            operations=(B, A),
+            crashed_values={"x": 3, "y": 0},
+            expected_recoverable=True,
+        ),
+        "figure3": Scenario(
+            name="figure3",
+            description="Scenario 3: C then D; only C's write of y installed; x "
+            "is unexposed (D blind-writes it), replaying D recovers",
+            operations=(C, D),
+            crashed_values={"x": 0, "y": 1},
+            expected_recoverable=True,
+        ),
+        "figure4": Scenario(
+            name="figure4",
+            description="Running example O,P,Q (conflict state graph of Fig. 4, "
+            "installation graph of Fig. 5, write graph of Fig. 7)",
+            operations=(O, P, Q),
+            crashed_values={"x": 0, "y": 2},  # {P} installed: y has final value
+            expected_recoverable=True,
+        ),
+        "section5_efg": Scenario(
+            name="section5_efg",
+            description="E,F,G of §5: x and y must be installed atomically; "
+            "updating y singly (F's value without E's and G's x) leaves a state "
+            "no replay subset can recover.  (Updating x singly is the subtler "
+            "half: the state happens to be explained by the empty prefix, but "
+            "a redo test that skips E and G still fails — see the tests.)",
+            operations=(E, F, G),
+            crashed_values={"x": 0, "y": 2},  # y has its final value, x does not
+            expected_recoverable=False,
+        ),
+        "section5_hj": Scenario(
+            name="section5_hj",
+            description="H,J of §5: J's blind write makes y unexposed after H, "
+            "so installing H needs only x",
+            operations=(H, J),
+            crashed_values={"x": 1, "y": 0},
+            expected_recoverable=True,
+        ),
+    }
+
+
+def variables_of(operations: Iterable[Operation]) -> set[str]:
+    """Every variable accessed by ``operations``."""
+    result: set[str] = set()
+    for operation in operations:
+        result |= operation.variables()
+    return result

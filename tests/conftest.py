@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conflict import ConflictGraph
+from repro.core.expr import Var, assign, blind_write
+from repro.core.installation import InstallationGraph
+from repro.core.model import Operation, State
+from repro.workloads.opgen import scenario_library
+
+
+@pytest.fixture
+def initial_state() -> State:
+    return State()
+
+
+@pytest.fixture
+def scenarios():
+    return scenario_library()
+
+
+@pytest.fixture
+def opq():
+    """The paper's running example (Figures 4, 5, 7): O, P, Q."""
+    O = assign("O", "x", Var("x") + 1)
+    P = assign("P", "y", Var("x") + 1)
+    Q = assign("Q", "x", Var("x") + 2)
+    return O, P, Q
+
+
+@pytest.fixture
+def opq_conflict(opq) -> ConflictGraph:
+    return ConflictGraph(list(opq))
+
+
+@pytest.fixture
+def opq_installation(opq_conflict) -> InstallationGraph:
+    return InstallationGraph(opq_conflict)
+
+
+def make_ops(*specs: tuple) -> list[Operation]:
+    """Compact operation builder for tests.
+
+    Each spec is ``(name, target, expr_or_value)`` for a single assignment
+    or ``(name, {target: expr_or_value, ...})`` for multi-assignments.
+    Plain values become blind writes.
+    """
+    from repro.core.expr import Const, Expr
+
+    operations = []
+    for spec in specs:
+        if len(spec) == 2:
+            name, assignments = spec
+            lifted = {
+                target: value if isinstance(value, Expr) else Const(value)
+                for target, value in assignments.items()
+            }
+            operations.append(Operation.from_assignments(name, lifted))
+        else:
+            name, target, value = spec
+            if isinstance(value, Expr):
+                operations.append(assign(name, target, value))
+            else:
+                operations.append(blind_write(name, target, value))
+    return operations

@@ -1,0 +1,187 @@
+"""Unit and property tests for order algorithms, cross-checked with networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    CycleError,
+    Dag,
+    all_prefixes,
+    all_topological_sorts,
+    count_prefixes,
+    is_linear_extension,
+    topological_sort,
+    transitive_reduction,
+)
+from repro.graphs.algorithms import restrict_order
+
+
+def diamond() -> Dag:
+    return Dag(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+@st.composite
+def random_dags(draw, max_nodes=7):
+    """Random DAGs: edges only go from lower to higher node index."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    dag = Dag(nodes=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                dag.add_edge(i, j, check_acyclic=False)
+    return dag
+
+
+class TestTopologicalSort:
+    def test_chain(self):
+        dag = Dag(edges=[("a", "b"), ("b", "c")])
+        assert topological_sort(dag) == ["a", "b", "c"]
+
+    def test_diamond_is_valid_extension(self):
+        dag = diamond()
+        assert is_linear_extension(dag, topological_sort(dag))
+
+    def test_empty(self):
+        assert topological_sort(Dag()) == []
+
+    def test_insertion_order_tie_break(self):
+        dag = Dag(nodes=["z", "a", "m"])
+        assert topological_sort(dag) == ["z", "a", "m"]
+
+    @given(random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_always_linear_extension(self, dag):
+        assert is_linear_extension(dag, topological_sort(dag))
+
+
+class TestIsLinearExtension:
+    def test_rejects_wrong_length(self):
+        dag = diamond()
+        assert not is_linear_extension(dag, ["a", "b", "c"])
+
+    def test_rejects_wrong_nodes(self):
+        dag = diamond()
+        assert not is_linear_extension(dag, ["a", "b", "c", "e"])
+
+    def test_rejects_order_violation(self):
+        dag = diamond()
+        assert not is_linear_extension(dag, ["b", "a", "c", "d"])
+
+    def test_accepts_both_diamond_orders(self):
+        dag = diamond()
+        assert is_linear_extension(dag, ["a", "b", "c", "d"])
+        assert is_linear_extension(dag, ["a", "c", "b", "d"])
+
+
+class TestAllTopologicalSorts:
+    def test_diamond_has_two(self):
+        orders = list(all_topological_sorts(diamond()))
+        assert len(orders) == 2
+        assert ["a", "b", "c", "d"] in orders
+        assert ["a", "c", "b", "d"] in orders
+
+    def test_antichain_has_factorial(self):
+        dag = Dag(nodes=["a", "b", "c"])
+        assert len(list(all_topological_sorts(dag))) == 6
+
+    def test_limit(self):
+        dag = Dag(nodes=list(range(6)))
+        assert len(list(all_topological_sorts(dag, limit=10))) == 10
+
+    @given(random_dags(max_nodes=5))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, dag):
+        ours = {tuple(order) for order in all_topological_sorts(dag)}
+        g = nx.DiGraph()
+        g.add_nodes_from(dag.nodes())
+        g.add_edges_from((s, t) for s, t, _ in dag.edges())
+        theirs = {tuple(order) for order in nx.all_topological_sorts(g)}
+        assert ours == theirs
+
+
+class TestAllPrefixes:
+    def test_diamond_prefixes(self):
+        prefixes = set(all_prefixes(diamond()))
+        expected = {
+            frozenset(),
+            frozenset("a"),
+            frozenset("ab"),
+            frozenset("ac"),
+            frozenset("abc"),
+            frozenset("abcd"),
+        }
+        assert prefixes == expected
+
+    def test_chain_has_linear_count(self):
+        dag = Dag(edges=[(i, i + 1) for i in range(5)])
+        assert count_prefixes(dag) == 7  # empty + 6 proper prefixes
+
+    def test_antichain_has_powerset(self):
+        dag = Dag(nodes=range(4))
+        assert count_prefixes(dag) == 16
+
+    def test_every_yield_is_a_prefix(self):
+        dag = diamond()
+        for prefix in all_prefixes(dag):
+            assert dag.is_prefix(prefix)
+
+    @given(random_dags(max_nodes=6))
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_bruteforce(self, dag):
+        from itertools import chain, combinations
+
+        nodes = dag.nodes()
+        brute = sum(
+            1
+            for subset in chain.from_iterable(
+                combinations(nodes, k) for k in range(len(nodes) + 1)
+            )
+            if dag.is_prefix(set(subset))
+        )
+        assert count_prefixes(dag) == brute
+
+
+class TestTransitiveReduction:
+    def test_removes_implied_edge(self):
+        dag = Dag(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        reduced = transitive_reduction(dag)
+        assert not reduced.has_edge("a", "c")
+        assert reduced.has_edge("a", "b")
+        assert reduced.has_edge("b", "c")
+
+    def test_preserves_reachability(self):
+        dag = Dag(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("a", "d"), ("d", "c")])
+        reduced = transitive_reduction(dag)
+        for s in dag.nodes():
+            for t in dag.nodes():
+                assert dag.has_path(s, t) == reduced.has_path(s, t)
+
+    @given(random_dags(max_nodes=6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, dag):
+        g = nx.DiGraph()
+        g.add_nodes_from(dag.nodes())
+        g.add_edges_from((s, t) for s, t, _ in dag.edges())
+        theirs = nx.transitive_reduction(g)
+        ours = transitive_reduction(dag)
+        assert {(s, t) for s, t, _ in ours.edges()} == set(theirs.edges())
+
+
+class TestRestrictOrder:
+    def test_keeps_transitive_order_through_removed_nodes(self):
+        dag = Dag(edges=[("a", "b"), ("b", "c")])
+        order = restrict_order(dag, ["a", "c"])
+        assert order.has_edge("a", "c")
+
+    def test_no_edges_between_incomparable(self):
+        order = restrict_order(diamond(), ["b", "c"])
+        assert order.edge_count() == 0
+
+    def test_cycle_detection_in_topological_sort(self):
+        dag = Dag(edges=[("a", "b")])
+        # Bypass safety to build a cyclic graph, then sorting must fail.
+        dag.add_edge("b", "a", check_acyclic=False)
+        with pytest.raises(CycleError):
+            topological_sort(dag)

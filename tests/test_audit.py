@@ -1,0 +1,196 @@
+"""Tests for the theory<->system bridge: live-engine invariant audits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import KVDatabase
+from repro.sim.audit import (
+    AuditError,
+    audit_instant,
+    audited_run,
+    installation_graph_of,
+)
+from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+MIXED = KVWorkloadSpec(
+    n_operations=40,
+    n_keys=6,
+    put_ratio=0.35,
+    add_ratio=0.25,
+    copyadd_ratio=0.25,
+    delete_ratio=0.0,
+)
+
+
+class TestCopyaddOperation:
+    @pytest.mark.parametrize("method", ["logical", "physical"])
+    def test_semantics(self, method):
+        db = KVDatabase(method=method, cache_capacity=4)
+        db.execute(("put", "src", 10))
+        db.execute(("copyadd", "dst", ("src", 5)))
+        assert db.get("dst") == 15
+
+    @pytest.mark.parametrize("method", ["logical", "physical"])
+    def test_survives_crash(self, method):
+        db = KVDatabase(method=method, cache_capacity=4)
+        db.execute(("put", "src", 10))
+        db.execute(("copyadd", "dst", ("src", 5)))
+        db.crash_and_recover()
+        db.verify_against()
+        assert db.get("dst") == 15
+
+    def test_copyadd_of_missing_source(self):
+        db = KVDatabase(method="logical")
+        db.execute(("copyadd", "dst", ("ghost", 3)))
+        assert db.get("dst") == 3
+
+    def test_physiological_rejects_cross_key(self):
+        db = KVDatabase(method="physiological")
+        with pytest.raises(NotImplementedError, match="cross-key"):
+            db.execute(("copyadd", "dst", ("src", 1)))
+
+    @pytest.mark.parametrize("method", ["logical", "physical"])
+    def test_add_chain_is_exact(self, method):
+        db = KVDatabase(method=method, cache_capacity=2)
+        for _ in range(5):
+            db.execute(("add", "counter", 10))
+        db.crash_and_recover()
+        db.verify_against()
+        assert db.get("counter") == 50
+
+
+class TestAuditInstant:
+    @pytest.mark.parametrize("method", ["logical", "physical", "physiological"])
+    def test_every_instant_holds(self, method):
+        spec = MIXED if method != "physiological" else KVWorkloadSpec(
+            n_operations=40, n_keys=6, put_ratio=0.5, add_ratio=0.35,
+            delete_ratio=0.0,
+        )
+        stream = generate_kv_workload(17, spec)
+        db = KVDatabase(
+            method=method, cache_capacity=3, commit_every=2, checkpoint_every=9
+        )
+        audits = audited_run(db, stream)
+        assert audits, "no audits ran"
+        for verdict in audits:
+            assert verdict.holds, (verdict.instant, verdict.detail)
+
+    def test_audit_counts_redo_set(self):
+        db = KVDatabase(method="physiological", cache_capacity=8)
+        for i in range(5):
+            db.execute(("put", f"k{i}", i))
+        db.commit()
+        verdict = audit_instant(db)
+        assert verdict.stable_records == 5
+        assert verdict.redo_count == 5  # nothing flushed yet
+        db.method.machine.pool.flush_all()
+        verdict = audit_instant(db)
+        assert verdict.redo_count == 0  # page LSNs now cover everything
+
+    def test_audit_detects_sabotaged_page_lsn(self):
+        """Forge a page LSN (claim installed without the effects): the
+        audit must flag the instant."""
+        db = KVDatabase(method="physiological", cache_capacity=8)
+        db.execute(("add", "k", 5))
+        db.execute(("add", "k", 5))
+        db.commit()
+        page_id = db.method.page_of("k")
+        # Write a lying page image straight to disk: stale value, LSN
+        # claiming the adds are installed.
+        from repro.storage import Page
+
+        db.method.machine.disk.write_page(Page(page_id, {"k": 5}, lsn=1))
+        verdict = audit_instant(db)
+        assert not verdict.holds
+        assert "exposed" in verdict.detail
+
+    def test_audit_detects_missing_wal(self):
+        """A page flushed with effects of unstable records (WAL bypass)
+        leaves the stable state unexplainable by the stable log."""
+        db = KVDatabase(method="physiological", cache_capacity=8, commit_every=100)
+        db.execute(("put", "k", 1))
+        db.commit()
+        db.execute(("add", "k", 1))  # volatile record (group commit pending)
+        # Maliciously write the page (containing the volatile add's
+        # effect) to disk without forcing the log.
+        pool = db.method.machine.pool
+        frame_page = pool.get_page(db.method.page_of("k"))
+        db.method.machine.disk.write_page(frame_page)
+        verdict = audit_instant(db)
+        assert not verdict.holds
+
+    def test_whole_page_records_rejected(self):
+        db = KVDatabase(method="physical")
+        db.execute(("put", "k", 1))
+        db.execute(("delete", "k", None))
+        db.commit()
+        with pytest.raises(AuditError, match="whole-page"):
+            audit_instant(db)
+
+
+class TestLiftedGraphShapes:
+    def test_physical_lifts_to_blind_writes_only(self):
+        """§6.2 reproduced on the live engine: physical logs have no
+        write-read or read-write conflicts — only ww chains — so the
+        installation graph removes nothing."""
+        stream = generate_kv_workload(8, MIXED)
+        db = KVDatabase(method="physical", cache_capacity=4)
+        db.run(stream)
+        db.commit()
+        installation = installation_graph_of(db)
+        for _, _, labels in installation.conflict.edges():
+            assert labels == {"ww"}
+        assert installation.removed_edges() == []
+
+    def test_logical_lifts_with_read_edges(self):
+        stream = generate_kv_workload(8, MIXED)
+        db = KVDatabase(method="logical", cache_capacity=4)
+        db.run(stream)
+        db.commit()
+        installation = installation_graph_of(db)
+        labels_seen = set()
+        for _, _, labels in installation.conflict.edges():
+            labels_seen |= labels
+        assert {"ww", "wr", "rw"} <= labels_seen
+        assert len(installation.removed_edges()) > 0
+
+    def test_same_workload_more_flexibility_for_physical(self):
+        """Physical's blind lifting yields at least as many installation
+        prefixes as logical's read-bearing lifting on the same stream."""
+        from repro.graphs import count_prefixes
+
+        stream = generate_kv_workload(
+            3,
+            KVWorkloadSpec(
+                n_operations=10, n_keys=3, put_ratio=0.4,
+                copyadd_ratio=0.5, delete_ratio=0.0,
+            ),
+        )
+        counts = {}
+        for method in ("physical", "logical"):
+            db = KVDatabase(method=method, cache_capacity=4)
+            db.run(stream)
+            db.commit()
+            counts[method] = count_prefixes(installation_graph_of(db).dag)
+        assert counts["physical"] >= counts["logical"]
+
+
+class TestPropertyAudits:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_streams_audit_clean(self, seed):
+        stream = generate_kv_workload(
+            seed,
+            KVWorkloadSpec(
+                n_operations=25, n_keys=5, put_ratio=0.4, add_ratio=0.2,
+                copyadd_ratio=0.2, delete_ratio=0.0,
+            ),
+        )
+        for method in ("logical", "physical"):
+            db = KVDatabase(
+                method=method, cache_capacity=3, commit_every=3,
+                checkpoint_every=8,
+            )
+            for verdict in audited_run(db, stream, audit_every=3):
+                assert verdict.holds, (method, verdict.instant, verdict.detail)

@@ -1,0 +1,130 @@
+"""Tests for the page-granular B-tree invariant audit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BTree
+from repro.methods.base import Machine
+from repro.sim.audit_btree import audit_btree, lift_btree_log
+from repro.workloads.btree_load import BTreeWorkloadSpec, generate_btree_keys
+
+
+def grown_tree(discipline, n_keys=40, fanout=4, cache=4, unsafe=False, seed=5):
+    tree = BTree(
+        Machine(cache_capacity=cache),
+        fanout=fanout,
+        split_discipline=discipline,
+        unsafe_split_flush=unsafe,
+    )
+    pairs = generate_btree_keys(seed, BTreeWorkloadSpec(n_keys=n_keys))
+    for key, payload in pairs:
+        tree.insert(key, payload)
+    tree.commit()
+    return tree
+
+
+class TestLifting:
+    def test_single_page_records_lift_one_to_one(self):
+        tree = grown_tree("physiological", n_keys=3, fanout=8)
+        entries = tree.machine.log.entries(volatile=False)
+        operations, by_lsn = lift_btree_log(entries)
+        assert len(operations) == 3
+        assert all(len(group) == 1 for group in by_lsn.values())
+
+    def test_multipage_records_decompose_per_written_page(self):
+        from repro.logmgr import MultiPageRedo
+
+        tree = grown_tree("generalized", n_keys=8, fanout=4, cache=16)
+        entries = tree.machine.log.entries(volatile=False)
+        _, by_lsn = lift_btree_log(entries)
+        split_groups = [
+            group
+            for entry in entries
+            if isinstance(entry.payload, MultiPageRedo)
+            for group in [by_lsn[entry.lsn]]
+        ]
+        assert split_groups
+        assert any(len(group) > 1 for group in split_groups)
+
+    def test_split_move_lifts_blind_for_new_page(self):
+        """The new page's operation reads only the *old* page: the
+        wholesale split-move makes its own prior contents irrelevant."""
+        from repro.logmgr import MultiPageRedo
+
+        tree = grown_tree("generalized", n_keys=8, fanout=4, cache=16)
+        entries = tree.machine.log.entries(volatile=False)
+        operations, by_lsn = lift_btree_log(entries)
+        for entry in entries:
+            if not isinstance(entry.payload, MultiPageRedo):
+                continue
+            for op, page_id in by_lsn[entry.lsn]:
+                actions = entry.payload.writes[page_id]
+                if actions[0].kind == "split-move":
+                    assert page_id not in op.read_set
+                    assert actions[0].args[0] in op.read_set
+                else:
+                    assert page_id in op.read_set
+
+
+class TestAuditHolds:
+    @pytest.mark.parametrize("discipline", ["generalized", "physiological"])
+    def test_every_instant_of_growth(self, discipline):
+        tree = BTree(Machine(cache_capacity=4), fanout=4, split_discipline=discipline)
+        pairs = generate_btree_keys(7, BTreeWorkloadSpec(n_keys=40))
+        for key, payload in pairs:
+            tree.insert(key, payload)
+            tree.commit()
+            verdict = audit_btree(tree)
+            assert verdict.holds, verdict.detail
+
+    @pytest.mark.parametrize("discipline", ["generalized", "physiological"])
+    def test_holds_after_checkpoint_and_recovery(self, discipline):
+        tree = grown_tree(discipline, n_keys=30)
+        tree.checkpoint()
+        assert audit_btree(tree).holds
+        tree.crash()
+        tree.recover()
+        tree.commit()
+        assert audit_btree(tree).holds
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_growth_audits_clean(self, seed):
+        tree = BTree(Machine(cache_capacity=3), fanout=3, split_discipline="generalized")
+        pairs = generate_btree_keys(seed, BTreeWorkloadSpec(n_keys=25))
+        for key, payload in pairs:
+            tree.insert(key, payload)
+            tree.commit()
+        verdict = audit_btree(tree)
+        assert verdict.holds, verdict.detail
+
+
+class TestAuditCatchesViolations:
+    def test_unsafe_split_flush_is_flagged_before_the_crash(self):
+        """The whole point of the checker: the careful-write violation is
+        visible in the invariant *while the system still runs*, before
+        any crash makes it data loss."""
+        tree = BTree(
+            Machine(cache_capacity=64),
+            fanout=4,
+            split_discipline="generalized",
+            unsafe_split_flush=True,
+        )
+        flagged = False
+        for key in range(12):
+            tree.insert(key, str(key).encode())
+            tree.commit()
+            if not audit_btree(tree).holds:
+                flagged = True
+        assert flagged
+
+    def test_forged_page_lsn_is_flagged(self):
+        from repro.storage import Page
+
+        tree = grown_tree("physiological", n_keys=6, fanout=8, cache=16)
+        # Claim the leaf is installed at a future LSN without its contents.
+        leaf = "page-0001"
+        tree.machine.disk.write_page(Page(leaf, {"__type__": "leaf"}, lsn=99))
+        verdict = audit_btree(tree)
+        assert not verdict.holds

@@ -1,0 +1,106 @@
+"""§7's frontier: recovery beyond the theory's sufficient condition.
+
+The paper closes by noting "there have been interesting examples in
+which operations can be replayed even when they are not applicable and
+write different values during recovery.  The key is that these writes
+are to the unexposed portion of the state, and hence the values written
+are irrelevant."  These tests construct such examples and quantify the
+gap between *explainable* (the theory's sufficient condition) and
+*potentially recoverable* (the semantic property).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.explain import is_applicable, is_explainable
+from repro.core.installation import InstallationGraph
+from repro.core.model import State
+from repro.core.replay import is_potentially_recoverable, recovers
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+from repro.core.expr import Var
+
+
+def frontier_example():
+    """A: <x <- 5; y <- y+1>;  B: x <- x+3;  C: y <- x.
+
+    Crash state: only A's write of *y* is installed (x=0, y=1) — a torn
+    install of the multi-variable operation A.  No installation prefix
+    explains this state ({A} would demand x=5; the empty prefix would
+    demand y=0), yet replaying everything recovers: A re-reads y=1
+    (wrong — it originally read 0) and writes the wrong y=2, but C
+    blind-overwrites y before anything reads it.
+    """
+    a, b, c = make_ops(
+        ("A", {"x": 5, "y": Var("y") + 1}),
+        ("B", "x", Var("x") + 3),
+        ("C", "y", Var("x") * 1),
+    )
+    return a, b, c
+
+
+CRASHED = {"x": 0, "y": 1}
+
+
+class TestFrontierExample:
+    def test_state_is_not_explainable(self, initial_state):
+        a, b, c = frontier_example()
+        installation = InstallationGraph(ConflictGraph([a, b, c]))
+        assert not is_explainable(installation, State(CRASHED), initial_state)
+
+    def test_but_full_replay_recovers(self, initial_state):
+        a, b, c = frontier_example()
+        conflict = ConflictGraph([a, b, c])
+        crashed = State(CRASHED)
+        assert recovers(conflict, {a, b, c}, crashed, initial_state)
+        assert is_potentially_recoverable(conflict, crashed, initial_state)
+
+    def test_the_replayed_operation_was_not_applicable(self, initial_state):
+        """A reads y=1 during the recovering replay instead of the 0 it
+        read originally — exactly §7's 'not applicable' situation."""
+        a, b, c = frontier_example()
+        installation = InstallationGraph(ConflictGraph([a, b, c]))
+        assert not is_applicable(installation, a, State(CRASHED), initial_state)
+
+    def test_wrong_write_lands_unexposed(self, initial_state):
+        """The wrong y value A writes is blind-overwritten by C before
+        any operation reads it — the write is harmless."""
+        a, b, c = frontier_example()
+        after_a = a.apply(State(CRASHED))
+        assert after_a["y"] == 2           # wrong (original execution wrote 1)
+        after_all = c.apply(b.apply(after_a))
+        final = ConflictGraph([a, b, c]).final_state(initial_state)
+        assert after_all == final           # ...and it never mattered
+
+
+class TestGapQuantification:
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_explainable_is_strictly_sufficient(self, seed):
+        """Explainable => recoverable always; the converse fails on a
+        measurable fraction of states (the §7 frontier)."""
+        import itertools
+
+        from repro.core.state_graph import StateGraph
+
+        ops = random_operations(
+            seed, OpSequenceSpec(n_operations=4, n_variables=2)
+        )
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        sg = StateGraph.conflict_state_graph(conflict, initial)
+        values = {"v0": {0}, "v1": {0}}
+        for op in ops:
+            for variable, value in sg.writes(op.name).items():
+                values[variable].add(value)
+        for v0, v1 in itertools.product(
+            sorted(values["v0"], key=repr), sorted(values["v1"], key=repr)
+        ):
+            state = State({"v0": v0, "v1": v1})
+            if is_explainable(installation, state, initial):
+                assert is_potentially_recoverable(conflict, state, initial)
+            # The reverse implication is deliberately NOT asserted: §7
+            # gap states exist (see frontier_example); the benchmark
+            # E11 measures how common they are.

@@ -1,0 +1,213 @@
+"""Unit tests for the buffer pool: caching, WAL, ordering, eviction."""
+
+import pytest
+
+from repro.cache import BufferPool, CachePolicyError
+from repro.logmgr import LogManager, LogicalRedo
+from repro.storage import Disk, Page
+
+
+def pool_with(capacity=4, policy="lru", steal=True, log=False):
+    disk = Disk()
+    log_manager = LogManager() if log else None
+    return BufferPool(disk, log_manager, capacity=capacity, policy=policy, steal=steal)
+
+
+class TestBasics:
+    def test_create_and_flush(self):
+        pool = pool_with()
+        page = pool.get_page("p1", create=True)
+        page.put("k", 1)
+        pool.mark_dirty("p1")
+        pool.flush_page("p1")
+        assert pool.disk.read_page("p1").get("k") == 1
+
+    def test_miss_loads_from_disk(self):
+        pool = pool_with()
+        pool.disk.write_page(Page("p1", {"k": 7}))
+        assert pool.get_page("p1").get("k") == 7
+        assert pool.misses == 1
+        pool.get_page("p1")
+        assert pool.hits == 1
+
+    def test_missing_page_without_create(self):
+        with pytest.raises(KeyError):
+            pool_with().get_page("nope")
+
+    def test_update_helper(self):
+        pool = pool_with()
+        pool.update("p1", lambda p: p.put("k", 3), create=True)
+        assert pool.is_dirty("p1")
+        assert pool.get_page("p1").get("k") == 3
+
+    def test_flush_clean_page_is_noop(self):
+        pool = pool_with()
+        pool.disk.write_page(Page("p1", {"k": 7}))
+        pool.get_page("p1")
+        pool.flush_page("p1")
+        assert pool.flushes == 0
+
+    def test_crash_loses_cache(self):
+        pool = pool_with()
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.crash()
+        assert not pool.is_cached("p1")
+        assert not pool.disk.has_page("p1")  # never flushed
+
+
+class TestWal:
+    def test_flush_forces_log_first(self):
+        """Write-ahead: flushing a page whose LSN is not yet stable forces
+        the log through that LSN before the page write."""
+        pool = pool_with(log=True)
+        entry = pool.log_manager.append(LogicalRedo(("put",)))
+        pool.update("p1", lambda p: p.put("k", 1, lsn=entry.lsn), create=True)
+        assert pool.log_manager.stable_lsn == -1
+        pool.flush_page("p1")
+        assert pool.log_manager.stable_lsn >= entry.lsn
+        assert pool.disk.read_page("p1").get("k") == 1
+
+    def test_steal_eviction_also_forces_log(self):
+        pool = BufferPool(Disk(), LogManager(), capacity=1)
+        entry = pool.log_manager.append(LogicalRedo(("put",)))
+        pool.update("p1", lambda p: p.put("k", 1, lsn=entry.lsn), create=True)
+        pool.get_page("p2", create=True)  # evicts and steals p1
+        assert pool.log_manager.stable_lsn >= entry.lsn
+        assert pool.disk.read_page("p1").get("k") == 1
+
+    def test_untagged_pages_bypass_wal(self):
+        pool = pool_with(log=True)
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("p1")  # lsn == -1: no WAL obligation
+
+
+class TestFlushConstraints:
+    def test_blocked_flush_raises(self):
+        pool = pool_with()
+        pool.update("new", lambda p: p.put("k", 1), create=True)
+        pool.update("old", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("new", "old")
+        with pytest.raises(CachePolicyError, match="careful write ordering"):
+            pool.flush_page("old")
+
+    def test_flushing_first_discharges(self):
+        pool = pool_with()
+        pool.update("new", lambda p: p.put("k", 1), create=True)
+        pool.update("old", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("new", "old")
+        pool.flush_page("new")
+        pool.flush_page("old")
+        assert pool.disk.read_page("old").get("k") == 2
+
+    def test_force_bypasses_ordering(self):
+        pool = pool_with()
+        pool.update("new", lambda p: p.put("k", 1), create=True)
+        pool.update("old", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("new", "old")
+        pool.flush_page("old", force=True)  # the ablation hook
+        assert pool.disk.read_page("old").get("k") == 2
+
+    def test_flush_all_respects_order(self):
+        pool = pool_with()
+        order = []
+        original = pool.disk.write_page
+
+        def tracking_write(page):
+            order.append(page.page_id)
+            original(page)
+
+        pool.disk.write_page = tracking_write
+        pool.update("old", lambda p: p.put("k", 2), create=True)
+        pool.update("new", lambda p: p.put("k", 1), create=True)
+        pool.add_flush_constraint("new", "old")
+        pool.flush_all()
+        assert order.index("new") < order.index("old")
+
+    def test_duplicate_constraints_are_not_cycles(self):
+        """Two constraints naming the same prerequisite must both be
+        satisfied by one flush of it (regression: the prerequisite
+        resolver once mistook the second for a cycle)."""
+        pool = pool_with()
+        pool.update("a", lambda p: p.put("k", 1), create=True)
+        pool.update("b", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("a", "b")
+        pool.add_flush_constraint("a", "b")
+        pool._flush_with_prerequisites("b")
+        assert pool.disk.read_page("b").get("k") == 2
+        assert pool.pending_constraints() == []
+
+    def test_cycle_forming_constraint_resolved_by_eager_flush(self):
+        """Adding an ordering that would close a cycle flushes the new
+        prerequisite immediately instead (write-graph acyclicity)."""
+        pool = pool_with()
+        pool.update("a", lambda p: p.put("k", 1), create=True)
+        pool.update("b", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("a", "b")
+        constraint = pool.add_flush_constraint("b", "a")  # would be a cycle
+        assert constraint.discharged
+        # b (and its prerequisite a) already reached disk.
+        assert pool.disk.read_page("a").get("k") == 1
+        assert pool.disk.read_page("b").get("k") == 2
+
+    def test_crash_clears_constraints(self):
+        pool = pool_with()
+        pool.update("a", lambda p: p.put("k", 1), create=True)
+        pool.update("b", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("a", "b")
+        pool.crash()
+        assert pool.pending_constraints() == []
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        pool = pool_with(capacity=2)
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.update("p2", lambda p: p.put("k", 2), create=True)
+        pool.get_page("p1")  # touch p1; p2 becomes LRU
+        pool.update("p3", lambda p: p.put("k", 3), create=True)
+        assert pool.is_cached("p1")
+        assert not pool.is_cached("p2")
+        # The dirty victim was flushed (steal).
+        assert pool.disk.read_page("p2").get("k") == 2
+
+    def test_clock_eviction_makes_room(self):
+        pool = pool_with(capacity=2, policy="clock")
+        for i in range(5):
+            pool.update(f"p{i}", lambda p, i=i: p.put("k", i), create=True)
+        assert len(pool.cached_page_ids()) <= 2
+        # All evicted pages reached disk.
+        for i in range(5):
+            if not pool.is_cached(f"p{i}"):
+                assert pool.disk.read_page(f"p{i}").get("k") == i
+
+    def test_no_steal_pool_rejects_dirty_eviction(self):
+        pool = pool_with(capacity=1, steal=False)
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        with pytest.raises(CachePolicyError, match="no-steal"):
+            pool.get_page("p2", create=True)
+
+    def test_pinned_pages_survive(self):
+        pool = pool_with(capacity=2)
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.pin("p1")
+        pool.update("p2", lambda p: p.put("k", 2), create=True)
+        pool.update("p3", lambda p: p.put("k", 3), create=True)
+        assert pool.is_cached("p1")
+        pool.unpin("p1")
+
+    def test_all_pinned_raises(self):
+        pool = pool_with(capacity=1)
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.pin("p1")
+        with pytest.raises(CachePolicyError, match="pinned"):
+            pool.get_page("p2", create=True)
+
+    def test_unpin_without_pin(self):
+        pool = pool_with()
+        pool.get_page("p1", create=True)
+        with pytest.raises(CachePolicyError):
+            pool.unpin("p1")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(Disk(), capacity=0)

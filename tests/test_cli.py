@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "NO" in out
+        assert "figure2" in out
+
+    def test_graphs(self, capsys):
+        assert main(["graphs"]) == 0
+        out = capsys.readouterr().out
+        assert "removed: O -> P" in out
+        assert "prefix {P}" in out
+
+    @pytest.mark.parametrize(
+        "method", ["logical", "physical", "physiological", "generalized"]
+    )
+    def test_demo(self, method, capsys):
+        assert main(["demo", method]) == 0
+        out = capsys.readouterr().out
+        assert "recovered exactly" in out
+
+    @pytest.mark.parametrize(
+        "method", ["logical", "physical", "physiological", "generalized"]
+    )
+    def test_audit(self, method, capsys):
+        assert main(["audit", method]) == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violations" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,136 @@
+"""Unit and property tests for conflict graphs (§2.2) including Lemma 1."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import RW, WR, WW, ConflictGraph
+from repro.core.expr import Var
+from repro.core.model import State, run_sequence
+from repro.graphs.algorithms import is_linear_extension
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+
+
+class TestEdgeConstruction:
+    def test_write_read_edge(self):
+        # W writes x; R reads x.
+        ops = make_ops(("W", "x", 1), ("R", "y", Var("x") + 1))
+        graph = ConflictGraph(ops)
+        assert graph.edge_labels(*ops) == {WR}
+
+    def test_read_write_edge(self):
+        # R reads x; W then overwrites x.
+        ops = make_ops(("R", "y", Var("x") + 1), ("W", "x", 1))
+        graph = ConflictGraph(ops)
+        assert graph.edge_labels(*ops) == {RW}
+
+    def test_write_write_edge(self):
+        ops = make_ops(("W1", "x", 1), ("W2", "x", 2))
+        graph = ConflictGraph(ops)
+        assert graph.edge_labels(*ops) == {WW}
+
+    def test_no_edge_between_disjoint_ops(self):
+        ops = make_ops(("A", "x", 1), ("B", "y", 2))
+        graph = ConflictGraph(ops)
+        assert graph.dag.edge_count() == 0
+
+    def test_read_read_no_edge(self):
+        ops = make_ops(("R1", "a", Var("x") + 1), ("R2", "b", Var("x") + 2))
+        graph = ConflictGraph(ops)
+        assert not graph.has_edge(ops[0], ops[1])
+        assert not graph.has_edge(ops[1], ops[0])
+
+    def test_update_chain_gets_all_three_labels(self):
+        # Two successive increments of x: wr + ww + rw all apply.
+        ops = make_ops(("I1", "x", Var("x") + 1), ("I2", "x", Var("x") + 1))
+        graph = ConflictGraph(ops)
+        assert graph.edge_labels(*ops) == {WW, WR, RW}
+
+    def test_preceding_write_only(self):
+        # W1 then W2 then R: only W2 -> R write-read edge, W1 -> W2 ww.
+        w1, w2, r = make_ops(("W1", "x", 1), ("W2", "x", 2), ("R", "y", Var("x")))
+        graph = ConflictGraph([w1, w2, r])
+        assert graph.edge_labels(w1, w2) == {WW}
+        assert graph.edge_labels(w2, r) == {WR}
+        assert not graph.has_edge(w1, r)
+
+    def test_following_write_only(self):
+        # R then W1 then W2: rw edge only to the following write W1.
+        r, w1, w2 = make_ops(("R", "y", Var("x")), ("W1", "x", 1), ("W2", "x", 2))
+        graph = ConflictGraph([r, w1, w2])
+        assert graph.edge_labels(r, w1) == {RW}
+        assert not graph.has_edge(r, w2)
+
+    def test_opq_running_example(self, opq, opq_conflict):
+        """Figure 4: O -> P (wr), O -> Q (ww + rw + wr), P -> Q (rw)."""
+        O, P, Q = opq
+        assert opq_conflict.edge_labels(O, P) == {WR}
+        assert opq_conflict.edge_labels(O, Q) == {WW, WR, RW}
+        assert opq_conflict.edge_labels(P, Q) == {RW}
+
+
+class TestOrder:
+    def test_ordered_before_transitive(self, opq, opq_conflict):
+        O, P, Q = opq
+        assert opq_conflict.ordered_before(O, Q)
+        assert not opq_conflict.ordered_before(Q, O)
+        assert not opq_conflict.ordered_before(O, O)
+
+    def test_minimal_operations(self, opq, opq_conflict):
+        O, P, Q = opq
+        assert opq_conflict.minimal_operations() == {O}
+        assert opq_conflict.minimal_operations({P, Q}) == {P}
+
+    def test_prefix_detection(self, opq, opq_conflict):
+        O, P, Q = opq
+        assert opq_conflict.is_prefix(set())
+        assert opq_conflict.is_prefix({O})
+        assert opq_conflict.is_prefix({O, P})
+        assert not opq_conflict.is_prefix({P})
+
+    def test_linear_extension_of_subset_preserves_order(self, opq, opq_conflict):
+        O, P, Q = opq
+        assert opq_conflict.linear_extension({Q, P}) == [P, Q]
+
+    def test_all_linear_extensions(self):
+        ops = make_ops(("A", "x", 1), ("B", "y", 2))
+        graph = ConflictGraph(ops)
+        orders = [tuple(o.name for o in ext) for ext in graph.all_linear_extensions()]
+        assert sorted(orders) == [("A", "B"), ("B", "A")]
+
+
+class TestLemma1:
+    def test_opq(self, opq_conflict):
+        assert opq_conflict.check_lemma1()
+
+    def test_scenarios(self, scenarios):
+        for scenario in scenarios.values():
+            graph = ConflictGraph(list(scenario.operations))
+            assert graph.check_lemma1(), scenario.name
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_sequences(self, seed):
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        graph = ConflictGraph(ops)
+        assert graph.check_lemma1(limit=30)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_extensions_reach_same_final_state(self, seed):
+        """The semantic heart of Lemma 1 + Lemma 2: execution order among
+        non-conflicting operations cannot change the final state."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        graph = ConflictGraph(ops)
+        initial = State()
+        final = graph.final_state(initial)
+        for extension in graph.all_linear_extensions(limit=20):
+            assert run_sequence(extension, initial) == final
+
+    def test_log_as_partial_order_consequence(self, opq, opq_conflict):
+        """Lemma 1 consequence: any conflict-consistent total order is a
+        valid log order."""
+        for extension in opq_conflict.all_linear_extensions():
+            assert is_linear_extension(
+                opq_conflict.dag, [op.name for op in extension]
+            )

@@ -1,0 +1,187 @@
+"""Unit tests for the DAG kernel."""
+
+import pytest
+
+from repro.graphs import CycleError, Dag
+
+
+def diamond() -> Dag:
+    """a -> b, a -> c, b -> d, c -> d."""
+    return Dag(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        dag = Dag()
+        assert len(dag) == 0
+        assert dag.nodes() == []
+        assert dag.edge_count() == 0
+
+    def test_add_node_idempotent(self):
+        dag = Dag()
+        dag.add_node("a")
+        dag.add_node("a")
+        assert dag.nodes() == ["a"]
+
+    def test_add_edge_adds_endpoints(self):
+        dag = Dag()
+        dag.add_edge("a", "b")
+        assert "a" in dag and "b" in dag
+        assert dag.has_edge("a", "b")
+        assert not dag.has_edge("b", "a")
+
+    def test_edge_labels_merge(self):
+        dag = Dag()
+        dag.add_edge("a", "b", labels={"ww"})
+        dag.add_edge("a", "b", labels={"rw"})
+        assert dag.edge_labels("a", "b") == {"ww", "rw"}
+
+    def test_self_loop_rejected(self):
+        dag = Dag()
+        with pytest.raises(CycleError):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected(self):
+        dag = Dag(edges=[("a", "b"), ("b", "c")])
+        with pytest.raises(CycleError):
+            dag.add_edge("c", "a")
+
+    def test_long_cycle_rejected(self):
+        dag = Dag(edges=[(f"n{i}", f"n{i+1}") for i in range(10)])
+        with pytest.raises(CycleError):
+            dag.add_edge("n10", "n0")
+
+    def test_remove_edge(self):
+        dag = diamond()
+        dag.remove_edge("a", "b")
+        assert not dag.has_edge("a", "b")
+        assert dag.has_edge("a", "c")
+
+    def test_remove_missing_edge_raises(self):
+        dag = diamond()
+        with pytest.raises(KeyError):
+            dag.remove_edge("b", "c")
+
+    def test_remove_node_detaches_edges(self):
+        dag = diamond()
+        dag.remove_node("b")
+        assert "b" not in dag
+        assert not any("b" in (s, t) for s, t, _ in dag.edges())
+        assert dag.has_edge("a", "c")
+
+    def test_copy_is_independent(self):
+        dag = diamond()
+        clone = dag.copy()
+        clone.add_edge("d", "e")
+        assert "e" not in dag
+        assert dag.same_structure(diamond())
+
+    def test_copy_does_not_share_labels(self):
+        dag = Dag(edges=[("a", "b", {"ww"})])
+        clone = dag.copy()
+        clone.add_edge("a", "b", labels={"rw"})
+        assert dag.edge_labels("a", "b") == {"ww"}
+
+
+class TestReachability:
+    def test_has_path_reflexive(self):
+        dag = diamond()
+        assert dag.has_path("a", "a")
+
+    def test_has_path_transitive(self):
+        dag = diamond()
+        assert dag.has_path("a", "d")
+        assert not dag.has_path("d", "a")
+        assert not dag.has_path("b", "c")
+
+    def test_has_path_missing_nodes(self):
+        dag = diamond()
+        assert not dag.has_path("a", "zz")
+        assert not dag.has_path("zz", "a")
+
+    def test_predecessors_transitive(self):
+        dag = diamond()
+        assert dag.predecessors("d") == {"a", "b", "c"}
+        assert dag.predecessors("a") == set()
+
+    def test_successors_transitive(self):
+        dag = diamond()
+        assert dag.successors("a") == {"b", "c", "d"}
+        assert dag.successors("d") == set()
+
+    def test_ordered_before_strict(self):
+        dag = diamond()
+        assert dag.ordered_before("a", "d")
+        assert not dag.ordered_before("a", "a")
+
+    def test_comparable(self):
+        dag = diamond()
+        assert dag.comparable("a", "d")
+        assert dag.comparable("d", "a")
+        assert not dag.comparable("b", "c")
+
+
+class TestPrefixes:
+    def test_empty_set_is_prefix(self):
+        assert diamond().is_prefix(set())
+
+    def test_full_set_is_prefix(self):
+        dag = diamond()
+        assert dag.is_prefix(set(dag.nodes()))
+
+    def test_prefix_requires_closure(self):
+        dag = diamond()
+        assert dag.is_prefix({"a"})
+        assert dag.is_prefix({"a", "b"})
+        assert not dag.is_prefix({"b"})       # missing predecessor a
+        assert not dag.is_prefix({"a", "d"})  # missing b, c
+
+    def test_prefix_with_unknown_node(self):
+        assert not diamond().is_prefix({"zz"})
+
+    def test_prefix_closure(self):
+        dag = diamond()
+        assert dag.prefix_closure({"d"}) == {"a", "b", "c", "d"}
+        assert dag.prefix_closure({"b"}) == {"a", "b"}
+        assert dag.prefix_closure(set()) == set()
+
+    def test_minimal_nodes_global(self):
+        assert diamond().minimal_nodes() == {"a"}
+
+    def test_minimal_nodes_within_subset(self):
+        dag = diamond()
+        assert dag.minimal_nodes({"b", "c", "d"}) == {"b", "c"}
+        assert dag.minimal_nodes({"d"}) == {"d"}
+
+    def test_maximal_nodes(self):
+        dag = diamond()
+        assert dag.maximal_nodes() == {"d"}
+        assert dag.maximal_nodes({"a", "b", "c"}) == {"b", "c"}
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self):
+        dag = diamond()
+        sub = dag.induced_subgraph({"a", "b", "d"})
+        assert set(sub.nodes()) == {"a", "b", "d"}
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "d")
+        assert not sub.has_edge("a", "d")  # no direct edge in original
+
+    def test_filter_edges(self):
+        dag = Dag(edges=[("a", "b", {"wr"}), ("b", "c", {"ww"})])
+        kept = dag.filter_edges(lambda s, t, labels: labels != {"wr"})
+        assert not kept.has_edge("a", "b")
+        assert kept.has_edge("b", "c")
+        assert set(kept.nodes()) == {"a", "b", "c"}
+
+    def test_same_structure_ignores_labels_by_default(self):
+        a = Dag(edges=[("a", "b", {"wr"})])
+        b = Dag(edges=[("a", "b", {"ww"})])
+        assert a.same_structure(b)
+        assert not a.same_structure(b, with_labels=True)
+
+    def test_to_dot_contains_edges(self):
+        dot = diamond().to_dot()
+        assert '"a" -> "b"' in dot
+        assert dot.startswith("digraph")

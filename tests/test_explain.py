@@ -1,0 +1,146 @@
+"""Unit and property tests for explainable states and applicability (§3.2–3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.explain import (
+    explains,
+    extend_prefix,
+    find_explaining_prefixes,
+    is_applicable,
+    is_explainable,
+    replay_step_preserves_explanation,
+)
+from repro.core.expr import Var
+from repro.core.installation import InstallationGraph
+from repro.core.model import State
+from repro.graphs import all_prefixes
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+
+
+class TestExplains:
+    def test_full_prefix_explains_final_state(self, opq, opq_installation, initial_state):
+        final = opq_installation.conflict.final_state(initial_state)
+        assert explains(opq_installation, set(opq), final, initial_state)
+
+    def test_empty_prefix_explains_initial_state(self, opq, opq_installation, initial_state):
+        # Under the empty prefix, x is exposed (O reads it) and must be 0.
+        assert explains(opq_installation, set(), initial_state, initial_state)
+        assert not explains(opq_installation, set(), State({"x": 5}), initial_state)
+
+    def test_unexposed_variables_are_dont_care(self, opq, opq_installation, initial_state):
+        """With {O, P} installed, Q blind-writes nothing — Q reads x, so x
+        stays exposed; but after installing everything but a blind write,
+        its target may hold garbage."""
+        c, d = make_ops(
+            ("C", {"x": Var("x") + 1, "y": Var("y") + 1}),
+            ("D", "x", Var("y") + 1),
+        )
+        installation = InstallationGraph(ConflictGraph([c, d]))
+        # {C}: x unexposed (D blind-writes it) -> any x value is explained.
+        for garbage in (0, 1, 99):
+            assert explains(installation, {c}, State({"x": garbage, "y": 1}), initial_state)
+        # but y is exposed and must hold C's value 1.
+        assert not explains(installation, {c}, State({"x": 0, "y": 7}), initial_state)
+
+    def test_non_prefix_rejected(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        with pytest.raises(ValueError):
+            explains(opq_installation, {Q}, initial_state, initial_state)
+
+    def test_figure5_prefix_p(self, opq, opq_installation, initial_state):
+        """The Figure 5 dashed line: {P} explains the state y=2, x=0."""
+        O, P, Q = opq
+        assert explains(opq_installation, {P}, State({"x": 0, "y": 2}), initial_state)
+        # x stays exposed under {P} (O reads x next), so x=1 is NOT explained
+        # by {P} — that state is explained by {O} or {O,P} instead.
+        assert not explains(opq_installation, {P}, State({"x": 1, "y": 2}), initial_state)
+
+
+class TestFindExplainingPrefixes:
+    def test_scenario2(self, initial_state):
+        b, a = make_ops(("B", "y", 2), ("A", "x", Var("y") + 1))
+        installation = InstallationGraph(ConflictGraph([b, a]))
+        crashed = State({"x": 3, "y": 0})
+        found = {
+            frozenset(op.name for op in prefix)
+            for prefix in find_explaining_prefixes(installation, crashed, initial_state)
+        }
+        assert found == {frozenset(), frozenset({"A"})}
+
+    def test_unexplainable_state_yields_nothing(self, initial_state):
+        a, b = make_ops(("A", "x", Var("y") + 1), ("B", "y", 2))
+        installation = InstallationGraph(ConflictGraph([a, b]))
+        crashed = State({"x": 0, "y": 2})  # Scenario 1
+        assert list(find_explaining_prefixes(installation, crashed, initial_state)) == []
+        assert not is_explainable(installation, crashed, initial_state)
+
+
+class TestApplicability:
+    def test_minimal_uninstalled_is_applicable(self, opq, opq_installation, initial_state):
+        """§3.3: O sees x=0 even when P is installed before it."""
+        O, P, Q = opq
+        state_with_p = State({"x": 0, "y": 2})
+        assert is_applicable(opq_installation, O, state_with_p, initial_state)
+
+    def test_wrong_read_values_not_applicable(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        # P reads x and expects O's value 1; x=0 makes it inapplicable.
+        assert not is_applicable(opq_installation, P, State({"x": 0}), initial_state)
+        assert is_applicable(opq_installation, P, State({"x": 1}), initial_state)
+
+    def test_blind_write_always_applicable(self, initial_state):
+        b, a = make_ops(("B", "y", 2), ("A", "x", Var("y") + 1))
+        installation = InstallationGraph(ConflictGraph([b, a]))
+        for y in (0, 5, -3):
+            assert is_applicable(installation, b, State({"y": y}), initial_state)
+
+
+class TestExtendPrefix:
+    def test_valid_extension(self, opq, opq_installation):
+        O, P, Q = opq
+        assert extend_prefix(opq_installation, {O}, P) == frozenset({O, P})
+        assert extend_prefix(opq_installation, {P}, O) == frozenset({O, P})
+
+    def test_non_minimal_rejected(self, opq, opq_installation):
+        O, P, Q = opq
+        with pytest.raises(ValueError, match="minimal"):
+            extend_prefix(opq_installation, set(), Q)
+
+
+class TestStepLemma:
+    def test_opq_both_minimal_paths(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        assert replay_step_preserves_explanation(
+            opq_installation, set(), O, initial_state, initial_state
+        )
+        # From the installation-only prefix {P} (state x=0, y=2): O is the
+        # minimal uninstalled operation and replaying it lands on {O, P}.
+        assert replay_step_preserves_explanation(
+            opq_installation, {P}, O, State({"x": 0, "y": 2}), initial_state
+        )
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_step_lemma_on_determined_states(self, seed):
+        """For every installation prefix σ and every minimal uninstalled O:
+        the state determined by σ is explained by σ, O is applicable, and
+        σ;O explains S;O."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=5, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        for prefix_names in all_prefixes(installation.dag):
+            prefix = {conflict.operation(name) for name in prefix_names}
+            state = installation.determined_state(prefix, initial)
+            assert explains(installation, prefix, state, initial)
+            for minimal in installation.minimal_uninstalled(prefix):
+                assert replay_step_preserves_explanation(
+                    installation, prefix, minimal, state, initial
+                ), (
+                    f"step lemma failed for prefix {sorted(prefix_names)} "
+                    f"and operation {minimal.name}"
+                )

@@ -1,0 +1,114 @@
+"""Unit and property tests for exposed variables (§2.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.exposed import (
+    all_variables,
+    exposed_variables,
+    is_exposed,
+    is_unexposed,
+    strictly_exposed_variables,
+    unexposed_variables,
+)
+from repro.core.expr import Var
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+
+
+class TestDefinition:
+    def test_untouched_variable_is_exposed(self):
+        ops = make_ops(("A", "x", 1))
+        graph = ConflictGraph(ops)
+        # No operation outside I accesses z -> exposed.
+        assert is_exposed(graph, [], "z")
+
+    def test_all_installed_means_everything_exposed(self):
+        ops = make_ops(("A", "x", 1), ("B", "y", Var("x")))
+        graph = ConflictGraph(ops)
+        assert exposed_variables(graph, ops) == {"x", "y"}
+
+    def test_minimal_reader_outside_means_exposed(self):
+        w, r = make_ops(("W", "x", 1), ("R", "y", Var("x") + 1))
+        graph = ConflictGraph([w, r])
+        # I = {W}: R is outside and reads x -> x exposed.
+        assert is_exposed(graph, [w], "x")
+
+    def test_minimal_blind_writer_means_unexposed(self):
+        r, w = make_ops(("R", "y", Var("x") + 1), ("W", "x", 7))
+        graph = ConflictGraph([r, w])
+        # I = {R}: W is the only outside accessor of x and blind-writes it.
+        assert is_unexposed(graph, [r], "x")
+
+    def test_reader_behind_blind_writer_stays_unexposed(self):
+        # I = {}: accessors of x are W (blind write) then R (read).
+        # Minimal is W, which blind-writes -> unexposed: the replay of W
+        # will fix x before R reads it.
+        w, r = make_ops(("W", "x", 7), ("R", "y", Var("x") + 1))
+        graph = ConflictGraph([w, r])
+        assert is_unexposed(graph, [], "x")
+
+    def test_reading_writer_keeps_variable_exposed(self):
+        inc, = make_ops(("I", "x", Var("x") + 1))
+        graph = ConflictGraph([inc])
+        # Minimal accessor reads x before writing -> exposed.
+        assert is_exposed(graph, [], "x")
+
+    def test_scenario3_x_unexposed_after_partial_c(self):
+        """Figure 3: with I = {C}, D blind-writes x, so x is unexposed,
+        while y (read by D) is exposed."""
+        c, d = make_ops(
+            ("C", {"x": Var("x") + 1, "y": Var("y") + 1}),
+            ("D", "x", Var("y") + 1),
+        )
+        graph = ConflictGraph([c, d])
+        assert unexposed_variables(graph, [c]) == {"x"}
+        assert exposed_variables(graph, [c]) == {"y"}
+
+
+class TestMonotonicity:
+    """§2.3's flip claims, tested on the H,J example and at random."""
+
+    def test_growing_installed_set_can_flip_both_ways(self):
+        h, j = make_ops(
+            ("H", {"x": Var("x") + 1, "y": Var("y") + 1}),
+            ("J", "y", 0),
+        )
+        graph = ConflictGraph([h, j])
+        # I = {}: minimal accessor of y is H, which reads y -> exposed.
+        assert is_exposed(graph, [], "y")
+        # I = {H}: minimal outside accessor is J, blind write -> unexposed.
+        assert is_unexposed(graph, [h], "y")
+        # I = {H, J}: nothing outside -> exposed again.
+        assert is_exposed(graph, [h, j], "y")
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_growing_conflict_graph_keeps_unexposed_unexposed(self, seed):
+        """Appending operations while I stays fixed can flip exposed ->
+        unexposed but never unexposed -> exposed."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=7, n_variables=3))
+        for cut in range(1, len(ops)):
+            smaller = ConflictGraph(ops[:cut])
+            larger = ConflictGraph(ops[: cut + 1])
+            installed = []  # fixed I
+            for variable in all_variables(smaller):
+                if is_unexposed(smaller, installed, variable):
+                    assert is_unexposed(larger, installed, variable)
+
+
+class TestStrictVariant:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_some_equals_all_minimal_readers(self, seed):
+        """Because accessors of a variable where one writes are always
+        conflict-ordered, 'some minimal accessor reads' and 'all minimal
+        accessors read' coincide — the paper's wording is unambiguous."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        graph = ConflictGraph(ops)
+        for cut in range(len(ops) + 1):
+            installed = ops[:cut]
+            assert exposed_variables(graph, installed) == strictly_exposed_variables(
+                graph, installed
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for the expression DSL."""
+
+import pytest
+
+from repro.core.expr import (
+    Add,
+    Concat,
+    Const,
+    Mul,
+    Sub,
+    Var,
+    assign,
+    blind_write,
+    increment,
+)
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5
+
+    def test_var(self):
+        assert Var("x").evaluate({"x": 7}) == 7
+
+    def test_var_missing_raises(self):
+        with pytest.raises(KeyError):
+            Var("x").evaluate({})
+
+    def test_arithmetic(self):
+        env = {"x": 3, "y": 4}
+        assert (Var("x") + Var("y")).evaluate(env) == 7
+        assert (Var("x") - 1).evaluate(env) == 2
+        assert (Var("x") * Var("y")).evaluate(env) == 12
+        assert (2 + Var("x")).evaluate(env) == 5
+        assert (10 - Var("x")).evaluate(env) == 7
+        assert (2 * Var("y")).evaluate(env) == 8
+
+    def test_nested(self):
+        expr = (Var("x") + 1) * (Var("y") - 2)
+        assert expr.evaluate({"x": 2, "y": 5}) == 9
+
+    def test_concat(self):
+        expr = Concat(Var("s"), Const("!"))
+        assert expr.evaluate({"s": "hi"}) == "hi!"
+
+
+class TestVariables:
+    def test_const_reads_nothing(self):
+        assert Const(1).variables() == frozenset()
+
+    def test_var_reads_itself(self):
+        assert Var("x").variables() == frozenset({"x"})
+
+    def test_composite_union(self):
+        expr = Var("x") + Var("y") * Var("x")
+        assert expr.variables() == frozenset({"x", "y"})
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        assert Var("x") + 1 == Add(Var("x"), Const(1))
+
+    def test_unequal_ops(self):
+        assert Var("x") + 1 != Sub(Var("x"), Const(1))
+
+    def test_hashable(self):
+        assert len({Var("x") + 1, Add(Var("x"), Const(1)), Mul(Var("x"), Const(1))}) == 2
+
+    def test_str_rendering(self):
+        assert str(Var("x") + 1) == "(x + 1)"
+        assert str(Var("y")) == "y"
+
+
+class TestOperationConstructors:
+    def test_assign_derives_read_set(self):
+        op = assign("A", "x", Var("y") + 1)
+        assert op.read_set == frozenset({"y"})
+        assert op.write_set == frozenset({"x"})
+
+    def test_blind_write_reads_nothing(self):
+        op = blind_write("B", "y", 2)
+        assert op.read_set == frozenset()
+        assert op.write_set == frozenset({"y"})
+        assert op.writes_blindly("y")
+
+    def test_increment_reads_target(self):
+        op = increment("G", "x")
+        assert op.read_set == frozenset({"x"})
+        assert op.write_set == frozenset({"x"})
+        assert not op.writes_blindly("x")
+
+    def test_assign_str(self):
+        op = assign("A", "x", Var("y") + 1)
+        assert str(op) == "A: x <- (y + 1)"

@@ -1,0 +1,216 @@
+"""Unit and property tests for installation graphs (§3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.expr import Var
+from repro.core.installation import InstallationGraph, vldb95_dag
+from repro.core.model import State
+from repro.graphs import count_prefixes
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+
+
+class TestEdgeRemoval:
+    def test_pure_wr_edge_removed(self, opq, opq_conflict, opq_installation):
+        """Figure 5: the O -> P write-read edge disappears."""
+        O, P, Q = opq
+        assert opq_conflict.has_edge(O, P)
+        assert not opq_installation.has_edge(O, P)
+
+    def test_mixed_label_edges_survive(self, opq, opq_installation):
+        O, P, Q = opq
+        assert opq_installation.has_edge(O, Q)  # ww + wr + rw
+        assert opq_installation.has_edge(P, Q)  # rw
+
+    def test_removed_edges_listing(self, opq, opq_installation):
+        O, P, Q = opq
+        assert opq_installation.removed_edges() == [(O, P)]
+
+    def test_writers_remain_ordered(self):
+        """ww edges always survive, so common writers stay comparable."""
+        ops = make_ops(("W1", "x", 1), ("W2", "x", 2))
+        installation = InstallationGraph(ConflictGraph(ops))
+        assert installation.has_edge(*ops)
+
+
+class TestPrefixes:
+    def test_figure5_extra_prefix(self, opq, opq_installation):
+        """{P} is an installation-graph prefix but not a conflict prefix."""
+        O, P, Q = opq
+        assert opq_installation.is_prefix({P})
+        assert not opq_installation.conflict.is_prefix({P})
+
+    def test_conflict_prefixes_are_installation_prefixes(self, opq, opq_installation):
+        O, P, Q = opq
+        for prefix in [set(), {O}, {O, P}, {O, P, Q}]:
+            assert opq_installation.conflict.is_prefix(prefix)
+            assert opq_installation.is_prefix(prefix)
+
+    def test_prefix_enumeration(self, opq, opq_installation):
+        O, P, Q = opq
+        prefixes = set(opq_installation.prefixes())
+        assert prefixes == {
+            frozenset(),
+            frozenset({O}),
+            frozenset({P}),
+            frozenset({O, P}),
+            frozenset({O, P, Q}),
+        }
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_installation_admits_at_least_as_many_prefixes(self, seed):
+        """E7's invariant: removing edges only adds prefixes."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=7, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        assert count_prefixes(installation.dag) >= count_prefixes(conflict.dag)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_every_conflict_prefix_is_installation_prefix(self, seed):
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        from repro.graphs import all_prefixes
+
+        for prefix in all_prefixes(conflict.dag):
+            assert installation.dag.is_prefix(prefix)
+
+
+class TestMinimalUninstalled:
+    def test_paper_example(self, opq, opq_installation):
+        """§3.3: after {O} the minimal uninstalled is P; after the
+        installation-only prefix {P} it is O."""
+        O, P, Q = opq
+        assert opq_installation.minimal_uninstalled({O}) == {P}
+        assert opq_installation.minimal_uninstalled({P}) == {O}
+        assert opq_installation.minimal_uninstalled(set()) == {O}
+        assert opq_installation.minimal_uninstalled({O, P}) == {Q}
+        assert opq_installation.minimal_uninstalled({O, P, Q}) == set()
+
+
+class TestDeterminedState:
+    def test_prefix_p_has_final_y(self, opq, opq_installation, initial_state):
+        """§3.1: a prefix's state holds the *final* (conflict-order) values
+        of the variables its operations write — P's y is 2 (reading O's x),
+        not 1."""
+        O, P, Q = opq
+        determined = opq_installation.determined_state({P}, initial_state)
+        assert determined["y"] == 2
+        assert determined["x"] == 0  # x untouched by the prefix
+
+    def test_full_prefix_is_final_state(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        determined = opq_installation.determined_state({O, P, Q}, initial_state)
+        assert determined == opq_installation.conflict.final_state(initial_state)
+
+    def test_non_prefix_rejected(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        with pytest.raises(ValueError, match="prefix"):
+            opq_installation.determined_state({Q}, initial_state)
+
+    def test_state_graph_is_valid(self, opq, opq_installation, initial_state):
+        opq_installation.state_graph(initial_state).validate()
+
+
+class TestVldb95Equivalence:
+    def test_blind_overwrite_edge_dropped(self):
+        """W1 -> W2 ww edge with W2 blind and no reader between: the
+        VLDB'95 graph drops it, the SIGMOD'03 graph keeps it."""
+        ops = make_ops(("W1", "x", 1), ("W2", "x", 2))
+        conflict = ConflictGraph(ops)
+        sigmod = InstallationGraph(conflict)
+        vldb = vldb95_dag(conflict)
+        assert sigmod.has_edge(*ops)
+        assert not vldb.has_edge("W1", "W2")
+
+    def test_reading_overwrite_edge_kept(self):
+        ops = make_ops(("W1", "x", 1), ("W2", "x", Var("x") + 1))
+        vldb = vldb95_dag(ConflictGraph(ops))
+        assert vldb.has_edge("W1", "W2")
+
+    def test_intervening_reader_keeps_transitive_order(self):
+        w1, r, w2 = make_ops(
+            ("W1", "x", 1), ("R", "y", Var("x")), ("W2", "x", 2)
+        )
+        vldb = vldb95_dag(ConflictGraph([w1, r, w2]))
+        # The direct ww edge may go, but order survives via W1 -> R -> W2.
+        assert vldb.has_path("W1", "W2")
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_vldb_prefixes_superset(self, seed):
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        conflict = ConflictGraph(ops)
+        sigmod = InstallationGraph(conflict).dag
+        vldb = vldb95_dag(conflict)
+        from repro.graphs import all_prefixes
+
+        for prefix in all_prefixes(sigmod):
+            assert vldb.is_prefix(prefix)
+
+    def test_naive_ww_removal_is_unsound(self):
+        """Why the VLDB'95 construction had to be elaborate: under the
+        naive ww-relaxation, a reader ordered *before* the dropped edge
+        loses its transitive ordering to the blind writer, and replaying
+        it reads the wrong value while the replay of the intermediate
+        writer clobbers the installed one."""
+        from repro.core.explain import is_explainable
+        from repro.core.replay import is_potentially_recoverable
+
+        # R reads x first, then W1 and W2 blind-write x in turn.  The
+        # naive rule drops the pure ww edge W1 -> W2, so {W2} becomes a
+        # "prefix"; its determined state (x final, y initial) is
+        # unrecoverable: R must be replayed to rebuild y, but it reads the
+        # wrong x, and omitting it leaves y wrong.
+        r, w1, w2 = make_ops(
+            ("R", "y", Var("x") + 5),
+            ("W1", "x", 7),
+            ("W2", "x", 9),
+        )
+        conflict = ConflictGraph([r, w1, w2])
+        installation = InstallationGraph(conflict)
+        vldb = vldb95_dag(conflict)
+        assert vldb.is_prefix({"W2"})               # naive rule admits it
+        assert not installation.is_prefix({w2})     # the simple rule does not
+        crashed = State({"x": 9, "y": 0})
+        assert not is_potentially_recoverable(conflict, crashed, State())
+        assert not is_explainable(installation, crashed, State())
+
+    @given(st.integers(min_value=0, max_value=3_000))
+    @settings(max_examples=20, deadline=None)
+    def test_explainable_vldb_prefix_states_are_recoverable(self, seed):
+        """The §1.3 equivalence at the level that matters: among states
+        determined by naive-VLDB prefixes, SIGMOD'03 explainability exactly
+        coincides with brute-force potential recoverability in the
+        explainable direction (Theorem 3 soundness)."""
+        from repro.core.explain import is_explainable
+        from repro.core.replay import is_potentially_recoverable
+        from repro.core.state_graph import StateGraph
+        from repro.graphs import all_prefixes
+
+        ops = random_operations(seed, OpSequenceSpec(n_operations=5, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        vldb = vldb95_dag(conflict)
+        initial = State()
+        conflict_sg = StateGraph.conflict_state_graph(conflict, initial)
+
+        for prefix_names in all_prefixes(vldb):
+            state = initial.copy()
+            assignments = {}
+            for name in prefix_names:
+                for variable, value in conflict_sg.writes(name).items():
+                    current = assignments.get(variable)
+                    # Last writer in *conflict* order (dropped ww edges can
+                    # leave writers unordered in the naive graph itself).
+                    if current is None or conflict.dag.has_path(current[0], name):
+                        assignments[variable] = (name, value)
+            for variable, (_, value) in assignments.items():
+                state.set(variable, value)
+            if is_explainable(installation, state, initial):
+                assert is_potentially_recoverable(conflict, state, initial)

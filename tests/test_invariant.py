@@ -1,0 +1,179 @@
+"""Unit and property tests for the Recovery Invariant checker (§4.5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.installation import InstallationGraph
+from repro.core.invariant import (
+    audit_normal_operation,
+    check_recovery_invariant,
+    installed_set,
+)
+from repro.core.model import State
+from repro.core.recovery import Log
+from repro.graphs import all_prefixes
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+
+
+class TestCheckInvariant:
+    def test_holds_with_full_replay_from_initial(self, opq, opq_installation, initial_state):
+        log = Log.from_operations(list(opq))
+        report = check_recovery_invariant(
+            opq_installation, initial_state, log, initial_state, verify_outcome=True
+        )
+        assert report.holds
+        assert report.recovered_correctly
+        assert report.installed == frozenset()
+
+    def test_holds_with_checkpoint_matching_state(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        log = Log.from_operations(list(opq))
+        report = check_recovery_invariant(
+            opq_installation,
+            State({"x": 1}),  # O's effect present
+            log,
+            initial_state,
+            checkpoint={O},
+            verify_outcome=True,
+        )
+        assert report.holds and report.recovered_correctly
+        assert report.installed == frozenset({O})
+
+    def test_violated_when_checkpoint_lies(self, opq, opq_installation, initial_state):
+        """Checkpointing O while the state lacks O's effect: the installed
+        set is a prefix but does not explain the state, and recovery
+        produces the wrong final state — Corollary 4's contrapositive."""
+        O, P, Q = opq
+        log = Log.from_operations(list(opq))
+        report = check_recovery_invariant(
+            opq_installation,
+            initial_state,  # x = 0, O's effect missing
+            log,
+            initial_state,
+            checkpoint={O},
+            verify_outcome=True,
+        )
+        assert not report.holds
+        assert report.is_prefix
+        assert not report.explains_state
+        assert "x" in report.mismatched_variables
+        assert report.recovered_correctly is False
+
+    def test_violated_when_installed_not_a_prefix(self, opq, opq_installation, initial_state):
+        """Checkpointing Q alone: {Q} is not an installation prefix."""
+        O, P, Q = opq
+        log = Log.from_operations(list(opq))
+        report = check_recovery_invariant(
+            opq_installation,
+            State({"x": 3}),
+            log,
+            initial_state,
+            checkpoint={Q},
+            verify_outcome=True,
+        )
+        assert not report.holds
+        assert not report.is_prefix
+
+    def test_installation_only_prefix_is_legal(self, opq, opq_installation, initial_state):
+        """Checkpointing P alone is fine — {P} is an installation prefix
+        (the whole point of Figure 5)."""
+        O, P, Q = opq
+        log = Log.from_operations(list(opq))
+        report = check_recovery_invariant(
+            opq_installation,
+            State({"x": 0, "y": 2}),
+            log,
+            initial_state,
+            checkpoint={P},
+            verify_outcome=True,
+        )
+        assert report.holds and report.recovered_correctly
+
+    def test_describe_mentions_verdict(self, opq, opq_installation, initial_state):
+        log = Log.from_operations(list(opq))
+        report = check_recovery_invariant(
+            opq_installation, initial_state, log, initial_state
+        )
+        assert "HOLDS" in report.describe()
+
+    def test_installed_set_helper(self, opq):
+        O, P, Q = opq
+        log = Log.from_operations(list(opq))
+        assert installed_set(log, {P, Q}) == {O}
+
+
+class TestCorollary4:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_implies_correct_recovery(self, seed):
+        """Corollary 4 over random sequences: checkpoint any installation
+        prefix, set the state to that prefix's determined state, and
+        recovery must reach the final state."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        log = Log.from_operations(ops)
+        for prefix_names in all_prefixes(installation.dag):
+            prefix = {conflict.operation(name) for name in prefix_names}
+            state = installation.determined_state(prefix, initial)
+            report = check_recovery_invariant(
+                installation, state, log, initial,
+                checkpoint=prefix, verify_outcome=True,
+            )
+            assert report.holds, f"invariant failed for prefix {sorted(prefix_names)}"
+            assert report.recovered_correctly
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_violations_are_flagged(self, seed):
+        """Checkpointing a random non-prefix (or a prefix whose effects are
+        absent) must be reported as a violation whenever recovery would
+        actually fail.  (The converse need not hold: a violated invariant
+        can still luck into the right state, so we only assert one way.)"""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=5, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        log = Log.from_operations(ops)
+        # Claim the LAST operation alone is installed without its effects.
+        last = ops[-1]
+        report = check_recovery_invariant(
+            installation, initial, log, initial,
+            checkpoint={last}, verify_outcome=True,
+        )
+        if report.recovered_correctly is False:
+            assert not report.holds
+
+
+class TestAuditNormalOperation:
+    def test_snapshots_along_an_execution(self, opq, initial_state):
+        """Simulate normal operation installing operations one at a time in
+        conflict order, checkpointing as it goes; every snapshot satisfies
+        the invariant."""
+        O, P, Q = opq
+        ops = list(opq)
+        log = Log.from_operations(ops)
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        snapshots = []
+        for cut in range(len(ops) + 1):
+            prefix = set(ops[:cut])
+            state = installation.determined_state(prefix, initial_state)
+            snapshots.append((state, log, prefix))
+        reports = audit_normal_operation(ops, initial_state, snapshots)
+        assert all(report.holds for report in reports)
+        assert all(report.recovered_correctly for report in reports)
+
+    def test_partial_log_snapshot(self, opq, initial_state):
+        """A snapshot where the log only covers executed operations."""
+        O, P, Q = opq
+        partial_log = Log.from_operations([O, P])
+        reports = audit_normal_operation(
+            list(opq),
+            initial_state,
+            [(State({"x": 1}), partial_log, {O})],
+        )
+        assert reports[0].holds

@@ -1,0 +1,153 @@
+"""Unit tests for log records and the log manager."""
+
+import pytest
+
+from repro.logmgr import (
+    CheckpointRecord,
+    LogManager,
+    LogicalRedo,
+    MultiPageRedo,
+    PageAction,
+    PhysicalRedo,
+    PhysiologicalRedo,
+    WalViolation,
+)
+from repro.storage.page import Page
+
+
+class TestPageAction:
+    def test_put(self):
+        page = Page("p1")
+        PageAction("put", ("k", 5)).apply_to(page, lsn=3)
+        assert page.get("k") == 5
+        assert page.lsn == 3
+
+    def test_delete(self):
+        page = Page("p1", {"k": 5})
+        PageAction("delete", ("k",)).apply_to(page)
+        assert page.get("k") is None
+
+    def test_add_reads_current_value(self):
+        page = Page("p1", {"k": 10})
+        PageAction("add", ("k", 7)).apply_to(page)
+        assert page.get("k") == 17
+
+    def test_add_missing_cell_starts_at_zero(self):
+        page = Page("p1")
+        PageAction("add", ("k", 7)).apply_to(page)
+        assert page.get("k") == 7
+
+    def test_truncate(self):
+        page = Page("p1", {"a": 1, "m": 2, "z": 3})
+        PageAction("truncate", ("m",)).apply_to(page, lsn=4)
+        assert page.cells == {"a": 1}
+        assert page.lsn == 4
+
+    def test_split_move_requires_reader(self):
+        page = Page("p2")
+        with pytest.raises(ValueError, match="reader"):
+            PageAction("split-move", ("p1", "m")).apply_to(page)
+
+    def test_split_move(self):
+        source = Page("p1", {"a": 1, "m": 2, "z": 3})
+        target = Page("p2", {"stale": 9})
+        PageAction("split-move", ("p1", "m")).apply_to(
+            target, lsn=5, reader=lambda pid: source
+        )
+        assert target.cells == {"m": 2, "z": 3}
+        assert target.lsn == 5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PageAction("explode", ()).apply_to(Page("p1"))
+
+
+class TestRecordSizes:
+    def test_all_payloads_have_positive_size(self):
+        payloads = [
+            PhysicalRedo("p1", {"k": 1}),
+            PhysiologicalRedo("p1", PageAction("put", ("k", 1))),
+            LogicalRedo(("kv-put", "k", 1)),
+            MultiPageRedo(("p1",), {"p2": (PageAction("split-move", ("p1", "m")),)}),
+            CheckpointRecord(("A",)),
+        ]
+        for payload in payloads:
+            assert payload.size_bytes() > 0
+
+    def test_physical_size_grows_with_payload(self):
+        small = PhysicalRedo("p1", {"k": 1})
+        big = PhysicalRedo("p1", {"k": "x" * 200})
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_multipage_smaller_than_physical_image_of_moved_half(self):
+        """The heart of §6.4: a split-move record costs O(1) while the
+        physical image of the moved half costs O(contents)."""
+        moved_half = {f"key{i}": f"value-{i}" * 3 for i in range(50)}
+        physical = PhysicalRedo("new-page", moved_half, whole_page=True)
+        generalized = MultiPageRedo(
+            ("old-page",),
+            {"new-page": (PageAction("split-move", ("old-page", "key25")),)},
+        )
+        assert generalized.size_bytes() < physical.size_bytes() / 5
+
+
+class TestLogManager:
+    def test_lsns_are_dense_and_increasing(self):
+        log = LogManager()
+        lsns = [log.append(LogicalRedo(("noop",))).lsn for _ in range(5)]
+        assert lsns == [0, 1, 2, 3, 4]
+        assert log.next_lsn == 5
+
+    def test_nothing_stable_before_flush(self):
+        log = LogManager()
+        log.append(LogicalRedo(("a",)))
+        assert log.stable_lsn == -1
+        assert log.stable_entries() == []
+
+    def test_flush_all(self):
+        log = LogManager()
+        for i in range(3):
+            log.append(LogicalRedo((i,)))
+        log.flush()
+        assert log.stable_lsn == 2
+        assert len(log.stable_entries()) == 3
+
+    def test_partial_flush(self):
+        log = LogManager()
+        for i in range(5):
+            log.append(LogicalRedo((i,)))
+        log.flush(up_to_lsn=2)
+        assert log.stable_lsn == 2
+        assert [e.lsn for e in log.stable_entries()] == [0, 1, 2]
+
+    def test_wal_check(self):
+        log = LogManager()
+        entry = log.append(LogicalRedo(("a",)))
+        with pytest.raises(WalViolation):
+            log.wal_check(entry.lsn)
+        log.flush()
+        log.wal_check(entry.lsn)  # now fine
+
+    def test_crash_truncates_volatile_tail(self):
+        log = LogManager()
+        log.append(LogicalRedo(("a",)))
+        log.flush()
+        log.append(LogicalRedo(("b",)))
+        log.crash()
+        assert len(log) == 1
+        assert log.entries()[0].payload == LogicalRedo(("a",))
+
+    def test_entries_from(self):
+        log = LogManager()
+        for i in range(4):
+            log.append(LogicalRedo((i,)))
+        log.flush()
+        assert [e.lsn for e in log.entries_from(2)] == [2, 3]
+
+    def test_byte_accounting(self):
+        log = LogManager()
+        log.append(PhysicalRedo("p1", {"k": "v" * 50}))
+        assert log.total_bytes() > 50
+        assert log.stable_bytes() == 0
+        log.flush()
+        assert log.stable_bytes() == log.total_bytes()

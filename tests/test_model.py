@@ -1,0 +1,123 @@
+"""Unit tests for states and operations (§2.1 model)."""
+
+import pytest
+
+from repro.core.expr import Var
+from repro.core.model import (
+    Operation,
+    State,
+    check_distinct_names,
+    run_sequence,
+    state_sequence,
+)
+from tests.conftest import make_ops
+
+
+class TestState:
+    def test_default_value(self):
+        state = State()
+        assert state["anything"] == 0
+
+    def test_custom_default(self):
+        state = State(default=None)
+        assert state["x"] is None
+
+    def test_explicit_bindings(self):
+        state = State({"x": 5})
+        assert state["x"] == 5
+        assert state["y"] == 0
+
+    def test_updated_copies(self):
+        state = State({"x": 1})
+        new = state.updated({"x": 2, "y": 3})
+        assert state["x"] == 1
+        assert new["x"] == 2 and new["y"] == 3
+
+    def test_set_mutates(self):
+        state = State()
+        state.set("x", 9)
+        assert state["x"] == 9
+
+    def test_equality_includes_defaults(self):
+        assert State({"x": 0}) == State()
+        assert State({"x": 1}) != State()
+        assert State(default=0) != State(default=None)
+
+    def test_agrees_with_subset(self):
+        a = State({"x": 1, "y": 2})
+        b = State({"x": 1, "y": 99})
+        assert a.agrees_with(b, {"x"})
+        assert not a.agrees_with(b, {"x", "y"})
+
+    def test_restrict(self):
+        state = State({"x": 1})
+        assert state.restrict(["x", "y"]) == {"x": 1, "y": 0}
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(State())
+
+
+class TestOperation:
+    def test_apply(self):
+        (op,) = make_ops(("A", "x", Var("y") + 1))
+        state = State({"y": 4})
+        result = op.apply(state)
+        assert result["x"] == 5
+        assert state["x"] == 0  # original untouched
+
+    def test_multi_assignment_reads_pre_state(self):
+        (op,) = make_ops(("C", {"x": Var("x") + 1, "y": Var("x") + 10}))
+        result = op.apply(State({"x": 1}))
+        # Both right-hand sides see the OLD x.
+        assert result["x"] == 2
+        assert result["y"] == 11
+
+    def test_empty_write_set_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("N", frozenset(), frozenset(), lambda reads: {})
+
+    def test_write_set_mismatch_detected(self):
+        op = Operation(
+            "Bad", frozenset(), frozenset({"x"}), lambda reads: {"y": 1}
+        )
+        with pytest.raises(ValueError, match="declared write set"):
+            op.apply(State())
+
+    def test_identity_by_name(self):
+        a1, a2 = make_ops(("A", "x", 1), ("A", "x", 2))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert len({a1, a2}) == 1
+
+    def test_accessor_predicates(self):
+        (op,) = make_ops(("A", "x", Var("y") + 1))
+        assert op.reads("y") and not op.reads("x")
+        assert op.writes("x") and not op.writes("y")
+        assert op.accesses("x") and op.accesses("y") and not op.accesses("z")
+        assert op.variables() == frozenset({"x", "y"})
+
+
+class TestSequences:
+    def test_state_sequence_lengths(self):
+        ops = make_ops(("A", "x", 1), ("B", "y", Var("x") + 1))
+        states = state_sequence(ops, State())
+        assert len(states) == 3
+        assert states[0]["x"] == 0
+        assert states[1]["x"] == 1
+        assert states[2]["y"] == 2
+
+    def test_run_sequence_is_last_state(self):
+        ops = make_ops(("A", "x", 1), ("B", "y", Var("x") + 1))
+        assert run_sequence(ops, State()) == state_sequence(ops, State())[-1]
+
+    def test_run_sequence_does_not_mutate_initial(self):
+        initial = State()
+        run_sequence(make_ops(("A", "x", 1)), initial)
+        assert initial["x"] == 0
+
+    def test_check_distinct_names(self):
+        a1, a2 = make_ops(("A", "x", 1), ("A", "y", 2))
+        with pytest.raises(ValueError, match="duplicate"):
+            check_distinct_names([a1, a2])
+        check_distinct_names([a1, a1])  # same object twice is fine

@@ -1,0 +1,102 @@
+"""Tests for partial-order logs (§4.1)."""
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.installation import InstallationGraph
+from repro.core.model import State
+from repro.core.polog import PartialOrderLog, first_by_name, recover_partial
+from repro.core.recovery import Log, recover
+from repro.graphs import all_prefixes
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+
+SPEC = OpSequenceSpec(n_operations=6, n_variables=3)
+
+
+class TestStructure:
+    def test_consistent_by_construction(self, opq, opq_conflict):
+        assert PartialOrderLog(opq_conflict).is_consistent()
+
+    def test_extra_edges_allowed(self, initial_state):
+        from tests.conftest import make_ops
+
+        # Two non-conflicting operations: the log may order them freely.
+        a, b = make_ops(("A", "x", 1), ("B", "y", 2))
+        conflict = ConflictGraph([a, b])
+        free = PartialOrderLog(conflict)
+        assert set(free.minimal_unrecovered({a, b})) == {a, b}
+        pinned = PartialOrderLog(conflict, extra_edges=[(b, a)])
+        assert pinned.is_consistent()
+        assert pinned.minimal_unrecovered({a, b}) == [b]
+
+    def test_minimal_unrecovered(self, opq, opq_conflict):
+        O, P, Q = opq
+        log = PartialOrderLog(opq_conflict)
+        # O -> P is a conflict (wr) edge, so the log must order them.
+        assert set(log.minimal_unrecovered({O, P, Q})) == {O}
+        assert set(log.minimal_unrecovered({P, Q})) == {P}
+        assert set(log.minimal_unrecovered({Q})) == {Q}
+
+
+class TestRecoverPartial:
+    def test_matches_linear_recovery(self, opq, initial_state):
+        conflict = ConflictGraph(list(opq))
+        linear = recover(initial_state, Log.from_operations(list(opq)))
+        partial = recover_partial(initial_state, PartialOrderLog(conflict))
+        assert partial.state == linear.state
+        assert partial.redo_set == linear.redo_set
+
+    def test_tie_break_does_not_change_result(self, opq, initial_state):
+        O, P, Q = opq
+        conflict = ConflictGraph(list(opq))
+        log = PartialOrderLog(conflict)
+        by_name = recover_partial(initial_state, log, tie_break=first_by_name)
+        reverse = recover_partial(
+            initial_state, log, tie_break=lambda cands: max(cands, key=lambda o: o.name)
+        )
+        assert by_name.state == reverse.state
+
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_tie_breaks_all_recover(self, seed, tie_seed):
+        """§4.1's point at scale: for every installation-prefix crash
+        state, recovery over the partial-order log with *random* minimal
+        choices reaches the final state."""
+        ops = random_operations(seed, SPEC)
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        final = conflict.final_state(initial)
+        variables = set()
+        for op in ops:
+            variables |= op.variables()
+        polog = PartialOrderLog(conflict)
+        rng = Random(tie_seed * 131 + seed)
+
+        def random_tie(candidates):
+            return rng.choice(sorted(candidates, key=lambda o: o.name))
+
+        for prefix_names in all_prefixes(installation.dag, limit=12):
+            prefix = {conflict.operation(name) for name in prefix_names}
+            state = installation.determined_state(prefix, initial)
+            outcome = recover_partial(
+                state, polog, checkpoint=prefix, tie_break=random_tie
+            )
+            assert outcome.state.agrees_with(final, variables)
+
+    def test_bad_tie_break_rejected(self, opq, initial_state):
+        import pytest
+
+        O, P, Q = opq
+        conflict = ConflictGraph(list(opq))
+        log = PartialOrderLog(conflict)
+        with pytest.raises(ValueError, match="non-candidate"):
+            recover_partial(
+                initial_state, log, tie_break=lambda cands: Q
+            )  # Q is never minimal first

@@ -1,0 +1,162 @@
+"""Unit and property tests for replay and Theorem 3 (§3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.explain import explains, find_explaining_prefixes
+from repro.core.installation import InstallationGraph
+from repro.core.model import State
+from repro.core.replay import (
+    certify_theorem3,
+    is_potentially_recoverable,
+    recovers,
+    replay,
+    replay_order,
+)
+from repro.core.expr import Var
+from repro.graphs import all_prefixes
+from repro.workloads.opgen import OpSequenceSpec, random_operations, scenario_library
+from tests.conftest import make_ops
+
+
+class TestReplayMechanics:
+    def test_replay_order_respects_conflicts(self, opq, opq_conflict):
+        O, P, Q = opq
+        assert replay_order(opq_conflict, {Q, O, P}) == [O, P, Q]
+
+    def test_replay_does_not_mutate_input(self, opq, opq_conflict, initial_state):
+        state = State({"x": 0, "y": 2})
+        replay(opq_conflict, set(opq), state)
+        assert state == State({"x": 0, "y": 2})
+
+    def test_replay_rejects_bad_order(self, opq, opq_conflict, initial_state):
+        O, P, Q = opq
+        with pytest.raises(ValueError, match="violates conflict order"):
+            replay(opq_conflict, {O, P}, initial_state, order=[P, O])
+
+    def test_replay_rejects_wrong_set(self, opq, opq_conflict, initial_state):
+        O, P, Q = opq
+        with pytest.raises(ValueError, match="exactly"):
+            replay(opq_conflict, {O, P}, initial_state, order=[O])
+
+    def test_recovers_from_explained_state(self, opq, opq_conflict, initial_state):
+        O, P, Q = opq
+        # {P} installed: state x=0, y=2; replay O then Q.
+        assert recovers(opq_conflict, {O, Q}, State({"x": 0, "y": 2}), initial_state)
+
+
+class TestScenarioOracle:
+    def test_all_paper_scenarios(self, initial_state):
+        """The library's expected_recoverable flags against brute force."""
+        for scenario in scenario_library().values():
+            conflict = ConflictGraph(list(scenario.operations))
+            crashed = State(dict(scenario.crashed_values))
+            assert (
+                is_potentially_recoverable(conflict, crashed, initial_state)
+                == scenario.expected_recoverable
+            ), scenario.name
+
+    def test_efg_x_singly_is_the_subtle_case(self, initial_state):
+        """§5 E,F,G: updating x singly leaves a state that happens to be
+        explained by the empty prefix (replaying everything regenerates
+        x from the intact y), even though {E, G} is no prefix."""
+        e, f, g = make_ops(
+            ("E", "x", Var("y") + 1),
+            ("F", "y", Var("x") + 1),
+            ("G", "x", Var("x") + 1),
+        )
+        conflict = ConflictGraph([e, f, g])
+        installation = InstallationGraph(conflict)
+        x_singly = State({"x": 2, "y": 0})
+        assert is_potentially_recoverable(conflict, x_singly, initial_state)
+        prefixes = list(find_explaining_prefixes(installation, x_singly, initial_state))
+        assert frozenset() in prefixes
+        # ... but the intended installed set {E, G} is not a prefix at all.
+        assert not installation.is_prefix({e, g})
+
+
+class TestTheorem3:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_determined_states_recover(self, seed):
+        """Every prefix-determined state replays to the final state."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        installation = InstallationGraph(ConflictGraph(ops))
+        initial = State()
+        for prefix_names in all_prefixes(installation.dag):
+            prefix = {installation.operation(name) for name in prefix_names}
+            state = installation.determined_state(prefix, initial)
+            assert certify_theorem3(installation, prefix, state, initial)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_any_conflict_order_recovers(self, seed):
+        """Theorem 3 says *any* conflict-consistent replay order works."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=5, n_variables=3))
+        installation = InstallationGraph(ConflictGraph(ops))
+        initial = State()
+        for prefix_names in all_prefixes(installation.dag):
+            prefix = {installation.operation(name) for name in prefix_names}
+            state = installation.determined_state(prefix, initial)
+            assert certify_theorem3(
+                installation, prefix, state, initial, try_all_orders=True
+            )
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_garbage_in_unexposed_variables_still_recovers(self, seed):
+        """Explainable states with arbitrary junk in unexposed variables
+        recover — the full strength of Theorem 3."""
+        from repro.core.exposed import all_variables, unexposed_variables
+
+        ops = random_operations(seed, OpSequenceSpec(n_operations=5, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        for prefix_names in all_prefixes(installation.dag):
+            prefix = {conflict.operation(name) for name in prefix_names}
+            state = installation.determined_state(prefix, initial)
+            junked = state.copy()
+            for i, variable in enumerate(sorted(unexposed_variables(conflict, prefix))):
+                junked.set(variable, 7_777 + i)  # junk no operation writes
+            assert explains(installation, prefix, junked, initial)
+            assert certify_theorem3(installation, prefix, junked, initial)
+
+    def test_theorem3_requires_explaining_prefix(self, opq, opq_installation, initial_state):
+        O, P, Q = opq
+        with pytest.raises(ValueError, match="explaining prefix"):
+            certify_theorem3(
+                opq_installation, {O}, State({"x": 55}), initial_state
+            )
+
+
+class TestSoundness:
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_explainable_implies_recoverable_bruteforce(self, seed):
+        """Cross-check Theorem 3 against the exhaustive-subset oracle on
+        random crash states (not just determined ones)."""
+        from repro.core.explain import is_explainable
+        from repro.core.state_graph import StateGraph
+        import itertools
+
+        ops = random_operations(seed, OpSequenceSpec(n_operations=4, n_variables=2))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        sg = StateGraph.conflict_state_graph(conflict, initial)
+        # Candidate per-variable values: initial or anything ever written.
+        options = {}
+        for variable in ("v0", "v1"):
+            values = {0}
+            for op in ops:
+                writes = sg.writes(op.name)
+                if variable in writes:
+                    values.add(writes[variable])
+            options[variable] = sorted(values, key=repr)
+        for v0, v1 in itertools.product(options["v0"], options["v1"]):
+            state = State({"v0": v0, "v1": v1})
+            if is_explainable(installation, state, initial):
+                assert is_potentially_recoverable(conflict, state, initial)

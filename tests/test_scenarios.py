@@ -1,0 +1,180 @@
+"""End-to-end tests of every worked example in the paper (Figures 1–5, 7, §5)."""
+
+from repro.core.conflict import ConflictGraph
+from repro.core.explain import explains, find_explaining_prefixes, is_explainable
+from repro.core.installation import InstallationGraph
+from repro.core.invariant import check_recovery_invariant
+from repro.core.model import State
+from repro.core.recovery import Log, recover
+from repro.core.replay import is_potentially_recoverable, replay
+from repro.core.write_graph import WriteGraph
+from repro.workloads.opgen import scenario_library
+
+
+class TestFigure1:
+    """Scenario 1: read-write edges are important."""
+
+    def test_state_is_unrecoverable(self, initial_state):
+        scenario = scenario_library()["figure1"]
+        conflict = ConflictGraph(list(scenario.operations))
+        crashed = State(dict(scenario.crashed_values))
+        assert not is_potentially_recoverable(conflict, crashed, initial_state)
+
+    def test_no_explaining_prefix_exists(self, initial_state):
+        scenario = scenario_library()["figure1"]
+        installation = InstallationGraph(ConflictGraph(list(scenario.operations)))
+        crashed = State(dict(scenario.crashed_values))
+        assert not is_explainable(installation, crashed, initial_state)
+
+    def test_installing_in_installation_order_would_have_worked(self, initial_state):
+        """The failure is an ordering failure: installing A before B (the
+        installation-graph order) keeps every intermediate state fine."""
+        scenario = scenario_library()["figure1"]
+        a, b = scenario.operations
+        installation = InstallationGraph(ConflictGraph([a, b]))
+        after_a = State({"x": 1, "y": 0})
+        assert explains(installation, {a}, after_a, initial_state)
+        assert is_potentially_recoverable(installation.conflict, after_a, initial_state)
+
+
+class TestFigure2:
+    """Scenario 2: write-read edges are unimportant."""
+
+    def test_replaying_b_recovers(self, initial_state):
+        scenario = scenario_library()["figure2"]
+        b, a = scenario.operations
+        conflict = ConflictGraph([b, a])
+        crashed = State(dict(scenario.crashed_values))
+        recovered = replay(conflict, {b}, crashed)
+        assert recovered == conflict.final_state(initial_state)
+
+    def test_installed_a_is_installation_prefix_not_conflict_prefix(self, initial_state):
+        scenario = scenario_library()["figure2"]
+        b, a = scenario.operations
+        conflict = ConflictGraph([b, a])
+        installation = InstallationGraph(conflict)
+        assert installation.is_prefix({a})
+        assert not conflict.is_prefix({a})
+
+    def test_recover_procedure_with_checkpointed_a(self, initial_state):
+        """Running the Figure 6 procedure with A checkpointed replays only
+        B and reaches the final state."""
+        scenario = scenario_library()["figure2"]
+        b, a = scenario.operations
+        log = Log.from_operations([b, a])
+        crashed = State(dict(scenario.crashed_values))
+        outcome = recover(crashed, log, checkpoint={a})
+        assert outcome.redo_set == {b}
+        assert outcome.state == ConflictGraph([b, a]).final_state(initial_state)
+
+
+class TestFigure3:
+    """Scenario 3: only exposed variables matter."""
+
+    def test_partial_install_of_c_is_explainable(self, initial_state):
+        scenario = scenario_library()["figure3"]
+        c, d = scenario.operations
+        installation = InstallationGraph(ConflictGraph([c, d]))
+        crashed = State(dict(scenario.crashed_values))  # y=1 only
+        assert explains(installation, {c}, crashed, initial_state)
+
+    def test_replaying_d_recovers(self, initial_state):
+        scenario = scenario_library()["figure3"]
+        c, d = scenario.operations
+        conflict = ConflictGraph([c, d])
+        crashed = State(dict(scenario.crashed_values))
+        recovered = replay(conflict, {d}, crashed)
+        assert recovered == conflict.final_state(initial_state)
+
+    def test_invariant_holds_for_checkpoint_c(self, initial_state):
+        scenario = scenario_library()["figure3"]
+        c, d = scenario.operations
+        installation = InstallationGraph(ConflictGraph([c, d]))
+        log = Log.from_operations([c, d])
+        crashed = State(dict(scenario.crashed_values))
+        report = check_recovery_invariant(
+            installation, crashed, log, initial_state,
+            checkpoint={c}, verify_outcome=True,
+        )
+        assert report.holds and report.recovered_correctly
+
+
+class TestFigures4And5:
+    """The O, P, Q running example."""
+
+    def test_conflict_graph_shape(self, opq, opq_conflict):
+        O, P, Q = opq
+        edges = {(a.name, b.name): labels for a, b, labels in opq_conflict.edges()}
+        assert set(edges) == {("O", "P"), ("O", "Q"), ("P", "Q")}
+
+    def test_installation_graph_drops_only_o_p(self, opq, opq_installation):
+        edges = {(a, b) for a, b, _ in opq_installation.dag.edges()}
+        assert edges == {("O", "Q"), ("P", "Q")}
+
+    def test_recoverable_states_of_figure5(self, opq, opq_installation, initial_state):
+        """Each installation prefix determines a recoverable state; the
+        dashed {P} line is the one the conflict graph misses."""
+        O, P, Q = opq
+        expected_states = {
+            frozenset(): {"x": 0, "y": 0},
+            frozenset({O}): {"x": 1, "y": 0},
+            frozenset({P}): {"x": 0, "y": 2},
+            frozenset({O, P}): {"x": 1, "y": 2},
+            frozenset({O, P, Q}): {"x": 3, "y": 2},
+        }
+        for prefix, values in expected_states.items():
+            determined = opq_installation.determined_state(prefix, initial_state)
+            assert determined == State(values), sorted(op.name for op in prefix)
+            assert is_potentially_recoverable(
+                opq_installation.conflict, State(values), initial_state
+            )
+
+    def test_exactly_these_prefixes_exist(self, opq, opq_installation):
+        assert sum(1 for _ in opq_installation.prefixes()) == 5
+
+
+class TestFigure7:
+    """Write graph with O and Q collapsed."""
+
+    def test_collapse_forces_p_first(self, opq, opq_installation, initial_state):
+        wg = WriteGraph(opq_installation, initial_state)
+        wg.collapse(["O", "Q"], new_id="x-page")
+        # The {P} node must be written to the state before the x page.
+        installable = {n.node_id for n in wg.minimal_uninstalled_nodes()}
+        assert installable == {"P"}
+
+    def test_some_recoverable_states_become_inaccessible(self, opq, opq_installation, initial_state):
+        """Collapsing makes the {O} state unreachable by any flush order,
+        though it remains recoverable in principle."""
+        wg = WriteGraph(opq_installation, initial_state)
+        wg.collapse(["O", "Q"], new_id="x-page")
+        reachable = set()
+        # Enumerate all flush orders of this two-node write graph.
+        wg.install("P")
+        reachable.add(tuple(sorted(wg.stable_state().restrict(["x", "y"]).items())))
+        wg.install("x-page")
+        reachable.add(tuple(sorted(wg.stable_state().restrict(["x", "y"]).items())))
+        assert (("x", 1), ("y", 0)) not in reachable  # the {O} state
+        assert (("x", 0), ("y", 2)) in reachable       # the {P} state
+        assert (("x", 3), ("y", 2)) in reachable       # final
+
+
+class TestSection5Examples:
+    def test_efg_requires_atomic_xy(self, initial_state):
+        scenario = scenario_library()["section5_efg"]
+        conflict = ConflictGraph(list(scenario.operations))
+        crashed = State(dict(scenario.crashed_values))
+        assert not is_potentially_recoverable(conflict, crashed, initial_state)
+        # Installing x and y together (all three ops) is of course fine.
+        final = conflict.final_state(initial_state)
+        assert is_potentially_recoverable(conflict, final, initial_state)
+
+    def test_hj_unexposed_shrinks_atomic_set(self, initial_state):
+        scenario = scenario_library()["section5_hj"]
+        h, j = scenario.operations
+        installation = InstallationGraph(ConflictGraph([h, j]))
+        # Installing only H's x (y untouched) explains the state via {H}.
+        crashed = State(dict(scenario.crashed_values))
+        assert explains(installation, {h}, crashed, initial_state)
+        prefixes = list(find_explaining_prefixes(installation, crashed, initial_state))
+        assert frozenset({h}) in prefixes

@@ -1,0 +1,142 @@
+"""Unit and property tests for state graphs (§2.4) including Lemma 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.model import State, state_sequence
+from repro.core.state_graph import StateGraph
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+from tests.conftest import make_ops
+
+
+class TestGeneration:
+    def test_opq_writes_match_figure4(self, opq, initial_state):
+        """Figure 4's value boxes: O writes x=1, P writes y=2, Q writes x=3."""
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        O, P, Q = opq
+        assert graph.writes(O.name) == {"x": 1}
+        assert graph.writes(P.name) == {"y": 2}
+        assert graph.writes(Q.name) == {"x": 3}
+
+    def test_ops_labels_are_singletons(self, opq, initial_state):
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        for name in ("O", "P", "Q"):
+            ops = graph.ops(name)
+            assert len(ops) == 1
+            assert next(iter(ops)).name == name
+
+    def test_structure_mirrors_conflict_graph(self, opq, opq_conflict, initial_state):
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        assert graph.dag.same_structure(opq_conflict.dag)
+
+    def test_validate_accepts_generated(self, opq, initial_state):
+        StateGraph.generated_by(list(opq), initial_state).validate()
+
+
+class TestValidation:
+    def test_rejects_unordered_common_writers(self, initial_state):
+        a, b = make_ops(("A", "x", 1), ("B", "x", 2))
+        graph = StateGraph()
+        graph.add_node("A", [a], {"x": 1})
+        graph.add_node("B", [b], {"x": 2})
+        with pytest.raises(ValueError, match="unordered"):
+            graph.validate()
+
+    def test_rejects_write_outside_write_set(self):
+        (a,) = make_ops(("A", "x", 1))
+        graph = StateGraph()
+        graph.add_node("A", [a], {"y": 1})
+        with pytest.raises(ValueError, match="not written"):
+            graph.validate()
+
+    def test_rejects_duplicate_operation(self):
+        (a,) = make_ops(("A", "x", 1))
+        graph = StateGraph()
+        graph.add_node("n1", [a], {"x": 1})
+        graph.add_node("n2", [a], {"x": 1})
+        graph.add_edge("n1", "n2")
+        with pytest.raises(ValueError, match="labels two nodes"):
+            graph.validate()
+
+
+class TestDeterminedState:
+    def test_full_graph_determines_final_state(self, opq, opq_conflict, initial_state):
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        determined = graph.determined_state(initial_state)
+        assert determined == opq_conflict.final_state(initial_state)
+        assert determined["x"] == 3 and determined["y"] == 2
+
+    def test_unwritten_variables_fall_back_to_initial(self, initial_state):
+        ops = make_ops(("A", "x", 1))
+        graph = StateGraph.generated_by(ops, State({"z": 42}))
+        determined = graph.determined_state(State({"z": 42}))
+        assert determined["z"] == 42
+        assert determined["x"] == 1
+
+    def test_requires_prefix(self, opq, initial_state):
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        with pytest.raises(ValueError, match="prefix"):
+            graph.determined_state(initial_state, within={"Q"})
+
+    def test_figure4_intermediate_states(self, opq, initial_state):
+        """The solid lines of Figure 4: prefixes {O} -> x=1,y=0 and
+        {O,P} -> x=1,y=2."""
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        after_o = graph.determined_state(initial_state, within={"O"})
+        assert after_o["x"] == 1 and after_o["y"] == 0
+        after_op = graph.determined_state(initial_state, within={"O", "P"})
+        assert after_op["x"] == 1 and after_op["y"] == 2
+
+
+class TestLemma2:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_states_equal_sequence_states(self, seed):
+        """Lemma 2: Si is the state determined by the prefix O1..Oi."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=7, n_variables=4))
+        initial = State()
+        states = state_sequence(ops, initial)
+        graph = StateGraph.generated_by(ops, initial)
+        for i in range(len(ops) + 1):
+            prefix = {op.name for op in ops[:i]}
+            assert graph.determined_state(initial, within=prefix) == states[i], (
+                f"prefix of length {i} disagrees with S_{i}"
+            )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_state_graph_depends_only_on_conflict_graph(self, seed):
+        """§2.4: two sequences with the same conflict graph generate the
+        same state graph — so the conflict state graph is well-defined."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=6, n_variables=3))
+        initial = State()
+        conflict = ConflictGraph(ops)
+        reference = StateGraph.generated_by(ops, initial)
+        for extension in conflict.all_linear_extensions(limit=12):
+            other = StateGraph.generated_by(extension, initial)
+            assert other.dag.same_structure(reference.dag, with_labels=True)
+            for op in ops:
+                assert other.writes(op.name) == reference.writes(op.name)
+
+    def test_conflict_state_graph_constructor(self, opq, opq_conflict, initial_state):
+        graph = StateGraph.conflict_state_graph(opq_conflict, initial_state)
+        assert graph.writes("Q") == {"x": 3}
+
+
+class TestHelpers:
+    def test_writers_of_sorted(self, opq, initial_state):
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        assert graph.writers_of("x") == ["O", "Q"]
+        assert graph.writers_of("y") == ["P"]
+        assert graph.writers_of("z") == []
+
+    def test_prefix_for_operations(self, opq, initial_state):
+        O, P, Q = opq
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        assert graph.prefix_for_operations({O, P}) == {"O", "P"}
+
+    def test_all_operations(self, opq, initial_state):
+        graph = StateGraph.generated_by(list(opq), initial_state)
+        assert {op.name for op in graph.all_operations()} == {"O", "P", "Q"}

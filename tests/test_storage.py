@@ -1,0 +1,177 @@
+"""Unit tests for pages, the disk, and the shadow store."""
+
+import pytest
+
+from repro.storage import Disk, LostWriteFault, Page, ShadowStore, TornWriteFault
+from repro.storage.page import UNTAGGED
+
+
+class TestPage:
+    def test_put_get_delete(self):
+        page = Page("p1")
+        page.put("k1", 10)
+        assert page.get("k1") == 10
+        assert page.get("missing") is None
+        assert page.get("missing", -1) == -1
+        page.delete("k1")
+        assert page.get("k1") is None
+
+    def test_lsn_stamping(self):
+        page = Page("p1")
+        assert page.lsn == UNTAGGED
+        page.put("k", 1, lsn=5)
+        assert page.lsn == 5
+        page.put("k", 2, lsn=9)
+        assert page.lsn == 9
+
+    def test_lsn_cannot_regress(self):
+        page = Page("p1")
+        page.stamp(5)
+        with pytest.raises(ValueError, match="regress"):
+            page.stamp(3)
+
+    def test_copy_is_independent(self):
+        page = Page("p1", {"k": 1}, lsn=3)
+        clone = page.copy()
+        clone.put("k", 2)
+        assert page.get("k") == 1
+        assert clone.lsn == 3
+
+    def test_equality_and_same_contents(self):
+        a = Page("p1", {"k": 1}, lsn=3)
+        b = Page("p1", {"k": 1}, lsn=3)
+        c = Page("p1", {"k": 1}, lsn=9)
+        assert a == b
+        assert a != c
+        assert a.same_contents(c)
+
+    def test_size_bytes_grows_with_contents(self):
+        small = Page("p1", {"k": 1})
+        big = Page("p1", {"k": "a much longer value" * 4})
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_iteration_sorted(self):
+        page = Page("p1", {"b": 2, "a": 1})
+        assert list(page) == [("a", 1), ("b", 2)]
+
+
+class TestDisk:
+    def test_write_read_roundtrip(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"k": 1}, lsn=4))
+        stored = disk.read_page("p1")
+        assert stored == Page("p1", {"k": 1}, lsn=4)
+
+    def test_read_returns_snapshot(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"k": 1}))
+        copy = disk.read_page("p1")
+        copy.put("k", 99)
+        assert disk.read_page("p1").get("k") == 1
+
+    def test_write_takes_snapshot(self):
+        disk = Disk()
+        page = Page("p1", {"k": 1})
+        disk.write_page(page)
+        page.put("k", 99)  # later mutation must not leak to disk
+        assert disk.read_page("p1").get("k") == 1
+
+    def test_missing_page_raises(self):
+        with pytest.raises(KeyError):
+            Disk().read_page("nope")
+
+    def test_counters(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"k": 1}))
+        disk.write_page(Page("p2", {"k": 2}))
+        assert disk.page_writes == 2
+        assert disk.bytes_written > 0
+
+    def test_crash_preserves_contents(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"k": 1}))
+        disk.crash()
+        assert disk.read_page("p1").get("k") == 1
+
+    def test_lost_write_fault(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"k": 1}))
+        disk.arm_fault(LostWriteFault("p1"))
+        disk.write_page(Page("p1", {"k": 2}))
+        assert disk.read_page("p1").get("k") == 1  # write silently lost
+        disk.write_page(Page("p1", {"k": 3}))
+        assert disk.read_page("p1").get("k") == 3  # fault fires once
+
+    def test_torn_write_fault(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"a": 0, "b": 0}))
+        disk.arm_fault(TornWriteFault("p1", keep_cells=1))
+        disk.write_page(Page("p1", {"a": 1, "b": 1}))
+        stored = disk.read_page("p1")
+        assert stored.get("a") == 1   # first cell made it
+        assert stored.get("b") == 0   # second did not
+
+    def test_snapshot(self):
+        disk = Disk()
+        disk.write_page(Page("p1", {"k": 1}))
+        snap = disk.snapshot()
+        disk.write_page(Page("p1", {"k": 2}))
+        assert snap["p1"].get("k") == 1
+
+
+class TestShadowStore:
+    def test_initial_directory(self):
+        store = ShadowStore(Disk())
+        assert store.current_directory() == "A"
+        assert store.staging_directory() == "B"
+        assert store.checkpoint_lsn() == -1
+
+    def test_staging_does_not_touch_stable(self):
+        store = ShadowStore(Disk())
+        store.stage_page(Page("p1", {"k": 1}))
+        assert not store.has_current("p1")
+
+    def test_swing_installs_staged_pages(self):
+        store = ShadowStore(Disk())
+        store.stage_page(Page("p1", {"k": 1}))
+        store.swing_pointer(checkpoint_lsn=7)
+        assert store.current_directory() == "B"
+        assert store.read_current("p1").get("k") == 1
+        assert store.checkpoint_lsn() == 7
+
+    def test_swing_carries_unstaged_pages(self):
+        store = ShadowStore(Disk())
+        store.stage_page(Page("p1", {"k": 1}))
+        store.swing_pointer(0)
+        # Second round only stages p2; p1 must survive the next swing.
+        store.stage_page(Page("p2", {"k": 2}))
+        store.swing_pointer(1)
+        assert store.read_current("p1").get("k") == 1
+        assert store.read_current("p2").get("k") == 2
+
+    def test_crash_before_swing_loses_staging_only(self):
+        disk = Disk()
+        store = ShadowStore(disk)
+        store.stage_page(Page("p1", {"k": 1}))
+        store.swing_pointer(0)
+        store.stage_page(Page("p1", {"k": 99}))  # staged, not swung
+        disk.crash()
+        recovered = ShadowStore(disk)
+        recovered.abandon_staging()
+        assert recovered.read_current("p1").get("k") == 1
+        assert recovered.checkpoint_lsn() == 0
+
+    def test_reswing_overwrites_staged_versions(self):
+        store = ShadowStore(Disk())
+        store.stage_page(Page("p1", {"k": 1}))
+        store.swing_pointer(0)
+        store.stage_page(Page("p1", {"k": 2}))
+        store.swing_pointer(1)
+        assert store.read_current("p1").get("k") == 2
+
+    def test_current_page_ids(self):
+        store = ShadowStore(Disk())
+        store.stage_page(Page("p2", {}))
+        store.stage_page(Page("p1", {}))
+        store.swing_pointer(0)
+        assert store.current_page_ids() == ["p1", "p2"]

@@ -1,0 +1,136 @@
+"""Deeper property tests for claims the paper states in passing.
+
+- §2.4: "any state determined by any prefix of this state graph is
+  reachable by any total ordering of the operations labeling that
+  prefix."
+- §2.2 / Lemma 1 consequence: "we can model a log as a set of operations
+  ordered only by the conflict graph" — recovery must behave identically
+  over every conflict-consistent log linearization.
+- §1.3 point 2: state graphs "permit us to consider regimes that
+  maintain multiple versions of variables" — the version chain of a
+  variable is totally ordered and replays pass through exactly those
+  versions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictGraph
+from repro.core.installation import InstallationGraph
+from repro.core.model import State, run_sequence
+from repro.core.recovery import Log, recover
+from repro.core.state_graph import StateGraph
+from repro.graphs import all_prefixes, all_topological_sorts
+from repro.graphs.algorithms import restrict_order
+from repro.workloads.opgen import OpSequenceSpec, random_operations
+
+SPEC = OpSequenceSpec(n_operations=6, n_variables=3)
+
+
+class TestPrefixStateReachability:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_total_order_of_a_prefix_reaches_its_state(self, seed):
+        """§2.4's reachability claim, checked on every conflict prefix
+        and every (bounded) linear extension of it."""
+        ops = random_operations(seed, SPEC)
+        conflict = ConflictGraph(ops)
+        initial = State()
+        graph = StateGraph.conflict_state_graph(conflict, initial)
+        for prefix_names in all_prefixes(conflict.dag):
+            determined = graph.determined_state(initial, within=prefix_names)
+            order_dag = restrict_order(conflict.dag, prefix_names)
+            for names in all_topological_sorts(order_dag, limit=8):
+                sequence = [conflict.operation(name) for name in names]
+                assert run_sequence(sequence, initial) == determined
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_installation_prefix_states_valid_state_graphs(self, seed):
+        """Installation state graphs stay well-formed state graphs."""
+        ops = random_operations(seed, SPEC)
+        installation = InstallationGraph(ConflictGraph(ops))
+        installation.state_graph(State()).validate()
+
+
+class TestLogOrderIndifference:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_recovery_identical_over_all_log_linearizations(self, seed):
+        """Lemma 1 at the recovery level: any conflict-consistent log
+        order yields the same recovered state and the same redo set."""
+        ops = random_operations(seed, OpSequenceSpec(n_operations=5, n_variables=3))
+        conflict = ConflictGraph(ops)
+        installation = InstallationGraph(conflict)
+        initial = State()
+        # Fix one crash configuration: a nontrivial installation prefix.
+        prefixes = sorted(
+            all_prefixes(installation.dag), key=len
+        )
+        prefix_names = prefixes[len(prefixes) // 2]
+        prefix = {conflict.operation(name) for name in prefix_names}
+        state = installation.determined_state(prefix, initial)
+        final = conflict.final_state(initial)
+        variables = set()
+        for op in ops:
+            variables |= op.variables()
+
+        outcomes = []
+        for extension in conflict.all_linear_extensions(limit=10):
+            log = Log.from_operations(extension)
+            assert log.is_log_for(conflict)
+            outcome = recover(state, log, checkpoint=prefix)
+            assert outcome.state.agrees_with(final, variables)
+            outcomes.append(frozenset(op.name for op in outcome.redo_set))
+        assert len(set(outcomes)) == 1  # same redo set every time
+
+    def test_recovery_is_idempotent(self, opq, initial_state):
+        """Recovering an already-recovered state replays to the same
+        final state (checkpointing what the first pass installed)."""
+        O, P, Q = opq
+        conflict = ConflictGraph(list(opq))
+        log = Log.from_operations(list(opq))
+        first = recover(initial_state, log)
+        second = recover(first.state, log, checkpoint=first.redo_set | first.installed)
+        assert second.state == first.state
+        third = recover(first.state, log)  # full replay against final state?
+        # Full re-replay against the final state is NOT generally correct
+        # (operations are not idempotent); the checkpoint is what makes
+        # re-recovery safe.  Verify the failure mode exists:
+        assert third.state != first.state or all(
+            op.writes_blindly(v) for op in (O, P, Q) for v in op.write_set
+        )
+
+
+class TestVersionChains:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_writers_of_each_variable_totally_ordered(self, seed):
+        ops = random_operations(seed, SPEC)
+        conflict = ConflictGraph(ops)
+        graph = StateGraph.conflict_state_graph(conflict, State())
+        for variable in {v for op in ops for v in op.write_set}:
+            writers = graph.writers_of(variable)
+            for earlier, later in zip(writers, writers[1:]):
+                assert conflict.dag.has_path(earlier, later)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_execution_passes_through_every_version(self, seed):
+        """A multi-version store retaining writes(n) per node holds every
+        value the variable ever takes: the sequence of values along the
+        execution equals the version chain."""
+        from repro.core.model import state_sequence
+
+        ops = random_operations(seed, SPEC)
+        conflict = ConflictGraph(ops)
+        initial = State()
+        graph = StateGraph.conflict_state_graph(conflict, initial)
+        states = state_sequence(ops, initial)
+        for variable in {v for op in ops for v in op.write_set}:
+            chain = [graph.writes(node)[variable] for node in graph.writers_of(variable)]
+            observed = []
+            for op, post in zip(ops, states[1:]):
+                if variable in op.write_set:
+                    observed.append(post[variable])
+            assert observed == chain

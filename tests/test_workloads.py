@@ -1,0 +1,137 @@
+"""Unit and property tests for the workload generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.btree_load import BTreeWorkloadSpec, generate_btree_keys
+from repro.workloads.kv import (
+    KVWorkloadSpec,
+    apply_to_oracle,
+    generate_kv_workload,
+    prefixes_of,
+)
+from repro.workloads.opgen import (
+    OpSequenceSpec,
+    random_operations,
+    scenario_library,
+    variables_of,
+)
+
+
+class TestOpGen:
+    def test_deterministic_per_seed(self):
+        a = random_operations(42)
+        b = random_operations(42)
+        assert [str(op) for op in a] == [str(op) for op in b]
+
+    def test_different_seeds_differ(self):
+        a = random_operations(1)
+        b = random_operations(2)
+        assert [str(op) for op in a] != [str(op) for op in b]
+
+    def test_spec_counts(self):
+        ops = random_operations(7, OpSequenceSpec(n_operations=12, n_variables=2))
+        assert len(ops) == 12
+        assert variables_of(ops) <= {"v0", "v1"}
+
+    def test_names_are_unique(self):
+        ops = random_operations(9)
+        assert len({op.name for op in ops}) == len(ops)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_blind_ratio_zero_means_no_blind_writes(self, seed):
+        spec = OpSequenceSpec(n_operations=8, blind_ratio=0.0)
+        for op in random_operations(seed, spec):
+            assert op.read_set, f"{op} should read something"
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_blind_ratio_one_means_all_blind(self, seed):
+        spec = OpSequenceSpec(n_operations=8, blind_ratio=1.0, multi_write_ratio=0.0)
+        for op in random_operations(seed, spec):
+            assert op.read_set == frozenset()
+
+    def test_scenario_library_is_consistent(self):
+        library = scenario_library()
+        assert set(library) == {
+            "figure1", "figure2", "figure3", "figure4",
+            "section5_efg", "section5_hj",
+        }
+        for scenario in library.values():
+            assert scenario.operations
+            assert isinstance(scenario.expected_recoverable, bool)
+
+
+class TestKVWorkloads:
+    def test_deterministic(self):
+        assert generate_kv_workload(5) == generate_kv_workload(5)
+
+    def test_ratios_roughly_respected(self):
+        spec = KVWorkloadSpec(n_operations=1000, put_ratio=1.0, delete_ratio=0.0)
+        stream = generate_kv_workload(3, spec)
+        assert all(kind == "put" for kind, _, _ in stream)
+
+    def test_hotspot_concentration(self):
+        spec = KVWorkloadSpec(
+            n_operations=500, n_keys=100, hot_fraction=0.9, hot_keys=2
+        )
+        stream = generate_kv_workload(11, spec)
+        hot = sum(1 for _, key, _ in stream if key in ("k0000", "k0001"))
+        assert hot > 350  # ~90% should hit the two hot keys
+
+    def test_copyadd_emission_and_shape(self):
+        spec = KVWorkloadSpec(
+            n_operations=200, put_ratio=0.2, copyadd_ratio=0.6, delete_ratio=0.0
+        )
+        stream = generate_kv_workload(13, spec)
+        copyadds = [c for c in stream if c[0] == "copyadd"]
+        assert copyadds
+        for _, dst, (src, delta) in copyadds:
+            assert dst.startswith("k") and src.startswith("k")
+            assert delta >= 1
+
+    def test_oracle_semantics(self):
+        stream = [
+            ("put", "a", 5),
+            ("add", "a", 3),
+            ("copyadd", "b", ("a", 2)),
+            ("delete", "a", None),
+            ("add", "a", 1),
+            ("get", "b", None),
+            ("copyadd", "c", ("ghost", 4)),
+        ]
+        assert apply_to_oracle(stream) == {"a": 1, "b": 10, "c": 4}
+
+    def test_prefixes_of(self):
+        stream = generate_kv_workload(1, KVWorkloadSpec(n_operations=5))
+        cuts = list(prefixes_of(stream))
+        assert len(cuts) == 6
+        assert cuts[0] == [] and cuts[-1] == stream
+
+
+class TestBTreeWorkloads:
+    def test_sequential_pattern(self):
+        pairs = generate_btree_keys(1, BTreeWorkloadSpec(n_keys=10, pattern="sequential"))
+        assert [k for k, _ in pairs] == list(range(10))
+
+    def test_random_pattern_unique_keys(self):
+        pairs = generate_btree_keys(2, BTreeWorkloadSpec(n_keys=100, pattern="random"))
+        keys = [k for k, _ in pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_clustered_pattern_clusters(self):
+        spec = BTreeWorkloadSpec(n_keys=200, pattern="clustered", cluster_width=16)
+        pairs = generate_btree_keys(3, spec)
+        keys = sorted(k for k, _ in pairs)
+        # Clusters mean many small gaps: the median gap is tiny compared
+        # to the key space.
+        gaps = sorted(b - a for a, b in zip(keys, keys[1:]))
+        assert gaps[len(gaps) // 2] <= 16
+
+    def test_payload_size(self):
+        pairs = generate_btree_keys(4, BTreeWorkloadSpec(n_keys=5, payload_bytes=32))
+        assert all(len(payload) == 32 for _, payload in pairs)
+
+    def test_deterministic(self):
+        assert generate_btree_keys(9) == generate_btree_keys(9)

@@ -60,7 +60,9 @@ from repro.core import (
     is_explainable,
     is_exposed,
     is_potentially_recoverable,
+    partition_operations,
     recover,
+    recover_partitioned,
     replay,
     replay_order,
     run_sequence,
@@ -100,7 +102,9 @@ __all__ = [
     "is_explainable",
     "is_exposed",
     "is_potentially_recoverable",
+    "partition_operations",
     "recover",
+    "recover_partitioned",
     "replay",
     "replay_order",
     "run_sequence",

@@ -102,11 +102,7 @@ class PersistentApplication:
 
     def durable_event_count(self) -> int:
         """Events whose log records are stable (the crash-survivable prefix)."""
-        return sum(
-            1
-            for entry in self.machine.log.stable_entries()
-            if isinstance(entry.payload, LogicalRedo)
-        )
+        return self.machine.log.stable_count_of(LogicalRedo)
 
     def expected_state_after(self, events: list) -> Any:
         """The oracle: fold ``events`` over the initial state."""
@@ -135,10 +131,8 @@ class PersistentApplication:
             self.state = self.shadow.read_current(SNAPSHOT_PAGE).get("state")
         else:
             self.state = self.initial_state
-        for entry in self.machine.log.entries(volatile=False):
-            if entry.lsn <= checkpoint_lsn or not isinstance(
-                entry.payload, LogicalRedo
-            ):
+        for entry in self.machine.log.stable_records_from(checkpoint_lsn + 1):
+            if not isinstance(entry.payload, LogicalRedo):
                 continue
             _, event, _ = entry.payload.description
             self.state = self._apply(event)

@@ -425,15 +425,13 @@ class BTree:
         """LSN-test redo over the stable log (both disciplines)."""
         self.machine.reboot_pool()
         self._ensure_initialized()
-        stable = self.machine.log.entries(volatile=False)
-        redo_start = 0
-        for entry in stable:
-            if isinstance(entry.payload, CheckpointRecord):
-                redo_start = entry.payload.data[1]
-        for entry in stable:
+        log = self.machine.log
+        checkpoint_lsn = log.last_stable_checkpoint_lsn
+        redo_start = (
+            log.entry(checkpoint_lsn).payload.data[1] if checkpoint_lsn >= 0 else 0
+        )
+        for entry in log.stable_records_from(redo_start):
             self.records_scanned += 1
-            if entry.lsn < redo_start:
-                continue
             self._replay(entry)
 
     def _replay(self, entry: LogEntry) -> None:
@@ -539,7 +537,7 @@ class BTree:
         """Inserts whose log records are stable (split/bookkeeping records
         excluded; deletes excluded for the insert-only experiment loads)."""
         count = 0
-        for entry in self.machine.log.stable_entries():
+        for entry in self.machine.log.stable_records_from(0):
             if (
                 isinstance(entry.payload, PhysiologicalRedo)
                 and entry.payload.action.kind == "put"

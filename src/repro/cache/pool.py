@@ -199,6 +199,23 @@ class BufferPool:
     # Flushing (= installing)
     # ------------------------------------------------------------------
 
+    def wal_check(self, page_lsn: int) -> None:
+        """The write-ahead rule, consulted against segment boundaries.
+
+        The records that produced a page's updates must be stable before
+        the page may reach disk.  The pool asks the log for the stable
+        boundary of the *segment* holding ``page_lsn`` — with a segmented
+        log that is the only question that needs answering, and it stays
+        cheap no matter how long the log grows.  Like real systems, an
+        unstable boundary forces the log rather than failing — that is
+        what "write-ahead" means; the final check then raises only if
+        even a forced flush could not cover the LSN (a genuinely torn
+        protocol, e.g. a page tagged with a never-appended LSN).
+        """
+        if self.log_manager.segment_stable_boundary(page_lsn) < page_lsn:
+            self.log_manager.flush(up_to_lsn=page_lsn)
+        self.log_manager.wal_check(page_lsn)
+
     def flush_page(self, page_id: str, force: bool = False) -> None:
         """Write the cached page to disk, enforcing WAL and ordering.
 
@@ -218,12 +235,7 @@ class BufferPool:
                     f"(careful write ordering)"
                 )
         if self.log_manager is not None and frame.page.lsn >= 0:
-            # The write-ahead rule: the records that produced this page's
-            # updates must be stable first.  Like real systems, force the
-            # log rather than fail — that is what "write-ahead" means.
-            if not self.log_manager.is_stable(frame.page.lsn):
-                self.log_manager.flush(up_to_lsn=frame.page.lsn)
-            self.log_manager.wal_check(frame.page.lsn)
+            self.wal_check(frame.page.lsn)
         self.disk.write_page(frame.page)
         frame.dirty = False
         self.flushes += 1

@@ -67,7 +67,7 @@ class InvariantReport:
 
 def installed_set(log: Log, redo_set: Iterable[Operation]) -> set[Operation]:
     """``operations(log) − redo_set``."""
-    return set(log.operations()) - set(redo_set)
+    return set(log.iter_operations()) - set(redo_set)
 
 
 def check_recovery_invariant(

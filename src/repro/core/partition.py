@@ -1,0 +1,180 @@
+"""Partition-aware redo at the theory level (§2.2 + Theorem 3).
+
+Two operations conflict only if they access a common variable (§2.2), so
+the connected components of the "shares a variable" relation partition
+the unrecovered suffix into sets with *no conflict edges between them*.
+Replaying the partitions independently — each in log order — is then a
+schedule whose projection onto every conflict edge matches the log:
+
+- within a partition, log order is preserved by construction;
+- across partitions there are no edges to violate.
+
+The interleaving is therefore conflict-order consistent with the log,
+and Theorem 3 (potential recoverability) promises the same final state
+as the sequential left-to-right scan of Figure 6.  Because write sets
+are confined to their component's variables, the per-partition results
+are disjoint sub-assignments and merging them is well defined.
+
+The soundness argument needs two premises worth naming:
+
+1. **Installation-graph independence.**  Partitions share no variables,
+   hence no read-write, write-read, or write-write edges.  An operation
+   that reads a variable written by another component would create a
+   cross-partition conflict edge, the premise of Theorem 3 would fail,
+   and the partitioned schedule could expose it to the wrong value —
+   which is why :func:`partition_operations` unions over
+   ``operation.variables()`` (reads *and* writes), not write sets alone.
+2. **Locality of the redo test.**  The redo test must depend only on
+   state the operation's own component determines (the page-LSN test and
+   ``always_redo`` both qualify).  A test that consulted unrelated
+   variables could observe a partially recovered cross-partition state.
+
+Threading is opt-in (``max_workers``): partitions are pure functions of
+their slice of the state, workers share nothing mutable, and the merge
+happens single-threaded after all partitions complete.  The engine-level
+counterpart for page-granularity methods is
+:mod:`repro.methods.partition`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+from repro.core.model import Operation, State
+from repro.core.recovery import (
+    Log,
+    RecoveryOutcome,
+    RedoDecision,
+    RedoTest,
+    always_redo,
+)
+
+__all__ = ["partition_operations", "recover_partitioned"]
+
+
+def partition_operations(
+    operations: Iterable[Operation],
+) -> list[list[Operation]]:
+    """Group ``operations`` into variable-connected components.
+
+    Union-find over ``operation.variables()``; each returned partition
+    preserves the input (log) order.  Partitions are returned in order
+    of their earliest operation, so the concatenation of all partitions
+    is a permutation of the input that Theorem 3 accepts.
+    """
+    parent: dict[str, str] = {}
+
+    def find(variable: str) -> str:
+        root = variable
+        while parent[root] != root:
+            root = parent[root]
+        while parent[variable] != root:  # path compression
+            parent[variable], variable = root, parent[variable]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    ordered = list(operations)
+    for operation in ordered:
+        variables = iter(operation.variables())
+        first = next(variables)
+        parent.setdefault(first, first)
+        for variable in variables:
+            parent.setdefault(variable, variable)
+            union(first, variable)
+
+    partitions: dict[str, list[Operation]] = {}
+    for operation in ordered:
+        root = find(next(iter(operation.variables())))
+        partitions.setdefault(root, []).append(operation)
+    return list(partitions.values())
+
+
+def _recover_partition(
+    operations: list[Operation],
+    base: State,
+    log: Log,
+    redo: RedoTest,
+    trace: bool,
+) -> tuple[State, set[Operation], list[RedoDecision], set[str]]:
+    """Replay one partition, in log order, against a private state copy."""
+    current = base.copy()
+    redo_set: set[Operation] = set()
+    decisions: list[RedoDecision] = []
+    touched: set[str] = set()
+    for operation in operations:
+        touched |= operation.variables()
+        if redo(operation, current, log, None):
+            current = operation.apply(current)
+            redo_set.add(operation)
+            if trace:
+                decisions.append(RedoDecision(operation, True, None))
+        elif trace:
+            decisions.append(RedoDecision(operation, False, None))
+    return current, redo_set, decisions, touched
+
+
+def recover_partitioned(
+    state: State,
+    log: Log,
+    checkpoint: Iterable[Operation] = (),
+    redo: RedoTest = always_redo,
+    max_workers: int | None = None,
+    trace: bool = False,
+) -> RecoveryOutcome:
+    """Figure 6 recovery, partitioned by variable-connected component.
+
+    Produces the same :class:`RecoveryOutcome` as the sequential
+    :func:`repro.core.recovery.recover` (Theorem 3; see the module
+    docstring for the argument), replaying independent components
+    separately — concurrently when ``max_workers`` is set.
+
+    The redo test must be local to each operation's component (the
+    module docstring's premise 2); per-iteration ``analyze`` protocols
+    are inherently sequential and are not supported here — use the
+    sequential procedure for those.
+    """
+    checkpoint_set = frozenset(checkpoint)
+    logged: set[Operation] = set()
+    unrecovered: list[Operation] = []
+    for record in log:
+        logged.add(record.operation)
+        if record.operation not in checkpoint_set:
+            unrecovered.append(record.operation)
+
+    partitions = partition_operations(unrecovered)
+    position = {op: i for i, op in enumerate(unrecovered)}
+
+    def run(ops: list[Operation]):
+        return _recover_partition(ops, state, log, redo, trace)
+
+    if max_workers is not None and max_workers > 1 and len(partitions) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(run, partitions))
+    else:
+        results = [run(ops) for ops in partitions]
+
+    # Single-threaded merge: partitions wrote disjoint variable sets, so
+    # copying each partition's touched variables into the base state is
+    # exactly the union of their sub-assignments.
+    merged = state.copy()
+    redo_set: set[Operation] = set()
+    decisions: list[RedoDecision] = []
+    for final, part_redo, part_decisions, touched in results:
+        for variable in touched:
+            merged.set(variable, final[variable])
+        redo_set |= part_redo
+        decisions.extend(part_decisions)
+    decisions.sort(key=lambda decision: position[decision.operation])
+
+    return RecoveryOutcome(
+        state=merged,
+        redo_set=redo_set,
+        decisions=decisions,
+        checkpoint=checkpoint_set,
+        logged=frozenset(logged),
+    )

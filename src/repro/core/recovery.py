@@ -17,99 +17,149 @@ The procedure is deliberately parameterized the way the paper's is:
 state, the ``redo_set``, the per-iteration trace, and the ``installed_i``
 bookkeeping of §4.4 — everything Corollary 4 and the Recovery Invariant
 talk about.
+
+Since the log-stack unification, :class:`Log` is a *view* over the system
+:class:`~repro.logmgr.manager.LogManager` — the same segmented store, the
+same :class:`~repro.logmgr.records.LogRecord` type, the same single
+LSN-assigning append path the §6 method engines use.  A theory log is
+simply a manager whose payloads are abstract operations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.conflict import ConflictGraph
 from repro.core.model import Operation, State
+from repro.logmgr.manager import LogManager
+from repro.logmgr.records import LogRecord
 
-
-@dataclass(frozen=True)
-class LogRecord:
-    """One log record: an operation plus bookkeeping labels.
-
-    ``lsn`` is the record's log sequence number (its position for linear
-    logs).  ``labels`` carries whatever extra information a concrete
-    recovery method logs — page ids, byte images, before/after values —
-    opaque to the abstract procedure.
-    """
-
-    lsn: int
-    operation: Operation
-    labels: dict = field(default_factory=dict, compare=False, hash=False)
-
-    def __str__(self) -> str:
-        return f"[{self.lsn}] {self.operation}"
+__all__ = [
+    "Log",
+    "LogRecord",
+    "RedoDecision",
+    "RecoveryOutcome",
+    "always_redo",
+    "analysis_once",
+    "recover",
+]
 
 
 class Log:
-    """A log for a conflict graph (§4.1).
+    """A log for a conflict graph (§4.1), as a view over a log manager.
 
-    Practical logs are linear, and this class stores records in a total
+    Practical logs are linear, and the backing
+    :class:`~repro.logmgr.manager.LogManager` stores records in a total
     order; §4.1 only requires consistency with the conflict order, which
     :meth:`is_log_for` verifies.  Records are append-only and LSNs are
-    dense and increasing.
+    dense and increasing — assigned by the manager, the system's single
+    LSN authority, never by this class.
+
+    A ``Log`` may own a fresh manager (the theory-only use) or wrap one
+    that an engine is writing through (the audit use); either way the
+    records are the same objects, with no translation layer.  Suffix
+    views (:meth:`suffix_from`) share the manager and materialize
+    nothing.
     """
 
-    def __init__(self, records: Iterable[LogRecord] = ()):
-        self._records: list[LogRecord] = list(records)
+    def __init__(
+        self,
+        records: Iterable[LogRecord | Operation] = (),
+        manager: LogManager | None = None,
+        start_lsn: int = 0,
+    ):
+        self._manager = manager if manager is not None else LogManager()
+        self._start = start_lsn
+        # name -> record index for record_for, extended lazily so appends
+        # made directly through a shared manager are picked up too.
+        self._by_name: dict[Any, LogRecord] = {}
+        self._indexed_through = start_lsn
+        for item in records:
+            if isinstance(item, LogRecord):
+                self._manager.append(item.payload, **item.labels)
+            else:
+                self._manager.append(item)
+
+    @property
+    def manager(self) -> LogManager:
+        """The backing log manager (shared with any engine writing it)."""
+        return self._manager
 
     @staticmethod
     def from_operations(operations: Sequence[Operation]) -> "Log":
-        return Log(
-            LogRecord(lsn=index, operation=operation)
-            for index, operation in enumerate(operations)
-        )
+        return Log(operations)
 
     def append(self, operation: Operation, **labels: Any) -> LogRecord:
-        """Append ``operation`` with the next LSN; returns the record."""
-        record = LogRecord(lsn=len(self._records), operation=operation, labels=labels)
-        self._records.append(record)
-        return record
+        """Append ``operation``; the manager assigns the next LSN."""
+        return self._manager.append(operation, **labels)
 
     def records(self) -> list[LogRecord]:
-        """All records, in log order."""
-        return list(self._records)
+        """All records, in log order, as a list.  Call sites that only
+        iterate should use ``iter(log)`` — it streams from the segmented
+        store without copying."""
+        return list(self)
 
     def __len__(self) -> int:
-        return len(self._records)
+        start = max(self._start, self._manager.head_lsn)
+        return max(0, self._manager.next_lsn - start)
 
     def __iter__(self) -> Iterator[LogRecord]:
-        return iter(self._records)
+        return self._manager.records_from(self._start)
 
     def operations(self) -> list[Operation]:
         """``operations(log)`` in log order."""
-        return [record.operation for record in self._records]
+        return [record.operation for record in self]
+
+    def iter_operations(self) -> Iterator[Operation]:
+        """Stream ``operations(log)`` without building a list."""
+        return (record.operation for record in self)
 
     def record_for(self, operation: Operation) -> LogRecord:
-        """The record logging ``operation`` (KeyError if not logged)."""
-        for record in self._records:
-            if record.operation == operation:
-                return record
-        raise KeyError(f"no log record for operation {operation.name!r}")
+        """The record logging ``operation`` (KeyError if not logged).
+
+        Backed by a name -> record index maintained incrementally, so
+        calls inside redo loops are O(1) amortized instead of a linear
+        scan per lookup.
+        """
+        self._extend_index()
+        key = getattr(operation, "name", operation)
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise KeyError(f"no log record for operation {key!r}") from None
+
+    def _extend_index(self) -> None:
+        if self._indexed_through >= self._manager.next_lsn:
+            return
+        for record in self._manager.records_from(self._indexed_through):
+            key = getattr(record.payload, "name", record.payload)
+            self._by_name.setdefault(key, record)
+        self._indexed_through = self._manager.next_lsn
 
     def is_log_for(self, conflict: ConflictGraph) -> bool:
         """§4.1: same operations, and log order extends conflict order."""
-        if set(self.operations()) != set(conflict.operations):
-            return False
-        position = {record.operation.name: index for index, record in enumerate(self._records)}
-        if len(position) != len(self._records):
+        position: dict[str, int] = {}
+        count = 0
+        for index, record in enumerate(self):
+            position[record.operation.name] = index
+            count += 1
+        if len(position) != count:
             return False  # duplicate operations
+        if set(position) != {op.name for op in conflict.operations}:
+            return False
         return all(
             position[a.name] < position[b.name]
             for a, b, _ in conflict.edges()
         )
 
     def suffix_from(self, lsn: int) -> "Log":
-        """Records with LSN >= ``lsn`` (what a checkpoint lets recovery scan)."""
-        return Log(record for record in self._records if record.lsn >= lsn)
+        """Records with LSN >= ``lsn`` (what a checkpoint lets recovery
+        scan) — a lazy view sharing this log's manager, not a copy."""
+        return Log(manager=self._manager, start_lsn=max(lsn, self._start))
 
     def __repr__(self) -> str:
-        return f"Log(records={len(self._records)})"
+        return f"Log(records={len(self)})"
 
 
 RedoTest = Callable[[Operation, State, Log, Any], bool]
@@ -142,7 +192,10 @@ class RecoveryOutcome:
 
     def installed_after(self, iteration: int) -> set[Operation]:
         """``installed_i``: logged operations that will not be redone after
-        iteration ``iteration`` (0 = before the first iteration)."""
+        iteration ``iteration`` (0 = before the first iteration).
+
+        Requires the per-iteration trace — run :func:`recover` with
+        ``trace=True`` (the default)."""
         future_redos = {
             decision.operation
             for decision in self.decisions[iteration:]
@@ -187,46 +240,76 @@ def recover(
     checkpoint: Iterable[Operation] = (),
     redo: RedoTest = always_redo,
     analyze: AnalyzeFn | None = None,
+    trace: bool = True,
 ) -> RecoveryOutcome:
-    """The redo recovery procedure of Figure 6.
+    """The redo recovery procedure of Figure 6, streaming.
 
     ``state`` is consumed conceptually but not mutated; the outcome holds
     the rebuilt state.  ``checkpoint`` is the set of operations recovery
     may ignore.  Operations are considered in log order: the minimal
     unrecovered operation is always the earliest unrecovered log record,
     which is minimal in any order the log is consistent with.
-    """
-    if analyze is None:
-        analyze = analysis_once(lambda s, l, u: None)
 
+    When no ``analyze`` function is given, the log is consumed as a
+    single streaming pass — no record list is materialized, so a suffix
+    view over a segmented manager is processed in O(segment) working
+    memory (plus the operation sets the outcome reports).  A custom
+    ``analyze`` receives the set of still-unrecovered operations each
+    iteration, which requires the unrecovered suffix up front; that path
+    materializes one list, exactly as the paper's per-iteration protocol
+    demands.  ``trace=False`` skips the per-iteration decision trace,
+    which long recoveries neither need nor can afford.
+    """
     current = state.copy()
-    logged = frozenset(log.operations())
     checkpoint_set = frozenset(checkpoint)
-    unrecovered = [
-        record.operation
-        for record in log
-        if record.operation not in checkpoint_set
-    ]
-    analysis: Any = None
     decisions: list[RedoDecision] = []
     redo_set: set[Operation] = set()
+    logged: set[Operation] = set()
 
-    remaining = list(unrecovered)
-    while remaining:
-        operation = remaining[0]  # minimal in log order
-        analysis = analyze(current, log, set(remaining), analysis)
+    if analyze is None:
+        # Streaming fast path: one pass, no analysis state.
+        for record in log:
+            operation = record.operation
+            logged.add(operation)
+            if operation in checkpoint_set:
+                continue
+            if redo(operation, current, log, None):
+                current = operation.apply(current)
+                redo_set.add(operation)
+                if trace:
+                    decisions.append(RedoDecision(operation, True, None))
+            elif trace:
+                decisions.append(RedoDecision(operation, False, None))
+        return RecoveryOutcome(
+            state=current,
+            redo_set=redo_set,
+            decisions=decisions,
+            checkpoint=checkpoint_set,
+            logged=frozenset(logged),
+        )
+
+    unrecovered: list[Operation] = []
+    for record in log:
+        logged.add(record.operation)
+        if record.operation not in checkpoint_set:
+            unrecovered.append(record.operation)
+
+    analysis: Any = None
+    for index, operation in enumerate(unrecovered):
+        # minimal in log order; analyze sees the remaining suffix as a set
+        analysis = analyze(current, log, set(unrecovered[index:]), analysis)
         if redo(operation, current, log, analysis):
             current = operation.apply(current)
             redo_set.add(operation)
-            decisions.append(RedoDecision(operation, True, analysis))
-        else:
+            if trace:
+                decisions.append(RedoDecision(operation, True, analysis))
+        elif trace:
             decisions.append(RedoDecision(operation, False, analysis))
-        remaining = remaining[1:]
 
     return RecoveryOutcome(
         state=current,
         redo_set=redo_set,
         decisions=decisions,
         checkpoint=checkpoint_set,
-        logged=logged,
+        logged=frozenset(logged),
     )

@@ -38,18 +38,28 @@ class KVDatabase:
         commit_every: int = 1,
         checkpoint_every: int | None = None,
         method_options: dict | None = None,
+        log_segment_size: int | None = None,
+        truncate_on_checkpoint: bool = False,
     ):
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; choose from {sorted(METHODS)}"
             )
-        machine = Machine(cache_capacity=cache_capacity, cache_policy=cache_policy)
+        machine = Machine(
+            cache_capacity=cache_capacity,
+            cache_policy=cache_policy,
+            log_segment_size=log_segment_size,
+        )
         self.method: RecoveryMethodKV = METHODS[method](
             machine, n_pages=n_pages, **(method_options or {})
         )
         self.method_name = method
         self.commit_every = max(1, commit_every)
         self.checkpoint_every = checkpoint_every
+        # Retire log segments the method promises never to re-read.  Off
+        # by default: media recovery from the log's head needs the whole
+        # log unless an archive sink is installed on the manager.
+        self.truncate_on_checkpoint = truncate_on_checkpoint
         self._since_commit = 0
         self._since_checkpoint = 0
         self.applied: list[KVOp] = []
@@ -88,6 +98,8 @@ class KVDatabase:
     def checkpoint(self) -> None:
         """Take a method checkpoint; resets the cadence counter."""
         self.method.checkpoint()
+        if self.truncate_on_checkpoint:
+            self.method.truncate_log()
         self._since_checkpoint = 0
 
     def get(self, key: str) -> Any:

@@ -1,28 +1,39 @@
-"""The log manager: LSNs, typed redo records, volatile tail vs stable prefix.
+"""The log manager: LSNs, one record protocol, segments, stable prefix.
 
 Records (:mod:`repro.logmgr.records`) come in the four §6 flavors —
 physical, logical, physiological, and generalized multi-page — plus
-checkpoint records.  The manager (:mod:`repro.logmgr.manager`) assigns
-monotonically increasing LSNs, tracks which prefix of the log has been
-forced to stable storage, enforces the write-ahead rule on request, and
-drops the volatile tail at a crash.
+checkpoint records, all carried by the single :class:`LogRecord` type
+that the theory core shares.  The manager (:mod:`repro.logmgr.manager`)
+is the system's only LSN authority: it assigns monotonically increasing
+LSNs, stores records in fixed-size segments with per-segment stable
+boundaries, retires sealed segments behind checkpoints, enforces the
+write-ahead rule on request, and drops the volatile tail at a crash.
 """
 
 from repro.logmgr.records import (
     CheckpointRecord,
     LogEntry,
+    LogRecord,
     LogicalRedo,
     MultiPageRedo,
     PageAction,
     PhysicalRedo,
     PhysiologicalRedo,
 )
-from repro.logmgr.manager import LogManager, WalViolation
+from repro.logmgr.manager import (
+    DEFAULT_SEGMENT_SIZE,
+    LogManager,
+    LogSegment,
+    WalViolation,
+)
 
 __all__ = [
     "CheckpointRecord",
+    "DEFAULT_SEGMENT_SIZE",
     "LogEntry",
     "LogManager",
+    "LogRecord",
+    "LogSegment",
     "LogicalRedo",
     "MultiPageRedo",
     "PageAction",

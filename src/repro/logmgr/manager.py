@@ -1,107 +1,306 @@
-"""The log manager: append, force, crash.
+"""The log manager: the single LSN authority, segmented.
 
-The manager is the only component that assigns LSNs, so "LSNs increase
-monotonically with each new operation" (§6.3) holds by construction.  The
-log has a *stable prefix* (forced to disk) and a *volatile tail*; a crash
-truncates the tail.  :meth:`LogManager.wal_check` implements the
-write-ahead rule a cache manager must consult before flushing a page: the
-record that produced a page's latest update must be stable before the
-page may reach disk.
+The manager is the *only* component that assigns LSNs — every record in
+the system, whether a typed redo payload from a §6 method engine or an
+abstract theory operation appended through :class:`repro.core.recovery.Log`,
+goes through :meth:`LogManager.append`, so "LSNs increase monotonically
+with each new operation" (§6.3) holds by construction, everywhere.
+
+Storage is **segmented**: records live in fixed-size
+:class:`LogSegment` runs rather than one unbounded list.  Each segment
+knows its own stable boundary (how much of it has been forced), which is
+what the cache manager's write-ahead check consults, and sealed segments
+wholly behind a checkpoint can be retired by :meth:`truncate_until` —
+bounded active memory instead of an ever-growing log.
+
+The log has a *stable prefix* (forced to disk) and a *volatile tail*; a
+crash truncates the tail.  :meth:`wal_check` implements the write-ahead
+rule a cache manager must consult before flushing a page: the record
+that produced a page's latest update must be stable before the page may
+reach disk.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from bisect import bisect_right
+from typing import Any, Callable, Iterator
 
-from repro.logmgr.records import LogEntry, Payload
+from repro.logmgr.records import CheckpointRecord, LogRecord, Payload
+
+DEFAULT_SEGMENT_SIZE = 1024
 
 
 class WalViolation(RuntimeError):
     """A page flush was attempted before its log records were stable."""
 
 
-class LogManager:
-    """An append-only log with an explicit stable/volatile boundary."""
+class LogSegment:
+    """One fixed-size run of consecutive records.
 
-    def __init__(self):
-        self._entries: list[LogEntry] = []
-        self._stable_count = 0
+    ``base_lsn`` is the LSN of the first record; records are dense, so a
+    segment covers ``[base_lsn, base_lsn + len(records))``.  The segment
+    itself is dumb storage — stability is a property of the manager's
+    watermark, exposed per segment via :meth:`LogManager.segment_stable_boundary`.
+    """
+
+    __slots__ = ("base_lsn", "records")
+
+    def __init__(self, base_lsn: int):
+        self.base_lsn = base_lsn
+        self.records: list[LogRecord] = []
+
+    @property
+    def end_lsn(self) -> int:
+        """The last LSN held (``base_lsn - 1`` when empty)."""
+        return self.base_lsn + len(self.records) - 1
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"LogSegment(lsns=[{self.base_lsn}..{self.end_lsn}])"
+
+
+class LogManager:
+    """An append-only segmented log with an explicit stable/volatile boundary."""
+
+    def __init__(self, segment_size: int = DEFAULT_SEGMENT_SIZE):
+        if segment_size < 1:
+            raise ValueError("segment_size must be at least 1")
+        self.segment_size = segment_size
+        self._segments: list[LogSegment] = [LogSegment(0)]
+        self._next_lsn = 0
+        self._stable_lsn = -1
+        self._checkpoint_lsns: list[int] = []
+        # Truncation bookkeeping: retired records stay countable even
+        # after their segments leave memory.
+        self._archived_records = 0
+        self._archived_bytes = 0
+        self._archived_type_counts: dict[type, int] = {}
+        self._archive_sink: Callable[[LogSegment], None] | None = None
         self.forced_flushes = 0
 
     # ------------------------------------------------------------------
     # Append / force
     # ------------------------------------------------------------------
 
-    def append(self, payload: Payload) -> LogEntry:
-        """Append ``payload`` with the next LSN; returns the entry."""
-        entry = LogEntry(lsn=len(self._entries), payload=payload)
-        self._entries.append(entry)
-        return entry
+    def append(self, payload: Payload, **labels: Any) -> LogRecord:
+        """Append ``payload`` with the next LSN; returns the record.
+
+        This is the one place in the whole system where an LSN is born.
+        """
+        tail = self._segments[-1]
+        if len(tail) >= self.segment_size:
+            tail = LogSegment(self._next_lsn)
+            self._segments.append(tail)
+        record = LogRecord(lsn=self._next_lsn, payload=payload, labels=labels)
+        tail.records.append(record)
+        self._next_lsn += 1
+        if isinstance(payload, CheckpointRecord):
+            self._checkpoint_lsns.append(record.lsn)
+        return record
 
     def flush(self, up_to_lsn: int | None = None) -> None:
         """Force the log to disk through ``up_to_lsn`` (default: all)."""
-        if up_to_lsn is None:
-            target = len(self._entries)
-        else:
-            target = min(up_to_lsn + 1, len(self._entries))
-        if target > self._stable_count:
-            self._stable_count = target
+        target = self._next_lsn - 1 if up_to_lsn is None else min(up_to_lsn, self._next_lsn - 1)
+        if target > self._stable_lsn:
+            self._stable_lsn = target
             self.forced_flushes += 1
 
     @property
     def next_lsn(self) -> int:
-        return len(self._entries)
+        return self._next_lsn
 
     @property
     def stable_lsn(self) -> int:
         """The highest LSN guaranteed on disk (-1 if none)."""
-        return self._stable_count - 1
+        return self._stable_lsn
+
+    @property
+    def head_lsn(self) -> int:
+        """The lowest LSN still held in memory (older ones were truncated)."""
+        return self._segments[0].base_lsn
 
     def is_stable(self, lsn: int) -> bool:
         """Has the record at ``lsn`` been forced to disk?"""
-        return lsn < self._stable_count
+        return lsn <= self._stable_lsn
+
+    # ------------------------------------------------------------------
+    # Segments and the write-ahead rule
+    # ------------------------------------------------------------------
+
+    def segments(self) -> list[LogSegment]:
+        """The retained segments, oldest first (a read-only view)."""
+        return list(self._segments)
+
+    def segment_containing(self, lsn: int) -> LogSegment:
+        """The retained segment holding ``lsn`` (KeyError if truncated or
+        not yet appended)."""
+        index = self._segment_index(lsn)
+        if index is None:
+            raise KeyError(f"LSN {lsn} is not in any retained segment")
+        return self._segments[index]
+
+    def _segment_index(self, lsn: int) -> int | None:
+        if lsn < self.head_lsn or lsn >= self._next_lsn:
+            return None
+        bases = [segment.base_lsn for segment in self._segments]
+        return bisect_right(bases, lsn) - 1
+
+    def segment_stable_boundary(self, lsn: int) -> int:
+        """The highest stable LSN within the segment holding ``lsn``.
+
+        Returns the segment's ``base_lsn - 1`` when none of it is stable.
+        LSNs older than the retained head were truncated, which is only
+        legal once stable, so they report themselves.  This per-segment
+        boundary is what :meth:`repro.cache.BufferPool.flush_page`
+        consults for the write-ahead rule.
+        """
+        if lsn < self.head_lsn:
+            return lsn
+        if lsn >= self._next_lsn:
+            # Beyond the tail: nothing there can ever be stable yet.
+            return self._stable_lsn
+        segment = self.segment_containing(lsn)
+        return min(segment.end_lsn, self._stable_lsn)
 
     def wal_check(self, page_lsn: int) -> None:
         """Raise :class:`WalViolation` unless every record up to
         ``page_lsn`` is stable — call before flushing a page tagged with
         that LSN."""
-        if page_lsn >= self._stable_count:
+        if self.segment_stable_boundary(page_lsn) < page_lsn:
             raise WalViolation(
                 f"page tagged with LSN {page_lsn} but log is stable only "
                 f"through {self.stable_lsn}"
             )
 
     # ------------------------------------------------------------------
+    # Checkpoints and truncation
+    # ------------------------------------------------------------------
+
+    @property
+    def last_stable_checkpoint_lsn(self) -> int:
+        """The LSN of the newest *stable* checkpoint record (-1 if none).
+
+        Recovery starts its analysis scan here: everything a crash
+        survivor needs lies in the checkpoint suffix.
+        """
+        index = bisect_right(self._checkpoint_lsns, self._stable_lsn)
+        return self._checkpoint_lsns[index - 1] if index else -1
+
+    def set_archive_sink(self, sink: Callable[[LogSegment], None] | None) -> None:
+        """Install a callable receiving each truncated segment (an
+        archive device for media recovery); None discards them."""
+        self._archive_sink = sink
+
+    def truncate_until(self, lsn: int) -> int:
+        """Retire sealed, fully-stable segments wholly below ``lsn``.
+
+        This is checkpoint-based truncation: once a checkpoint guarantees
+        recovery never reads below ``lsn``, the segments under it can
+        leave memory.  Only whole segments go — the log stays dense from
+        :attr:`head_lsn` — and only stable ones: a volatile record can
+        still be needed verbatim by the next flush.  Retired records stay
+        visible to the byte/count accounting (and flow to the archive
+        sink if one is installed, preserving media recovery).  Returns
+        the number of records retired.
+        """
+        retired = 0
+        cutoff = min(lsn - 1, self._stable_lsn)
+        while len(self._segments) > 1 and self._segments[0].end_lsn <= cutoff:
+            segment = self._segments.pop(0)
+            retired += len(segment)
+            self._archived_records += len(segment)
+            for record in segment.records:
+                self._archived_bytes += record.size_bytes()
+                kind = type(record.payload)
+                self._archived_type_counts[kind] = (
+                    self._archived_type_counts.get(kind, 0) + 1
+                )
+            if self._archive_sink is not None:
+                self._archive_sink(segment)
+        return retired
+
+    @property
+    def archived_records(self) -> int:
+        """Records retired by truncation (still counted, no longer held)."""
+        return self._archived_records
+
+    # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
 
-    def entries(self, volatile: bool = True) -> list[LogEntry]:
-        """All entries; with ``volatile=False`` only the stable prefix."""
-        if volatile:
-            return list(self._entries)
-        return list(self._entries[: self._stable_count])
+    def records_from(self, lsn: int, volatile: bool = True) -> Iterator[LogRecord]:
+        """Stream records with LSN >= ``lsn``, in order, segment by
+        segment — the O(segment)-memory read path recovery runs on.
 
-    def stable_entries(self) -> list[LogEntry]:
-        """The stable prefix (what recovery will see)."""
+        With ``volatile=False`` the stream stops at the stable boundary
+        (what recovery will see).
+        """
+        limit = self._next_lsn - 1 if volatile else self._stable_lsn
+        start = max(lsn, self.head_lsn)
+        index = self._segment_index(start)
+        if index is None:
+            return
+        for segment in self._segments[index:]:
+            if segment.base_lsn > limit:
+                return
+            offset = max(0, start - segment.base_lsn)
+            for record in segment.records[offset:]:
+                if record.lsn > limit:
+                    return
+                yield record
+
+    def stable_records_from(self, lsn: int = 0) -> Iterator[LogRecord]:
+        """Stream the stable records with LSN >= ``lsn``."""
+        return self.records_from(lsn, volatile=False)
+
+    def entries(self, volatile: bool = True) -> list[LogRecord]:
+        """All retained records; with ``volatile=False`` only the stable
+        prefix.  Materializes a list — iterate :meth:`records_from` on
+        hot paths instead."""
+        return list(self.records_from(self.head_lsn, volatile))
+
+    def stable_entries(self) -> list[LogRecord]:
+        """The retained stable prefix, as a list (see :meth:`entries`)."""
         return self.entries(volatile=False)
 
-    def entries_from(self, lsn: int, volatile: bool = True) -> Iterator[LogEntry]:
-        """Entries with LSN >= ``lsn``, in order."""
-        for entry in self.entries(volatile):
-            if entry.lsn >= lsn:
-                yield entry
+    def entries_from(self, lsn: int, volatile: bool = True) -> Iterator[LogRecord]:
+        """Alias of :meth:`records_from` (historical name)."""
+        return self.records_from(lsn, volatile)
 
-    def entry(self, lsn: int) -> LogEntry:
-        """The entry with exactly this LSN."""
-        return self._entries[lsn]
+    def entry(self, lsn: int) -> LogRecord:
+        """The record with exactly this LSN (must be retained)."""
+        segment = self.segment_containing(lsn)
+        return segment.records[lsn - segment.base_lsn]
+
+    def stable_count_of(self, *payload_types: type) -> int:
+        """Stable records whose payload is an instance of the given
+        types, truncated segments included — the one durable-count
+        primitive every method shares."""
+        count = sum(
+            n
+            for kind, n in self._archived_type_counts.items()
+            if issubclass(kind, payload_types)
+        )
+        return count + sum(
+            1
+            for record in self.stable_records_from(self.head_lsn)
+            if isinstance(record.payload, payload_types)
+        )
 
     def stable_bytes(self) -> int:
-        """Bytes in the stable prefix."""
-        return sum(entry.size_bytes() for entry in self.stable_entries())
+        """Bytes in the stable prefix (truncated segments included)."""
+        return self._archived_bytes + sum(
+            record.size_bytes() for record in self.stable_records_from(self.head_lsn)
+        )
 
     def total_bytes(self) -> int:
-        """Bytes in the whole log, volatile tail included."""
-        return sum(entry.size_bytes() for entry in self._entries)
+        """Bytes in the whole log, volatile tail and truncated segments
+        included."""
+        return self._archived_bytes + sum(
+            record.size_bytes() for record in self.records_from(self.head_lsn)
+        )
 
     # ------------------------------------------------------------------
     # Failure model
@@ -109,13 +308,24 @@ class LogManager:
 
     def crash(self) -> None:
         """Drop the volatile tail; the stable prefix survives."""
-        self._entries = self._entries[: self._stable_count]
+        while self._segments and self._segments[-1].base_lsn > self._stable_lsn:
+            if len(self._segments) == 1:
+                self._segments[-1].records.clear()
+                break
+            self._segments.pop()
+        tail = self._segments[-1]
+        keep = max(0, self._stable_lsn - tail.base_lsn + 1)
+        del tail.records[keep:]
+        self._next_lsn = self._stable_lsn + 1
+        while self._checkpoint_lsns and self._checkpoint_lsns[-1] > self._stable_lsn:
+            self._checkpoint_lsns.pop()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Records the log accounts for (truncated segments included)."""
+        return self._archived_records + sum(len(s) for s in self._segments)
 
     def __repr__(self) -> str:
         return (
-            f"LogManager(entries={len(self._entries)}, "
-            f"stable={self._stable_count})"
+            f"LogManager(records={len(self)}, segments={len(self._segments)}, "
+            f"stable_lsn={self._stable_lsn}, head_lsn={self.head_lsn})"
         )

@@ -178,19 +178,43 @@ class CheckpointRecord:
         return sum(len(repr(part)) for part in self.data) + 8
 
 
-Payload = Any  # one of the dataclasses above
+Payload = Any  # one of the dataclasses above, or a theory-level Operation
 
 
 @dataclass(frozen=True)
-class LogEntry:
-    """A payload with its manager-assigned LSN."""
+class LogRecord:
+    """A payload with its manager-assigned LSN — THE log record type.
+
+    Every layer of the system speaks this one record: the §6 method
+    engines log typed redo payloads, while the theory core logs abstract
+    :class:`~repro.core.model.Operation` objects.  ``operation`` is the
+    theory-side name for the payload, so a record reads naturally in both
+    vocabularies.  ``labels`` carries whatever extra bookkeeping a logger
+    wants to attach (page ids, images, trace notes) — opaque to everyone
+    but its writer.
+    """
 
     lsn: int
     payload: Payload
+    labels: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def operation(self) -> Payload:
+        """The payload under its theory-core name (§4: a log record *is*
+        an operation plus bookkeeping)."""
+        return self.payload
 
     def size_bytes(self) -> int:
         """Payload size plus the LSN header."""
-        return self.payload.size_bytes() + 8
+        sizer = getattr(self.payload, "size_bytes", None)
+        if sizer is None:
+            return len(repr(self.payload)) + 8
+        return sizer() + 8
 
     def __str__(self) -> str:
         return f"[{self.lsn}] {self.payload}"
+
+
+# Historical name, kept so external code written against the pre-unification
+# split keeps importing; new code should say LogRecord.
+LogEntry = LogRecord

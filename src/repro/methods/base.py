@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.cache import BufferPool
@@ -58,9 +58,14 @@ class Machine:
         cache_capacity: int = 16,
         cache_policy: str = "lru",
         enforce_wal: bool = True,
+        log_segment_size: int | None = None,
     ):
         self.disk = Disk()
-        self.log = LogManager()
+        self.log = (
+            LogManager(segment_size=log_segment_size)
+            if log_segment_size is not None
+            else LogManager()
+        )
         self.enforce_wal = enforce_wal
         self.pool = BufferPool(
             self.disk,
@@ -170,6 +175,31 @@ class RecoveryMethodKV(ABC):
     @abstractmethod
     def durable_count(self) -> int:
         """How many operations would survive a crash right now."""
+
+    def truncation_point(self) -> int:
+        """The LSN below which recovery will never read (method-specific;
+        -1 when no checkpoint has established one).
+
+        For checkpoint-cutoff methods this is the last stable checkpoint;
+        LSN-test methods must also stay below the oldest recLSN their
+        next analysis pass could reconstruct.
+        """
+        return -1
+
+    def truncate_log(self) -> int:
+        """Checkpoint-based log truncation: retire sealed segments below
+        :meth:`truncation_point`.  Returns the number of records retired.
+
+        Truncated segments flow to the manager's archive sink if one is
+        installed; without a sink, media recovery (``full_scan=True``)
+        only covers what the backup plus the retained suffix explain, so
+        engines that want both bounded memory and media recovery must
+        archive (the standard separate-media assumption).
+        """
+        point = self.truncation_point()
+        if point <= 0:
+            return 0
+        return self.machine.log.truncate_until(point)
 
     # -- crash / recovery --------------------------------------------------
 

@@ -124,37 +124,47 @@ class GeneralizedKV(RecoveryMethodKV):
         self.stats.checkpoints += 1
 
     def durable_count(self) -> int:
-        return sum(
-            1
-            for entry in self.machine.log.stable_entries()
-            if isinstance(entry.payload, (PhysiologicalRedo, MultiPageRedo))
-        )
+        return self.machine.log.stable_count_of(PhysiologicalRedo, MultiPageRedo)
+
+    def truncation_point(self) -> int:
+        """As for physiological recovery: stay below the last stable
+        checkpoint and every live recLSN."""
+        checkpoint_lsn = self.machine.log.last_stable_checkpoint_lsn
+        if checkpoint_lsn < 0:
+            return -1
+        return min([checkpoint_lsn, *self._dirty_table.values()])
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
 
     def recover(self, full_scan: bool = False) -> None:
-        """Analysis (reconstruct the dirty page table), then LSN-test redo.
-        ``full_scan`` starts the scan at the head (media recovery)."""
+        """Analysis (reconstruct the dirty page table by streaming the
+        stable checkpoint suffix), then LSN-test redo, also streamed.
+        ``full_scan`` starts the scan at the head (media recovery).
+
+        Generalized recovery stays sequential even when its physical
+        cousins partition: a §6.4 multi-page record *reads* pages other
+        records write, which is exactly a cross-partition conflict edge —
+        per-page replay order would no longer be conflict-order
+        consistent, so Theorem 3's premise fails and the partitioned
+        schedule is unsound here (see :mod:`repro.methods.partition`)."""
         from repro.methods.physiological import analysis_pass
 
         self.machine.reboot_pool()
         self.machine.pool.on_flush = self._note_flush
         self._dirty_table.clear()
 
-        stable = self.machine.log.entries(volatile=False)
-        _, redo_start = analysis_pass(stable)
+        log = self.machine.log
+        scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
+        _, redo_start = analysis_pass(log.stable_records_from(scan_from))
         if full_scan:
             redo_start = 0
 
         pool = self.machine.pool
         reader = lambda pid: pool.get_page(pid, create=True)
-        for entry in stable:
+        for entry in log.stable_records_from(redo_start):
             self.stats.records_scanned += 1
-            if entry.lsn < redo_start:
-                self.stats.records_skipped += 1
-                continue
             payload = entry.payload
             if isinstance(payload, PhysiologicalRedo):
                 page = pool.get_page(payload.page_id, create=True)

@@ -138,11 +138,13 @@ class LogicalKV(RecoveryMethodKV):
         self.stats.checkpoints += 1
 
     def durable_count(self) -> int:
-        return sum(
-            1
-            for entry in self.machine.log.stable_entries()
-            if isinstance(entry.payload, LogicalRedo)
-        )
+        return self.machine.log.stable_count_of(LogicalRedo)
+
+    def truncation_point(self) -> int:
+        """Recovery replays strictly after the root pointer's checkpoint
+        LSN, so everything at or below it can be retired."""
+        checkpoint_lsn = self.shadow.checkpoint_lsn()
+        return checkpoint_lsn + 1 if checkpoint_lsn >= 0 else -1
 
     # ------------------------------------------------------------------
     # Crash / recovery
@@ -154,20 +156,22 @@ class LogicalKV(RecoveryMethodKV):
 
     def recover(self, full_scan: bool = False) -> None:
         """Start from the stable state named by the root pointer and
-        replay every later stable logical record.  ``full_scan`` is
-        accepted for interface parity; the restored root pointer already
-        names the right replay start (the backup's own checkpoint LSN)."""
+        replay every later stable logical record, streamed straight off
+        the segmented log (the checkpoint suffix; no record list is
+        materialized).  ``full_scan`` is accepted for interface parity;
+        the restored root pointer already names the right replay start
+        (the backup's own checkpoint LSN)."""
         self.machine.reboot_pool()
         self._cache.clear()
         self.shadow = ShadowStore(self.machine.disk)
         self.shadow.abandon_staging()  # half-built staging is garbage
         checkpoint_lsn = self.shadow.checkpoint_lsn()
-        for entry in self.machine.log.entries(volatile=False):
+        for record in self.machine.log.stable_records_from(checkpoint_lsn + 1):
             self.stats.records_scanned += 1
-            if entry.lsn <= checkpoint_lsn or not isinstance(entry.payload, LogicalRedo):
+            if not isinstance(record.payload, LogicalRedo):
                 self.stats.records_skipped += 1
                 continue
-            self._apply_logical(entry.payload.description)
+            self._apply_logical(record.payload.description)
             self.stats.records_replayed += 1
         self.stats.recoveries += 1
 

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.logmgr import CheckpointRecord, PhysicalRedo
+from repro.logmgr import CheckpointRecord, LogRecord, PhysicalRedo
 from repro.methods.base import Machine, RecoveryMethodKV
+from repro.methods.partition import install_pages, partitioned_redo
 from repro.storage.page import Page
 
 
@@ -36,8 +37,19 @@ class PhysicalKV(RecoveryMethodKV):
 
     name = "physical"
 
-    def __init__(self, machine: Machine | None = None, n_pages: int = 8):
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        n_pages: int = 8,
+        parallel_recovery: bool = False,
+        recovery_workers: int = 4,
+    ):
         super().__init__(machine, n_pages)
+        # Opt-in partitioned redo (see repro.methods.partition): physical
+        # records are blind single-page writes, the easiest case —
+        # no cross-page conflict edges at all.
+        self.parallel_recovery = parallel_recovery
+        self.recovery_workers = recovery_workers
 
     # ------------------------------------------------------------------
     # Normal operation
@@ -110,47 +122,67 @@ class PhysicalKV(RecoveryMethodKV):
     def durable_count(self) -> int:
         """Operations with stable log records (checkpoint records don't
         count as operations)."""
-        return sum(
-            1
-            for entry in self.machine.log.stable_entries()
-            if isinstance(entry.payload, PhysicalRedo)
-        )
+        return self.machine.log.stable_count_of(PhysicalRedo)
+
+    def truncation_point(self) -> int:
+        """A physical checkpoint installs everything before it, so the
+        log below the last stable checkpoint record is never read."""
+        return self.machine.log.last_stable_checkpoint_lsn
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _apply_physical(page: Page, record: LogRecord) -> bool:
+        """Blind install of one physical record into one page — §6.2:
+        blind replays are always harmless, so the redo test is "yes"."""
+        payload = record.payload
+        if payload.whole_page:
+            page.cells.clear()
+        page.cells.update(payload.cells)
+        page.stamp(max(page.lsn, record.lsn))
+        return True
+
     def recover(self, full_scan: bool = False) -> None:
         """Replay every stable physical record after the last stable
-        checkpoint (or the whole log for media recovery), in log order,
-        blindly — §6.2: blind replays are always harmless."""
+        checkpoint (or the whole log for media recovery), blindly,
+        streaming the checkpoint suffix straight off the segmented log —
+        no record list is materialized.
+
+        With ``parallel_recovery`` the suffix is partitioned by page and
+        replayed concurrently; blind single-page writes have no
+        cross-page conflict edges, so any schedule preserving per-page
+        log order is conflict-order consistent and Theorem 3 applies
+        (see :mod:`repro.methods.partition`)."""
         self.machine.reboot_pool()
-        stable = self.machine.log.entries(volatile=False)
-        start = 0
-        if not full_scan:
-            for entry in stable:
-                if isinstance(entry.payload, CheckpointRecord):
-                    start = entry.lsn + 1
+        log = self.machine.log
+        start = 0 if full_scan else log.last_stable_checkpoint_lsn + 1
+
+        if self.parallel_recovery:
+            result = partitioned_redo(
+                self.machine.disk,
+                log.stable_records_from(start),
+                self._apply_physical,
+                max_workers=self.recovery_workers,
+            )
+            install_pages(self.machine.pool, result)
+            self.stats.records_scanned += result.scanned
+            self.stats.records_replayed += result.replayed
+            self.stats.records_skipped += result.skipped
+            self.stats.recoveries += 1
+            return
+
         pool = self.machine.pool
-        for entry in stable:
+        for record in log.stable_records_from(start):
             self.stats.records_scanned += 1
-            if entry.lsn < start or not isinstance(entry.payload, PhysicalRedo):
+            if not isinstance(record.payload, PhysicalRedo):
                 self.stats.records_skipped += 1
                 continue
-            payload = entry.payload
-            if payload.whole_page:
-                def reinstall(p, cells=payload.cells, lsn=entry.lsn):
-                    p.cells.clear()
-                    p.cells.update(cells)
-                    p.stamp(max(p.lsn, lsn))
-
-                pool.update(payload.page_id, reinstall, create=True)
-            else:
-                def install(p, cells=payload.cells, lsn=entry.lsn):
-                    for cell, value in cells.items():
-                        p.put(cell, value)
-                    p.stamp(max(p.lsn, lsn))
-
-                pool.update(payload.page_id, install, create=True)
+            pool.update(
+                record.payload.page_id,
+                lambda p, r=record: self._apply_physical(p, r),
+                create=True,
+            )
             self.stats.records_replayed += 1
         self.stats.recoveries += 1

@@ -30,38 +30,46 @@ from typing import Any, Iterable
 
 from repro.logmgr import (
     CheckpointRecord,
-    LogEntry,
+    LogRecord,
     MultiPageRedo,
     PageAction,
     PhysiologicalRedo,
 )
 from repro.methods.base import Machine, RecoveryMethodKV
+from repro.methods.partition import install_pages, partitioned_redo
+from repro.storage.page import Page
 
 
-def analysis_pass(entries: Iterable[LogEntry]) -> tuple[dict[str, int], int]:
-    """The §4.3 analysis phase for LSN-based methods.
+def analysis_pass(records: Iterable[LogRecord]) -> tuple[dict[str, int], int]:
+    """The §4.3 analysis phase for LSN-based methods, as one streaming pass.
 
     Returns the reconstructed dirty page table and the redo start point.
     The table starts from the last checkpoint's logged snapshot and is
     extended by every page-dirtying record after that checkpoint; the
     redo scan starts at the minimum recLSN in the table (or just after
     the checkpoint if the table is empty).
+
+    ``records`` is consumed exactly once, in LSN order: a checkpoint
+    record *replaces* the accumulated table with its snapshot (records
+    before the checkpoint that still matter are in the snapshot by the
+    checkpointer's contract), so feeding the whole log and feeding only
+    the suffix from the last stable checkpoint reconstruct the same
+    table.  Callers on the hot path pass
+    ``log.stable_records_from(log.last_stable_checkpoint_lsn)`` and
+    never materialize a record list.
     """
-    entries = list(entries)
     checkpoint_lsn = -1
     table: dict[str, int] = {}
-    for entry in entries:
-        if isinstance(entry.payload, CheckpointRecord):
-            checkpoint_lsn = entry.lsn
-            table = dict(entry.payload.data[1])
-    for entry in entries:
-        if entry.lsn <= checkpoint_lsn:
-            continue
-        if isinstance(entry.payload, PhysiologicalRedo):
-            table.setdefault(entry.payload.page_id, entry.lsn)
-        elif isinstance(entry.payload, MultiPageRedo):
-            for page_id in entry.payload.writes:
-                table.setdefault(page_id, entry.lsn)
+    for record in records:
+        payload = record.payload
+        if isinstance(payload, CheckpointRecord):
+            checkpoint_lsn = record.lsn
+            table = dict(payload.data[1])
+        elif isinstance(payload, PhysiologicalRedo):
+            table.setdefault(payload.page_id, record.lsn)
+        elif isinstance(payload, MultiPageRedo):
+            for page_id in payload.writes:
+                table.setdefault(page_id, record.lsn)
     redo_start = min(table.values(), default=checkpoint_lsn + 1)
     return table, redo_start
 
@@ -76,6 +84,8 @@ class PhysiologicalKV(RecoveryMethodKV):
         machine: Machine | None = None,
         n_pages: int = 8,
         sharp_checkpoints: bool = False,
+        parallel_recovery: bool = False,
+        recovery_workers: int = 4,
     ):
         super().__init__(machine, n_pages)
         # Dirty page table: page_id -> recLSN (the LSN that first dirtied
@@ -86,6 +96,10 @@ class PhysiologicalKV(RecoveryMethodKV):
         # recovery work at the cost of checkpoint IO; the default fuzzy
         # checkpoint just records the redo start point.
         self.sharp_checkpoints = sharp_checkpoints
+        # Opt-in partitioned redo (see repro.methods.partition): sound
+        # because every physiological record touches exactly one page.
+        self.parallel_recovery = parallel_recovery
+        self.recovery_workers = recovery_workers
         self.machine.pool.on_flush = self._note_flush
 
     def _note_flush(self, page_id: str) -> None:
@@ -137,48 +151,87 @@ class PhysiologicalKV(RecoveryMethodKV):
         self.stats.checkpoints += 1
 
     def durable_count(self) -> int:
-        return sum(
-            1
-            for entry in self.machine.log.stable_entries()
-            if isinstance(entry.payload, PhysiologicalRedo)
-        )
+        return self.machine.log.stable_count_of(PhysiologicalRedo)
+
+    def truncation_point(self) -> int:
+        """Truncation is safe below the last stable checkpoint *and*
+        every live recLSN: analysis starts at the checkpoint record, and
+        redo never reads below the oldest uninstalled update."""
+        checkpoint_lsn = self.machine.log.last_stable_checkpoint_lsn
+        if checkpoint_lsn < 0:
+            return -1
+        return min([checkpoint_lsn, *self._dirty_table.values()])
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
 
     def recover(self, full_scan: bool = False) -> None:
-        """Analysis: reconstruct the dirty page table from the last
-        checkpoint and the log suffix.  Redo: scan from the table's
-        minimum recLSN applying the LSN test per record.  Media recovery
-        (``full_scan``) scans from the head: the LSN test bypasses
-        whatever the restored backup already holds."""
+        """Analysis: reconstruct the dirty page table by streaming the
+        stable checkpoint suffix (one pass, no record list).  Redo:
+        stream again from the table's minimum recLSN applying the LSN
+        test per record — peak resident records stay O(segment), not
+        O(log).  Media recovery (``full_scan``) scans from the head: the
+        LSN test bypasses whatever the restored backup already holds.
+
+        With ``parallel_recovery`` the redo suffix is partitioned by
+        page and replayed concurrently; per-partition log order plus
+        page-disjointness make that schedule conflict-order consistent,
+        so Theorem 3 guarantees the same final state as the sequential
+        scan (see :mod:`repro.methods.partition`).
+        """
         self.machine.reboot_pool()
         self.machine.pool.on_flush = self._note_flush
         self._dirty_table.clear()
 
-        stable = self.machine.log.entries(volatile=False)
-        _, redo_start = analysis_pass(stable)
+        log = self.machine.log
+        scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
+        _, redo_start = analysis_pass(log.stable_records_from(scan_from))
         if full_scan:
             redo_start = 0
 
+        if self.parallel_recovery:
+            self._redo_partitioned(redo_start)
+        else:
+            self._redo_sequential(redo_start)
+        self.stats.recoveries += 1
+
+    def _redo_sequential(self, redo_start: int) -> None:
         pool = self.machine.pool
-        for entry in stable:
+        for record in self.machine.log.stable_records_from(redo_start):
             self.stats.records_scanned += 1
-            if entry.lsn < redo_start or not isinstance(entry.payload, PhysiologicalRedo):
+            if not isinstance(record.payload, PhysiologicalRedo):
                 self.stats.records_skipped += 1
                 continue
-            payload = entry.payload
+            payload = record.payload
             page = pool.get_page(payload.page_id, create=True)
-            if page.lsn >= entry.lsn:
+            if page.lsn >= record.lsn:
                 # THE redo test: the page tag says this operation's effect
                 # is already installed in the stable state.
                 self.stats.records_skipped += 1
                 continue
-            self._dirty_table.setdefault(payload.page_id, entry.lsn)
+            self._dirty_table.setdefault(payload.page_id, record.lsn)
             pool.update(
                 payload.page_id,
-                lambda p, a=payload.action, l=entry.lsn: a.apply_to(p, lsn=l),
+                lambda p, a=payload.action, l=record.lsn: a.apply_to(p, lsn=l),
             )
             self.stats.records_replayed += 1
-        self.stats.recoveries += 1
+
+    def _redo_partitioned(self, redo_start: int) -> None:
+        def apply_record(page: Page, record: LogRecord) -> bool:
+            if page.lsn >= record.lsn:
+                return False  # the same LSN redo test, per partition
+            record.payload.action.apply_to(page, lsn=record.lsn)
+            return True
+
+        result = partitioned_redo(
+            self.machine.disk,
+            self.machine.log.stable_records_from(redo_start),
+            apply_record,
+            max_workers=self.recovery_workers,
+        )
+        install_pages(self.machine.pool, result)
+        self._dirty_table.update(result.rec_lsns)
+        self.stats.records_scanned += result.scanned
+        self.stats.records_replayed += result.replayed
+        self.stats.records_skipped += result.skipped

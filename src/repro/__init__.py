@@ -34,6 +34,7 @@ from repro.core import (
     Add,
     ConflictGraph,
     Const,
+    ExposureMemo,
     Expr,
     InstallationGraph,
     InvariantReport,
@@ -45,6 +46,8 @@ from repro.core import (
     State,
     StateGraph,
     Var,
+    VariableIndex,
+    VariablePartition,
     WriteGraph,
     WriteGraphError,
     WriteNode,
@@ -76,6 +79,7 @@ __all__ = [
     "Add",
     "ConflictGraph",
     "Const",
+    "ExposureMemo",
     "Expr",
     "InstallationGraph",
     "InvariantReport",
@@ -87,6 +91,8 @@ __all__ = [
     "State",
     "StateGraph",
     "Var",
+    "VariableIndex",
+    "VariablePartition",
     "WriteGraph",
     "WriteGraphError",
     "WriteNode",

@@ -25,7 +25,13 @@ Everything here is re-exported at the package root (:mod:`repro`).
 from repro.core.model import Operation, State, run_sequence, state_sequence
 from repro.core.expr import Add, Const, Expr, Var, assign, blind_write, increment
 from repro.core.conflict import ConflictGraph
-from repro.core.exposed import exposed_variables, is_exposed, unexposed_variables
+from repro.core.varindex import VariableIndex
+from repro.core.exposed import (
+    ExposureMemo,
+    exposed_variables,
+    is_exposed,
+    unexposed_variables,
+)
 from repro.core.state_graph import StateGraph
 from repro.core.installation import InstallationGraph
 from repro.core.explain import (
@@ -42,7 +48,11 @@ from repro.core.recovery import (
     RedoDecision,
     recover,
 )
-from repro.core.partition import partition_operations, recover_partitioned
+from repro.core.partition import (
+    VariablePartition,
+    partition_operations,
+    recover_partitioned,
+)
 from repro.core.polog import PartialOrderLog, recover_partial
 from repro.core.invariant import (
     InvariantReport,
@@ -55,6 +65,7 @@ __all__ = [
     "Add",
     "ConflictGraph",
     "Const",
+    "ExposureMemo",
     "Expr",
     "InstallationGraph",
     "InvariantReport",
@@ -67,6 +78,8 @@ __all__ = [
     "State",
     "StateGraph",
     "Var",
+    "VariableIndex",
+    "VariablePartition",
     "WriteGraph",
     "WriteGraphError",
     "WriteNode",

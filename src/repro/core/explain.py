@@ -22,7 +22,6 @@ from typing import Iterable, Iterator
 from repro.core.exposed import exposed_variables
 from repro.core.installation import InstallationGraph
 from repro.core.model import Operation, State
-from repro.core.state_graph import StateGraph
 
 
 def explains(
@@ -86,7 +85,11 @@ def is_applicable(
     """
     conflict = installation.conflict
     predecessors = conflict.predecessors(operation)
-    state_graph = StateGraph.conflict_state_graph(conflict, initial)
+    # The installation state graph carries the same per-node values and
+    # the same total order among same-variable writers (ww edges survive
+    # §3.1 edge removal), so its memoized instance answers conflict-graph
+    # determined-state queries too.
+    state_graph = installation.state_graph(initial)
     reference = state_graph.determined_state(
         initial, {op.name for op in predecessors}
     )

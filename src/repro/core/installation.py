@@ -29,13 +29,33 @@ from repro.graphs import Dag, all_prefixes
 
 
 class InstallationGraph:
-    """The installation graph derived from a conflict graph."""
+    """The installation graph derived from a conflict graph.
+
+    Subscribes to the conflict graph's append feed: when an operation is
+    appended to the conflict graph, its incoming edges (whose labels are
+    final at that moment — conflict edges only ever point into the newest
+    operation) are filtered on the fly, so the installation graph tracks
+    a growing conflict graph with no rebuild.
+    """
 
     def __init__(self, conflict: ConflictGraph):
         self.conflict = conflict
         self.dag = conflict.dag.filter_edges(
             lambda source, target, labels: labels != {WR}
         )
+        self._state_graph_cache: tuple[State, "StateGraph"] | None = None
+        conflict.subscribe(self._on_append)
+
+    def _on_append(self, operation: Operation, incoming: dict[str, set[str]]) -> None:
+        """Apply one conflict-graph append: keep every new edge whose
+        label set is not exactly {wr} (§3.1)."""
+        self.dag.add_node(operation.name)
+        for source, labels in incoming.items():
+            if labels != {WR}:
+                self.dag.add_edge(
+                    source, operation.name, labels=labels, check_acyclic=False
+                )
+        self._state_graph_cache = None
 
     # ------------------------------------------------------------------
     # Lookup / order
@@ -89,7 +109,16 @@ class InstallationGraph:
     # ------------------------------------------------------------------
 
     def state_graph(self, initial: State) -> StateGraph:
-        """The installation state graph (conflict-state-graph values, installation edges)."""
+        """The installation state graph (conflict-state-graph values,
+        installation edges).
+
+        Memoized per initial state: repeated invariant checks against the
+        same starting point (the audit loops) reuse one graph; any append
+        to the underlying conflict graph invalidates the memo.
+        """
+        cached = self._state_graph_cache
+        if cached is not None and cached[0] == initial:
+            return cached[1]
         conflict_sg = StateGraph.conflict_state_graph(self.conflict, initial)
         graph = StateGraph(self.dag.copy())
         for operation in self.operations:
@@ -98,6 +127,10 @@ class InstallationGraph:
                 conflict_sg.ops(operation.name),
                 conflict_sg.writes(operation.name),
             )
+        graph.set_positions(
+            {op.name: index for index, op in enumerate(self.operations)}
+        )
+        self._state_graph_cache = (initial.copy(), graph)
         return graph
 
     def determined_state(

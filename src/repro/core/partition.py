@@ -50,7 +50,82 @@ from repro.core.recovery import (
     always_redo,
 )
 
-__all__ = ["partition_operations", "recover_partitioned"]
+__all__ = ["VariablePartition", "partition_operations", "recover_partitioned"]
+
+
+class VariablePartition:
+    """Incremental union-find over variable-connected components.
+
+    :meth:`add` unions one operation's variables into the structure in
+    O(|variables| α) amortized, so a live system can maintain the
+    component partition of its log as it appends instead of recomputing
+    union-find from scratch at recovery time (the engine trackers and
+    :func:`recover_partitioned` both feed it one operation at a time).
+    :meth:`components` buckets the added operations by their component
+    root, preserving arrival (log) order within each bucket and ordering
+    buckets by earliest operation — the bucketing pass is memoized and
+    only re-runs after new :meth:`add` calls.
+    """
+
+    def __init__(self, operations: Iterable[Operation] = ()):
+        self._parent: dict[str, str] = {}
+        self._size: dict[str, int] = {}
+        self._operations: list[Operation] = []
+        self._components_cache: list[list[Operation]] | None = None
+        for operation in operations:
+            self.add(operation)
+
+    def find(self, variable: str) -> str:
+        """The component root of ``variable`` (KeyError if never added)."""
+        parent = self._parent
+        root = variable
+        while parent[root] != root:
+            root = parent[root]
+        while parent[variable] != root:  # path compression
+            parent[variable], variable = root, parent[variable]
+        return root
+
+    def _union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:  # union by size
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def add(self, operation: Operation) -> None:
+        """Union ``operation``'s variables into the partition."""
+        variables = iter(operation.variables())
+        first = next(variables)
+        if first not in self._parent:
+            self._parent[first] = first
+            self._size[first] = 1
+        for variable in variables:
+            if variable not in self._parent:
+                self._parent[variable] = variable
+                self._size[variable] = 1
+            self._union(first, variable)
+        self._operations.append(operation)
+        self._components_cache = None
+
+    def connected(self, a: str, b: str) -> bool:
+        """Do variables ``a`` and ``b`` share a component?"""
+        return self.find(a) == self.find(b)
+
+    def component_count(self) -> int:
+        """Number of variable-connected components with operations."""
+        return len({self.find(next(iter(op.variables()))) for op in self._operations})
+
+    def components(self) -> list[list[Operation]]:
+        """The added operations, grouped by component, log order within."""
+        if self._components_cache is None:
+            buckets: dict[str, list[Operation]] = {}
+            for operation in self._operations:
+                root = self.find(next(iter(operation.variables())))
+                buckets.setdefault(root, []).append(operation)
+            self._components_cache = list(buckets.values())
+        return self._components_cache
 
 
 def partition_operations(
@@ -63,35 +138,7 @@ def partition_operations(
     of their earliest operation, so the concatenation of all partitions
     is a permutation of the input that Theorem 3 accepts.
     """
-    parent: dict[str, str] = {}
-
-    def find(variable: str) -> str:
-        root = variable
-        while parent[root] != root:
-            root = parent[root]
-        while parent[variable] != root:  # path compression
-            parent[variable], variable = root, parent[variable]
-        return root
-
-    def union(a: str, b: str) -> None:
-        ra, rb = find(a), find(b)
-        if ra != rb:
-            parent[rb] = ra
-
-    ordered = list(operations)
-    for operation in ordered:
-        variables = iter(operation.variables())
-        first = next(variables)
-        parent.setdefault(first, first)
-        for variable in variables:
-            parent.setdefault(variable, variable)
-            union(first, variable)
-
-    partitions: dict[str, list[Operation]] = {}
-    for operation in ordered:
-        root = find(next(iter(operation.variables())))
-        partitions.setdefault(root, []).append(operation)
-    return list(partitions.values())
+    return VariablePartition(operations).components()
 
 
 def _recover_partition(
@@ -125,6 +172,7 @@ def recover_partitioned(
     redo: RedoTest = always_redo,
     max_workers: int | None = None,
     trace: bool = False,
+    partition: VariablePartition | None = None,
 ) -> RecoveryOutcome:
     """Figure 6 recovery, partitioned by variable-connected component.
 
@@ -132,6 +180,12 @@ def recover_partitioned(
     :func:`repro.core.recovery.recover` (Theorem 3; see the module
     docstring for the argument), replaying independent components
     separately — concurrently when ``max_workers`` is set.
+
+    A :class:`VariablePartition` maintained during normal operation may
+    be passed as ``partition`` to skip the union-find pass entirely; it
+    must cover at least the unrecovered operations (components are
+    filtered down to them — merging components is always sound, it only
+    reduces available parallelism).
 
     The redo test must be local to each operation's component (the
     module docstring's premise 2); per-iteration ``analyze`` protocols
@@ -146,7 +200,21 @@ def recover_partitioned(
         if record.operation not in checkpoint_set:
             unrecovered.append(record.operation)
 
-    partitions = partition_operations(unrecovered)
+    if partition is None:
+        partitions = partition_operations(unrecovered)
+    else:
+        wanted = set(unrecovered)
+        partitions = [
+            kept
+            for component in partition.components()
+            if (kept := [op for op in component if op in wanted])
+        ]
+        missing = wanted.difference(op for part in partitions for op in part)
+        if missing:
+            raise ValueError(
+                f"partition does not cover {len(missing)} unrecovered operations "
+                f"(e.g. {sorted(op.name for op in missing)[:3]})"
+            )
     position = {op: i for i, op in enumerate(unrecovered)}
 
     def run(ops: list[Operation]):

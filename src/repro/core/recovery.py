@@ -42,6 +42,7 @@ __all__ = [
     "RecoveryOutcome",
     "always_redo",
     "analysis_once",
+    "graph_analysis",
     "recover",
 ]
 
@@ -75,6 +76,11 @@ class Log:
         # made directly through a shared manager are picked up too.
         self._by_name: dict[Any, LogRecord] = {}
         self._indexed_through = start_lsn
+        # Incrementally maintained conflict graph over operations(log);
+        # built on first conflict_graph() call, then only appended to.
+        self._conflict: ConflictGraph | None = None
+        self._installation: Any = None
+        self._graphed_through = start_lsn
         for item in records:
             if isinstance(item, LogRecord):
                 self._manager.append(item.payload, **item.labels)
@@ -136,6 +142,35 @@ class Log:
             key = getattr(record.payload, "name", record.payload)
             self._by_name.setdefault(key, record)
         self._indexed_through = self._manager.next_lsn
+
+    def conflict_graph(self) -> ConflictGraph:
+        """The conflict graph of ``operations(log)``, maintained
+        incrementally.
+
+        The first call builds the graph in one O(records + edges) pass;
+        later calls append only the records logged since the last call
+        (O(degree) each), including appends made directly through a
+        shared manager.  Lemma 1 makes the left-to-right construction
+        order-safe, so the live graph always equals the from-scratch one.
+        """
+        if self._conflict is None:
+            self._conflict = ConflictGraph()
+            self._graphed_through = self._start
+        if self._graphed_through < self._manager.next_lsn:
+            for record in self._manager.records_from(self._graphed_through):
+                self._conflict.append(record.operation)
+            self._graphed_through = self._manager.next_lsn
+        return self._conflict
+
+    def installation_graph(self):
+        """The installation graph over :meth:`conflict_graph`, built once
+        and kept current by the conflict graph's append feed."""
+        from repro.core.installation import InstallationGraph
+
+        conflict = self.conflict_graph()
+        if self._installation is None or self._installation.conflict is not conflict:
+            self._installation = InstallationGraph(conflict)
+        return self._installation
 
     def is_log_for(self, conflict: ConflictGraph) -> bool:
         """§4.1: same operations, and log order extends conflict order."""
@@ -219,6 +254,29 @@ def analysis_once(analysis_fn: Callable[[State, Log, set], Any]) -> AnalyzeFn:
     def analyze(state: State, log: Log, unrecovered: set, analysis: Any) -> Any:
         if analysis is None:
             return analysis_fn(state, log, unrecovered)
+        return analysis
+
+    return analyze
+
+
+def graph_analysis() -> AnalyzeFn:
+    """An analysis phase that provides the log's theory graphs.
+
+    On the first iteration it obtains the log's incrementally maintained
+    conflict graph (:meth:`Log.conflict_graph` — no rebuild if the log
+    already kept one live during normal operation) and the installation
+    graph derived from it (:meth:`Log.installation_graph`); both ride
+    along in the analysis value as ``{"conflict": ..., "installation":
+    ...}`` for redo tests that want to consult conflict order or
+    installation prefixes.
+    """
+
+    def analyze(state: State, log: Log, unrecovered: set, analysis: Any) -> Any:
+        if analysis is None:
+            return {
+                "conflict": log.conflict_graph(),
+                "installation": log.installation_graph(),
+            }
         return analysis
 
     return analyze

@@ -7,7 +7,11 @@
   operations a crash may lose);
 - ``checkpoint_every``: take a method checkpoint every N operations
   (None = never), trading normal-operation work against recovery work —
-  the knob behind the checkpoint-frequency benchmark.
+  the knob behind the checkpoint-frequency benchmark;
+- ``track_theory``: keep an incremental theory-audit tracker (conflict
+  graph, installation graph, exposure memo) synchronized with the stable
+  log during normal operation, so :meth:`KVDatabase.theory_audit` checks
+  the Recovery Invariant at any instant without rebuilding graphs.
 
 The durability contract is checked by :meth:`verify_against`: after a
 crash and recovery, the visible state must equal the oracle applied to
@@ -40,6 +44,7 @@ class KVDatabase:
         method_options: dict | None = None,
         log_segment_size: int | None = None,
         truncate_on_checkpoint: bool = False,
+        track_theory: bool = False,
     ):
         if method not in METHODS:
             raise ValueError(
@@ -60,6 +65,8 @@ class KVDatabase:
         # by default: media recovery from the log's head needs the whole
         # log unless an archive sink is installed on the manager.
         self.truncate_on_checkpoint = truncate_on_checkpoint
+        self.track_theory = track_theory
+        self._theory_tracker: Any = None
         self._since_commit = 0
         self._since_checkpoint = 0
         self.applied: list[KVOp] = []
@@ -83,6 +90,8 @@ class KVDatabase:
                 and self._since_checkpoint >= self.checkpoint_every
             ):
                 self.checkpoint()
+            if self.track_theory:
+                self.theory_tracker().sync()
         return result
 
     def run(self, stream: Sequence[KVOp]) -> None:
@@ -105,6 +114,24 @@ class KVDatabase:
     def get(self, key: str) -> Any:
         """Read ``key`` through the method's cache."""
         return self.method.get(key)
+
+    # ------------------------------------------------------------------
+    # Theory audit
+    # ------------------------------------------------------------------
+
+    def theory_tracker(self) -> Any:
+        """The incremental audit tracker for this database (created on
+        first use; the import is lazy to avoid an engine <-> sim cycle)."""
+        if self._theory_tracker is None:
+            from repro.sim.audit import AuditTracker
+
+            self._theory_tracker = AuditTracker(self.method)
+        return self._theory_tracker
+
+    def theory_audit(self, instant: int = -1) -> Any:
+        """Evaluate the Recovery Invariant against the stable log right
+        now, via the incrementally maintained graphs."""
+        return self.theory_tracker().audit(instant)
 
     # ------------------------------------------------------------------
     # Crash / recovery / verification

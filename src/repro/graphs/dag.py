@@ -32,9 +32,16 @@ class Dag:
     side condition of the write graph's *Add an edge* operation.
     """
 
+    # Reachability closures are memoized per node; the cache is dropped
+    # wholesale whenever an edge changes (bounded, so a huge graph cannot
+    # pin O(N^2) closure memory).
+    _REACH_CACHE_LIMIT = 4096
+
     def __init__(self, nodes: Iterable[Hashable] = (), edges: Iterable[tuple] = ()):
         self._succ: dict[Hashable, dict[Hashable, set[str]]] = {}
         self._pred: dict[Hashable, dict[Hashable, set[str]]] = {}
+        self._succ_closure: dict[Hashable, frozenset] = {}
+        self._pred_closure: dict[Hashable, frozenset] = {}
         for node in nodes:
             self.add_node(node)
         for edge in edges:
@@ -63,23 +70,36 @@ class Dag:
         """Add an edge from ``source`` to ``target``.
 
         Missing endpoints are added.  If the edge already exists, ``labels``
-        are merged into its label set.  Raises :class:`CycleError` if the
-        edge would create a cycle (including a self-loop).
+        are merged into its label set — a pure label merge touches neither
+        the predecessor map nor the reachability cache.  Raises
+        :class:`CycleError` if the edge would create a cycle (including a
+        self-loop).  ``check_acyclic=False`` is the O(1) append fast path
+        for constructions that are acyclic by design (graphs built from a
+        generating sequence only ever add edges into the newest node).
         """
         if source == target:
             raise CycleError(f"self-loop on {source!r}")
-        self.add_node(source)
-        self.add_node(target)
-        if check_acyclic and target not in self._succ[source] and self.has_path(target, source):
+        src_adjacent = self._succ.get(source)
+        if src_adjacent is None:
+            self.add_node(source)
+            src_adjacent = self._succ[source]
+        label_set = src_adjacent.get(target)
+        if label_set is not None:
+            label_set.update(labels)
+            return
+        if target not in self._succ:
+            self.add_node(target)
+        if check_acyclic and self.has_path(target, source):
             raise CycleError(f"edge {source!r} -> {target!r} would create a cycle")
-        label_set = self._succ[source].setdefault(target, set())
-        label_set.update(labels)
+        label_set = src_adjacent[target] = set(labels)
         self._pred[target][source] = label_set
+        self._invalidate_reachability()
 
     def remove_edge(self, source: Hashable, target: Hashable) -> None:
         """Remove the edge from ``source`` to ``target`` (KeyError if absent)."""
         del self._succ[source][target]
         del self._pred[target][source]
+        self._invalidate_reachability()
 
     def remove_node(self, node: Hashable) -> None:
         """Remove ``node`` and every edge incident to it."""
@@ -156,12 +176,25 @@ class Dag:
     # Reachability and order
     # ------------------------------------------------------------------
 
+    def _invalidate_reachability(self) -> None:
+        if self._succ_closure:
+            self._succ_closure.clear()
+        if self._pred_closure:
+            self._pred_closure.clear()
+
     def has_path(self, source: Hashable, target: Hashable) -> bool:
         """True iff there is a directed path (length >= 0) from source to target."""
         if source not in self._succ or target not in self._succ:
             return False
         if source == target:
             return True
+        cached = self._succ_closure.get(source)
+        if cached is None:
+            cached = self._pred_closure.get(target)
+            if cached is not None:
+                return source in cached
+        else:
+            return target in cached
         seen = {source}
         frontier = deque([source])
         while frontier:
@@ -176,13 +209,23 @@ class Dag:
 
     def predecessors(self, node: Hashable) -> set[Hashable]:
         """All nodes with a path *to* ``node`` (excluding ``node`` itself)."""
-        return self._reach(node, self._pred)
+        return set(self._closure(node, self._pred, self._pred_closure))
 
     def successors(self, node: Hashable) -> set[Hashable]:
         """All nodes reachable *from* ``node`` (excluding ``node`` itself)."""
-        return self._reach(node, self._succ)
+        return set(self._closure(node, self._succ, self._succ_closure))
 
-    def _reach(self, node: Hashable, adjacency: dict) -> set[Hashable]:
+    def _closure(
+        self, node: Hashable, adjacency: dict, cache: dict[Hashable, frozenset]
+    ) -> frozenset:
+        """The reachability closure of ``node``, memoized until the edge set
+        changes (the cached frontier behind minimal-node and prefix checks
+        on append-only graphs)."""
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if node not in adjacency:
+            return frozenset()
         seen: set[Hashable] = set()
         frontier = deque([node])
         while frontier:
@@ -192,7 +235,11 @@ class Dag:
                     seen.add(nxt)
                     frontier.append(nxt)
         seen.discard(node)
-        return seen
+        result = frozenset(seen)
+        if len(cache) >= self._REACH_CACHE_LIMIT:
+            cache.clear()
+        cache[node] = result
+        return result
 
     def ordered_before(self, a: Hashable, b: Hashable) -> bool:
         """True iff ``a`` precedes ``b`` in the partial order (strict)."""
@@ -249,7 +296,7 @@ class Dag:
         return {
             node
             for node in members
-            if not any(other != node and self.has_path(other, node) for other in members)
+            if members.isdisjoint(self._closure(node, self._pred, self._pred_closure))
         }
 
     def maximal_nodes(self, within: Iterable[Hashable] | None = None) -> set[Hashable]:
@@ -260,7 +307,7 @@ class Dag:
         return {
             node
             for node in members
-            if not any(other != node and self.has_path(node, other) for other in members)
+            if members.isdisjoint(self._closure(node, self._succ, self._succ_closure))
         }
 
     def induced_subgraph(self, nodes: Iterable[Hashable]) -> "Dag":

@@ -248,6 +248,24 @@ class RecoveryMethodKV(ABC):
             self.machine.disk.write_page(page)
         self.recover(full_scan=True)
 
+    # -- theory audit ------------------------------------------------------
+
+    def theory_audit(self, instant: int = -1):
+        """Evaluate the Recovery Invariant for this engine right now.
+
+        Convenience wrapper over :mod:`repro.sim.audit` (imported lazily
+        to keep methods importable without the sim layer): lifts the
+        stable log to abstract operations, builds the incremental
+        conflict/installation graphs, simulates this method's redo
+        decision, and checks that the not-redone operations induce an
+        installation-graph prefix explaining the stable state.  For
+        repeated audits keep an ``AuditTracker`` (or use
+        ``KVDatabase(track_theory=True)``) so the graphs carry over.
+        """
+        from repro.sim.audit import AuditTracker
+
+        return AuditTracker(self).audit(instant)
+
     # -- inspection --------------------------------------------------------
 
     def page_of(self, key: str) -> str:

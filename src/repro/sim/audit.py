@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.conflict import ConflictGraph
-from repro.core.exposed import exposed_variables
+from repro.core.exposed import ExposureMemo
 from repro.core.installation import InstallationGraph
 from repro.core.model import Operation, State
 from repro.engine import KVDatabase
@@ -270,52 +270,106 @@ def _redo_lsns(method, entries: Sequence[LogEntry]) -> set[int]:
 # The audit itself
 # ----------------------------------------------------------------------
 
-def audit_instant(db: KVDatabase, instant: int = -1) -> InstantAudit:
-    """Evaluate the Recovery Invariant for ``db`` right now."""
-    method = db.method
-    entries = method.machine.log.stable_entries()
-    operations = []
-    by_lsn: dict[int, Operation] = {}
-    for entry in entries:
-        lifted = _lift_record(entry)
-        if lifted is not None:
-            operations.append(lifted)
-            by_lsn[entry.lsn] = lifted
+class AuditTracker:
+    """Incremental audit state for one engine across many instants.
 
-    conflict = ConflictGraph(operations)
-    installation = InstallationGraph(conflict)
-    redo = _redo_lsns(method, entries)
-    installed = [op for lsn, op in by_lsn.items() if lsn not in redo]
+    The audit loops re-evaluate the invariant after every command, but
+    between consecutive instants the stable log only *grows* — so the
+    tracker keeps an LSN watermark and lifts just the newly stable
+    records into an incrementally maintained conflict/installation graph
+    pair (Lemma 1 makes the left-to-right appends order-safe).  An
+    :class:`~repro.core.exposed.ExposureMemo` rides the same graph: the
+    installed set between instants changes only by the records the redo
+    decision flipped, and the memo invalidates exactly the variables
+    those records touch.  One audit therefore costs O(new records +
+    changed verdicts) instead of rebuilding both graphs from the whole
+    log.
 
-    initial = State(default=None)
-    stable = _stable_model_state(method)
+    The tracker accepts any §6 method engine; :class:`KVDatabase` wraps
+    one per database (``track_theory=True`` keeps it synchronized during
+    normal operation).  If the log head ever moves (truncation, media
+    replacement) the tracker quietly rebuilds from scratch — the
+    watermark discipline assumes an append-only stable log.
+    """
 
-    prefix_ok = installation.is_prefix(installed)
-    explains_ok = False
-    detail = ""
-    if prefix_ok:
-        determined = installation.determined_state(installed, initial)
-        exposed = exposed_variables(conflict, installed)
-        mismatched = sorted(
-            variable
-            for variable in exposed
-            if stable[variable] != determined[variable]
+    def __init__(self, method) -> None:
+        self.method = method
+        self._reset()
+
+    def _reset(self) -> None:
+        self.conflict = ConflictGraph()
+        self.installation = InstallationGraph(self.conflict)
+        self.memo = ExposureMemo(self.conflict)
+        self._by_lsn: dict[int, Operation] = {}
+        self._watermark = -1
+        self._head_lsn: int | None = None
+
+    def sync(self) -> list[LogEntry]:
+        """Lift records that became stable since the last call; returns
+        the full stable entry list for the redo simulation."""
+        entries = self.method.machine.log.stable_entries()
+        head = entries[0].lsn if entries else None
+        if self._head_lsn is not None and head != self._head_lsn:
+            self._reset()
+        self._head_lsn = head
+        for entry in entries:
+            if entry.lsn <= self._watermark:
+                continue
+            lifted = _lift_record(entry)
+            if lifted is not None:
+                self.conflict.append(lifted)
+                self._by_lsn[entry.lsn] = lifted
+            self._watermark = entry.lsn
+        return entries
+
+    def audit(self, instant: int = -1) -> InstantAudit:
+        """Evaluate the Recovery Invariant for the engine right now."""
+        entries = self.sync()
+        redo = _redo_lsns(self.method, entries)
+        installed = [
+            op for lsn, op in self._by_lsn.items() if lsn not in redo
+        ]
+
+        initial = State(default=None)
+        stable = _stable_model_state(self.method)
+
+        prefix_ok = self.installation.is_prefix(installed)
+        explains_ok = False
+        detail = ""
+        if prefix_ok:
+            determined = self.installation.determined_state(installed, initial)
+            self.memo.set_installed(installed)
+            mismatched = sorted(
+                variable
+                for variable in self.memo.exposed_variables()
+                if stable[variable] != determined[variable]
+            )
+            explains_ok = not mismatched
+            if mismatched:
+                detail = f"exposed variables with wrong stable values: {mismatched}"
+        else:
+            detail = "installed set is not an installation-graph prefix"
+
+        return InstantAudit(
+            instant=instant,
+            stable_records=len(self._by_lsn),
+            redo_count=len(redo),
+            holds=prefix_ok and explains_ok,
+            is_prefix=prefix_ok,
+            explains_state=explains_ok,
+            detail=detail,
         )
-        explains_ok = not mismatched
-        if mismatched:
-            detail = f"exposed variables with wrong stable values: {mismatched}"
-    else:
-        detail = "installed set is not an installation-graph prefix"
 
-    return InstantAudit(
-        instant=instant,
-        stable_records=len(operations),
-        redo_count=len(redo),
-        holds=prefix_ok and explains_ok,
-        is_prefix=prefix_ok,
-        explains_state=explains_ok,
-        detail=detail,
-    )
+
+def audit_instant(db: KVDatabase, instant: int = -1) -> InstantAudit:
+    """Evaluate the Recovery Invariant for ``db`` right now.
+
+    One-shot form: reuses the database's live tracker when it keeps one
+    (``track_theory=True``), otherwise builds graphs for this instant
+    only.
+    """
+    tracker = getattr(db, "_theory_tracker", None) or AuditTracker(db.method)
+    return tracker.audit(instant)
 
 
 def audited_run(
@@ -324,22 +378,26 @@ def audited_run(
     audit_every: int = 1,
 ) -> list[InstantAudit]:
     """Run ``stream`` on ``db``, auditing after every ``audit_every``-th
-    command (plus once at the start and once at the end)."""
-    audits = [audit_instant(db, instant=0)]
+    command (plus once at the start and once at the end).
+
+    One :class:`AuditTracker` carries the graphs across all instants, so
+    the per-instant cost tracks the commands executed since the previous
+    audit, not the whole history.
+    """
+    tracker = AuditTracker(db.method)
+    audits = [tracker.audit(instant=0)]
     for index, command in enumerate(stream, start=1):
         db.execute(command)
         if index % audit_every == 0:
-            audits.append(audit_instant(db, instant=index))
+            audits.append(tracker.audit(instant=index))
     db.commit()
-    audits.append(audit_instant(db, instant=len(stream)))
+    audits.append(tracker.audit(instant=len(stream)))
     return audits
 
 
 def installation_graph_of(db: KVDatabase) -> InstallationGraph:
     """The abstract installation graph of the engine's stable log — used
     by the E9 experiment to show the disciplines shape the graph."""
-    entries = db.method.machine.log.stable_entries()
-    operations = [
-        op for op in (_lift_record(e) for e in entries) if op is not None
-    ]
-    return InstallationGraph(ConflictGraph(operations))
+    tracker = AuditTracker(db.method)
+    tracker.sync()
+    return tracker.installation

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.engine import KVDatabase
 from repro.sim.audit import (
     AuditError,
+    AuditTracker,
     audit_instant,
     audited_run,
     installation_graph_of,
@@ -127,6 +128,52 @@ class TestAuditInstant:
         db.commit()
         with pytest.raises(AuditError, match="whole-page"):
             audit_instant(db)
+
+
+class TestIncrementalTracking:
+    @pytest.mark.parametrize("method", ["logical", "physical", "physiological"])
+    def test_tracked_database_audits_clean(self, method):
+        """track_theory keeps one tracker synchronized during normal
+        operation; its verdicts must match fresh per-instant audits."""
+        spec = MIXED if method != "physiological" else KVWorkloadSpec(
+            n_operations=30, n_keys=5, put_ratio=0.5, add_ratio=0.35,
+            delete_ratio=0.0,
+        )
+        stream = generate_kv_workload(23, spec)
+        db = KVDatabase(
+            method=method, cache_capacity=3, commit_every=2,
+            checkpoint_every=7, track_theory=True,
+        )
+        for index, command in enumerate(stream, start=1):
+            db.execute(command)
+            if index % 5 == 0:
+                tracked = db.theory_audit(instant=index)
+                fresh = AuditTracker(db.method).audit(instant=index)
+                assert tracked.holds, (index, tracked.detail)
+                assert (tracked.stable_records, tracked.redo_count) == (
+                    fresh.stable_records,
+                    fresh.redo_count,
+                )
+
+    def test_tracker_lifts_each_record_once(self):
+        db = KVDatabase(method="physiological", track_theory=True)
+        for i in range(6):
+            db.execute(("put", f"k{i}", i))
+        tracker = db.theory_tracker()
+        graph_size = len(tracker.conflict)
+        assert graph_size == 6
+        db.theory_audit()  # re-audit must not re-lift anything
+        assert len(tracker.conflict) == 6
+        assert tracker.conflict is db.theory_tracker().conflict
+
+    def test_method_level_audit_entrypoint(self):
+        db = KVDatabase(method="physiological", cache_capacity=8)
+        db.execute(("put", "k", 1))
+        db.commit()
+        db.method.machine.pool.flush_all()
+        verdict = db.method.theory_audit()
+        assert verdict.holds
+        assert verdict.stable_records == 1
 
 
 class TestLiftedGraphShapes:

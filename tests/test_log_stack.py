@@ -167,6 +167,34 @@ class TestPartitionTheory:
         assert outcome.state["x"] == 0  # A was not replayed
         assert outcome.state["y"] == 1
 
+    def test_accepts_live_partition(self):
+        """A VariablePartition maintained during normal operation can be
+        handed to recovery, skipping the union-find pass."""
+        from repro.core.partition import VariablePartition
+
+        ops = [
+            increment("inc0", "v0"),
+            assign("mix", "w", Var("v0") + 1),
+            blind_write("blind", "u", 10),
+        ]
+        live = VariablePartition()
+        for op in ops:
+            live.add(op)
+        log = Log(ops)
+        fresh = recover_partitioned(State(), log)
+        reused = recover_partitioned(State(), log, partition=live)
+        assert reused.state == fresh.state
+        assert reused.redo_set == fresh.redo_set
+
+    def test_rejects_undercovering_partition(self):
+        from repro.core.partition import VariablePartition
+
+        A = blind_write("A", "x", 1)
+        B = increment("B", "y")
+        partial = VariablePartition([A])  # never saw B
+        with pytest.raises(ValueError, match="does not cover"):
+            recover_partitioned(State(), Log([A, B]), partition=partial)
+
 
 # ----------------------------------------------------------------------
 # Engine-level partitioned redo

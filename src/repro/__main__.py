@@ -8,10 +8,14 @@ Commands
 ``graphs``
     Print the O,P,Q running example's conflict/installation/write graphs
     (Figures 4, 5, 7) as text.
-``demo [method]``
+``demo [method] [--seed N] [--crash-at K]``
     Run a crash/recovery demonstration on a KV engine
     (default: physiological; also logical, physical, generalized).
-``audit [method]``
+    ``--seed`` picks the workload; ``--crash-at`` crashes after the
+    K-th command (default: end of stream) and then finishes the rest of
+    the workload on the recovered incarnation — so any crash point is
+    reproducible from the command line.
+``audit [method] [--seed N]``
     Run a mixed workload on an engine while auditing the Recovery
     Invariant at every instant via the theory bridge.
 """
@@ -95,11 +99,19 @@ def cmd_demo(args) -> int:
 
     method = args.method
     stream = generate_kv_workload(
-        1, KVWorkloadSpec(n_operations=60, n_keys=12, put_ratio=0.7, add_ratio=0.15)
+        args.seed,
+        KVWorkloadSpec(n_operations=60, n_keys=12, put_ratio=0.7, add_ratio=0.15),
     )
+    crash_at = len(stream) if args.crash_at is None else args.crash_at
+    if not 0 <= crash_at <= len(stream):
+        print(f"--crash-at must be in [0, {len(stream)}]", file=sys.stderr)
+        return 2
     db = KVDatabase(method=method, cache_capacity=4, commit_every=3, checkpoint_every=20)
-    db.run(stream)
-    print(f"{method}: ran {len(db.applied)} mutations; crashing...")
+    db.run(stream[:crash_at])
+    print(
+        f"{method}: ran {len(db.applied)} mutations "
+        f"(seed {args.seed}, crash at {crash_at}); crashing..."
+    )
     db.crash_and_recover()
     durable = db.verify_against()
     report = db.report()
@@ -109,6 +121,15 @@ def cmd_demo(args) -> int:
         f"skipped {report['records_skipped']}, "
         f"log {report['log_bytes']}B)"
     )
+    if crash_at < len(stream):
+        db.applied = db.applied[:durable]
+        db.run(stream[crash_at:])
+        db.commit()
+        db.verify_against()
+        print(
+            f"finished the remaining {len(stream) - crash_at} commands on "
+            f"the recovered incarnation; state verified"
+        )
     return 0
 
 
@@ -126,7 +147,7 @@ def cmd_audit(args) -> int:
             n_operations=50, n_keys=8, put_ratio=0.35, add_ratio=0.2,
             copyadd_ratio=0.3, delete_ratio=0.0,
         )
-    stream = generate_kv_workload(2, spec)
+    stream = generate_kv_workload(args.seed, spec)
     db = KVDatabase(method=method, cache_capacity=4, commit_every=2, checkpoint_every=12)
     audits = audited_run(db, stream)
     violations = [a for a in audits if not a.holds]
@@ -158,12 +179,26 @@ def main(argv: list[str] | None = None) -> int:
         default="physiological",
         choices=["logical", "physical", "physiological", "generalized"],
     )
+    demo.add_argument(
+        "--seed", type=int, default=1, help="workload seed (default: 1)"
+    )
+    demo.add_argument(
+        "--crash-at",
+        dest="crash_at",
+        type=int,
+        default=None,
+        metavar="K",
+        help="crash after the K-th command (default: end of stream)",
+    )
     audit = sub.add_parser("audit", help="audit an engine against the theory")
     audit.add_argument(
         "method",
         nargs="?",
         default="logical",
         choices=["logical", "physical", "physiological", "generalized"],
+    )
+    audit.add_argument(
+        "--seed", type=int, default=2, help="workload seed (default: 2)"
     )
     args = parser.parse_args(argv)
     handlers = {

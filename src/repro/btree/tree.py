@@ -380,6 +380,14 @@ class BTree:
                     action.apply_to(p, lsn=lsn, reader=reader)
 
             self.pool.update(page_id, apply_actions, create=True)
+            if page_id == new_id:
+                # THE careful write ordering of Figure 8, expressed as the
+                # write graph's add-edge: the new page must install before
+                # the truncated old page may.  Register while the new
+                # page's node is live — a later update in this loop could
+                # evict (install) it, and an edge registered against an
+                # already-installed generation must not count.
+                self.pool.add_flush_constraint(new_id, old_id)
 
         truncate = log.append(
             PhysiologicalRedo(old_id, PageAction("truncate", (split_cell,)))
@@ -390,9 +398,6 @@ class BTree:
                 p, lsn=truncate.lsn
             ),
         )
-        # THE careful write ordering of Figure 8: the new page must reach
-        # disk before the truncated old page may.
-        self.pool.add_flush_constraint(new_id, old_id)
         if self.unsafe_split_flush:
             # Ablation hook: do exactly the wrong thing — put the
             # truncated old page on disk first, new page still volatile.
@@ -473,16 +478,18 @@ class BTree:
 
                 pool.update(page_id, apply_actions)
                 replayed_pages.append(page_id)
+                # Re-arm the careful write ordering for the recovered
+                # incarnation as add-edge, immediately, while this page's
+                # write-graph node is still live: a later page's replay can
+                # evict (and thereby install) this one, and an edge bound
+                # afterwards to an empty obligation node would block the
+                # read page forever.
+                if page_id.startswith("page-"):
+                    for read_id in payload.read_page_ids:
+                        if read_id != page_id:
+                            pool.add_flush_constraint(page_id, read_id)
             if replayed_pages:
                 self.records_replayed += 1
-                # Re-arm the careful write ordering for the recovered
-                # incarnation — but only for pages actually rewritten in
-                # the cache (a page already on disk needs no constraint
-                # and, being clean, could never discharge one).
-                for read_id in payload.read_page_ids:
-                    for page_id in replayed_pages:
-                        if page_id.startswith("page-") and page_id != read_id:
-                            pool.add_flush_constraint(page_id, read_id)
 
     # ------------------------------------------------------------------
     # Invariants and verification

@@ -1,18 +1,40 @@
-"""The cache manager (buffer pool).
+"""The cache manager (buffer pool + install scheduler).
 
 The cache is where the write graph becomes operational (§5–6): pages
 accumulate the effects of many operations, and flushing a page to disk
-*installs* every operation whose effects it carries.  The pool
+*installs* every operation whose effects it carries.  The pool's flush
+decisions are all delegated to one live §5 write graph, the
+:class:`~repro.cache.scheduler.InstallScheduler`:
 
-- enforces the write-ahead rule (a page cannot reach disk before the log
-  records that produced its updates are stable);
-- honors *careful write ordering* constraints — the write-graph "add an
-  edge" operation surfaced to the cache, e.g. "flush the new B-tree page
-  before overwriting the old one" (§6.4, Figure 8);
-- offers LRU and clock eviction, with steal (flush-dirty-victim) and
-  no-steal modes.
+- the write-ahead rule is install's stable-LSN side condition (a page
+  cannot reach disk before the log records that produced its updates are
+  stable);
+- *careful write ordering* constraints are the write-graph "add an edge"
+  operation, e.g. "flush the new B-tree page before overwriting the old
+  one" (§6.4, Figure 8), bound to node generations so a constraint is
+  never satisfied by a flush that preceded its registration;
+- redundant flushes are *elided* via the remove-write operation when a
+  dirty page's content already equals its disk image;
+- eviction prefers victims the graph says are free (clean frames, then
+  minimal uninstalled nodes), with LRU and clock recency orders, steal
+  (flush-dirty-victim) and no-steal modes, and a ``legacy`` install
+  policy preserving the historical recency-only behaviour for ablation.
 """
 
 from repro.cache.pool import BufferPool, CachePolicyError, FlushConstraint
+from repro.cache.scheduler import (
+    InstallScheduler,
+    PageNode,
+    SchedulerCycleError,
+    SchedulerError,
+)
 
-__all__ = ["BufferPool", "CachePolicyError", "FlushConstraint"]
+__all__ = [
+    "BufferPool",
+    "CachePolicyError",
+    "FlushConstraint",
+    "InstallScheduler",
+    "PageNode",
+    "SchedulerCycleError",
+    "SchedulerError",
+]

@@ -1,23 +1,36 @@
-"""The buffer pool.
+"""The buffer pool, driven by the §5 install scheduler.
 
 Pages live in the pool as mutable working copies; the disk holds the last
 flushed image of each.  Flushing is the *install* operation of the
 theory: it atomically moves a page's accumulated updates into stable
-state.  Two disciplines guard it:
+state.  Every flush decision — what may go, in what order, what may be
+skipped — is answered by one structure, the pool's
+:class:`~repro.cache.scheduler.InstallScheduler`, a live write graph with
+one uninstalled node per dirty page:
 
-- **WAL**: if a log manager is attached, a page tagged with LSN n may be
-  flushed only once the log is stable through n.
-- **FlushConstraint**: a pending constraint ``(first, then)`` forbids
-  flushing ``then`` until ``first`` has been flushed at least once since
-  the constraint was registered.  This is the cache-manager face of the
-  write graph's *Add an edge* (§6.4: new B-tree page before old page).
+- **WAL** is install's stable-LSN side condition: a page whose node
+  carries LSN n installs only once the log is stable through n (the log
+  manager's ``ensure_stable`` gate, which forces rather than fails).
+- **FlushConstraint** is just the graph's *add-edge* view: registering
+  one adds an ordering edge bound to the first page's current node
+  generation, so a flush that happened before registration never
+  satisfies it retroactively.
+- **Flush elision** is *remove-write*: a dirty page whose content equals
+  its disk image needs no IO — replaying its pending records against
+  that identical stable image regenerates the identical state — so the
+  node retires without a page write.
+- **Victim selection** is graph-driven under the default
+  ``install_policy="graph"``: clean frames first (no install needed at
+  all), then minimal uninstalled nodes (installable without prerequisite
+  IO).  ``install_policy="legacy"`` keeps the historical recency-only
+  choice, as the ablation baseline the E16 experiment measures against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterator, Literal
 
+from repro.cache.scheduler import InstallScheduler, SchedulerCycleError
 from repro.logmgr.manager import LogManager
 from repro.storage.disk import Disk
 from repro.storage.page import Page
@@ -27,21 +40,47 @@ class CachePolicyError(RuntimeError):
     """An operation violated a cache discipline (ordering, no-steal...)."""
 
 
-@dataclass
 class FlushConstraint:
-    """``first_page`` must be flushed before ``then_page`` may be."""
+    """``first_page`` must be flushed before ``then_page`` may be.
 
-    first_page: str
-    then_page: str
-    discharged: bool = False
+    A live view over one scheduler edge: the constraint is discharged
+    exactly when that edge is gone — i.e. when the first page's node
+    *generation current at registration time* (or a later one it
+    collapsed into) installed.  A constraint created for an ordering the
+    pool resolved eagerly (cycle avoidance) is born discharged.
+    """
+
+    def __init__(
+        self,
+        first_page: str,
+        then_page: str,
+        scheduler: InstallScheduler | None = None,
+        edge: tuple[int, int] | None = None,
+    ):
+        self.first_page = first_page
+        self.then_page = then_page
+        self._scheduler = scheduler
+        self._edge = edge
+
+    @property
+    def discharged(self) -> bool:
+        if self._edge is None or self._scheduler is None:
+            return True
+        return not self._scheduler.has_edge_ids(*self._edge)
+
+    def __repr__(self) -> str:
+        state = "discharged" if self.discharged else "pending"
+        return f"FlushConstraint({self.first_page!r} -> {self.then_page!r}, {state})"
 
 
-@dataclass
 class _Frame:
-    page: Page
-    dirty: bool = False
-    referenced: bool = True  # clock bit
-    pinned: int = 0
+    __slots__ = ("page", "dirty", "referenced", "pinned")
+
+    def __init__(self, page: Page):
+        self.page = page
+        self.dirty = False
+        self.referenced = True  # clock bit
+        self.pinned = 0
 
 
 class BufferPool:
@@ -54,23 +93,27 @@ class BufferPool:
         capacity: int = 64,
         policy: Literal["lru", "clock"] = "lru",
         steal: bool = True,
+        install_policy: Literal["graph", "legacy"] = "graph",
     ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if install_policy not in ("graph", "legacy"):
+            raise ValueError(f"unknown install policy {install_policy!r}")
         self.disk = disk
         self.log_manager = log_manager
         self.capacity = capacity
         self.policy = policy
         self.steal = steal
+        self.install_policy = install_policy
+        self.scheduler = InstallScheduler()
         self._frames: dict[str, _Frame] = {}  # insertion order = LRU order
-        self._constraints: list[FlushConstraint] = []
         self._clock_hand = 0
         self.hits = 0
         self.misses = 0
         self.flushes = 0
         self.evictions = 0
-        # Optional observer invoked with a page id after every successful
-        # flush; recovery methods use it to keep dirty-page tables honest.
+        # Optional observer invoked with a page id after every install
+        # (disk write or elision) — for tests and instrumentation.
         self.on_flush: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
@@ -117,8 +160,15 @@ class BufferPool:
         return page
 
     def mark_dirty(self, page_id: str) -> None:
-        """Record that the cached copy of ``page_id`` differs from disk."""
-        self._frames[page_id].dirty = True
+        """Record that the cached copy of ``page_id`` differs from disk.
+
+        This is the scheduler's *collapse*: the update merges into the
+        page's live write-graph node (created on the first update of a
+        generation), carrying the page's LSN tag as recLSN/lastLSN.
+        """
+        frame = self._frames[page_id]
+        frame.dirty = True
+        self.scheduler.collapse(page_id, frame.page.lsn)
 
     def is_dirty(self, page_id: str) -> bool:
         """Is ``page_id`` cached with unflushed changes?"""
@@ -145,113 +195,101 @@ class BufferPool:
         frame.pinned -= 1
 
     # ------------------------------------------------------------------
-    # Flush ordering constraints
+    # Flush ordering constraints (= write-graph add-edge)
     # ------------------------------------------------------------------
 
     def add_flush_constraint(self, first_page: str, then_page: str) -> FlushConstraint:
-        """Require ``first_page`` to reach disk before ``then_page``.
+        """Require ``first_page`` to reach disk before ``then_page`` may.
 
-        This is the cache-manager face of the write graph's *Add an edge*
-        operation, whose side condition demands acyclicity.  If the new
-        ordering would close a cycle among pending constraints, the cache
-        resolves it the way real systems do: flush ``first_page`` right
-        now (with its own prerequisites), so the obligation is already
-        discharged and no edge is needed.
+        Pure *add-edge*: the scheduler binds the ordering to the first
+        page's current node generation — if that page is clean, an empty
+        obligation node is created, so only a *future* flush of it can
+        discharge the constraint (never one that already happened).  If
+        the edge would close a cycle the pool resolves it the way real
+        systems do: flush ``first_page`` right now (with its own
+        prerequisites), so the obligation is already met and no edge is
+        needed — the acyclicity side condition, operationalized.
         """
-        if self._constraint_path(then_page, first_page):
+        try:
+            edge = self.scheduler.add_edge(first_page, then_page)
+        except SchedulerCycleError:
             self._flush_with_prerequisites(first_page)
-            return FlushConstraint(first_page, then_page, discharged=True)
-        constraint = FlushConstraint(first_page, then_page)
-        self._constraints.append(constraint)
-        return constraint
-
-    def _constraint_path(self, source: str, target: str) -> bool:
-        """Is there a pending-constraint path source -> ... -> target?"""
-        frontier = [source]
-        seen = set()
-        while frontier:
-            page = frontier.pop()
-            if page == target:
-                return True
-            if page in seen:
-                continue
-            seen.add(page)
-            frontier.extend(
-                c.then_page
-                for c in self._constraints
-                if not c.discharged and c.first_page == page
-            )
-        return False
+            return FlushConstraint(first_page, then_page)
+        return FlushConstraint(first_page, then_page, self.scheduler, edge)
 
     def blocked_by(self, page_id: str) -> list[FlushConstraint]:
         """Pending constraints forbidding a flush of ``page_id``."""
         return [
-            constraint
-            for constraint in self._constraints
-            if not constraint.discharged and constraint.then_page == page_id
+            FlushConstraint(first, then, self.scheduler, edge)
+            for first, then, edge in self.scheduler.pending_edges()
+            if then == page_id
         ]
 
     def pending_constraints(self) -> list[FlushConstraint]:
-        """Every registered, not-yet-discharged flush constraint."""
-        return [c for c in self._constraints if not c.discharged]
+        """Every live ordering edge, as constraint views."""
+        return [
+            FlushConstraint(first, then, self.scheduler, edge)
+            for first, then, edge in self.scheduler.pending_edges()
+        ]
 
     # ------------------------------------------------------------------
     # Flushing (= installing)
     # ------------------------------------------------------------------
 
     def wal_check(self, page_lsn: int) -> None:
-        """The write-ahead rule, consulted against segment boundaries.
-
-        The records that produced a page's updates must be stable before
-        the page may reach disk.  The pool asks the log for the stable
-        boundary of the *segment* holding ``page_lsn`` — with a segmented
-        log that is the only question that needs answering, and it stays
-        cheap no matter how long the log grows.  Like real systems, an
-        unstable boundary forces the log rather than failing — that is
-        what "write-ahead" means; the final check then raises only if
-        even a forced flush could not cover the LSN (a genuinely torn
-        protocol, e.g. a page tagged with a never-appended LSN).
-        """
-        if self.log_manager.segment_stable_boundary(page_lsn) < page_lsn:
-            self.log_manager.flush(up_to_lsn=page_lsn)
-        self.log_manager.wal_check(page_lsn)
+        """The write-ahead rule as install's stable-LSN side condition:
+        delegate to the log manager's :meth:`~repro.logmgr.manager.LogManager.ensure_stable`
+        gate, which forces the segment holding ``page_lsn`` if needed and
+        raises only if even a forced flush could not cover the LSN (a
+        genuinely torn protocol, e.g. a page tagged with a never-appended
+        LSN)."""
+        self.log_manager.ensure_stable(page_lsn)
 
     def flush_page(self, page_id: str, force: bool = False) -> None:
-        """Write the cached page to disk, enforcing WAL and ordering.
+        """Install the cached page: WAL gate, ordering check, disk write.
 
-        ``force=True`` bypasses the ordering check — it exists solely for
-        the ablation experiments that demonstrate recovery breaking when
-        careful write ordering is violated.
+        If the dirty page's content already equals its disk image the
+        write is *elided* (the scheduler's remove-write): replaying the
+        page's pending records against that identical stable image
+        regenerates the identical state, so skipping the IO preserves
+        recoverability exactly.  ``force=True`` bypasses the ordering
+        check — it exists solely for the ablation experiments that
+        demonstrate recovery breaking when careful write ordering is
+        violated.
         """
         frame = self._frames.get(page_id)
         if frame is None or not frame.dirty:
             return
         if not force:
-            blockers = self.blocked_by(page_id)
+            blockers = self.scheduler.blockers(page_id)
             if blockers:
-                firsts = sorted(c.first_page for c in blockers)
                 raise CachePolicyError(
-                    f"flush of {page_id!r} blocked until {firsts} flushed "
+                    f"flush of {page_id!r} blocked until {blockers} flushed "
                     f"(careful write ordering)"
                 )
+        if (
+            self.install_policy == "graph"
+            and not force
+            and self.disk.has_page(page_id)
+            and frame.page.same_contents(self.disk.read_page(page_id))
+        ):
+            # Remove-write: content already stable; no IO needed.
+            self.scheduler.remove_write(page_id)
+            frame.dirty = False
+            if self.on_flush is not None:
+                self.on_flush(page_id)
+            return
         if self.log_manager is not None and frame.page.lsn >= 0:
             self.wal_check(frame.page.lsn)
         self.disk.write_page(frame.page)
         frame.dirty = False
         self.flushes += 1
-        for constraint in self._constraints:
-            if constraint.first_page == page_id:
-                constraint.discharged = True
+        self.scheduler.install(page_id, force=True)
         if self.on_flush is not None:
             self.on_flush(page_id)
 
     def flush_all(self) -> None:
-        """Flush every dirty page, in a constraint-respecting order.
-
-        Constraints whose first page already reached disk (it is clean or
-        was flushed along the way) are discharged as encountered — the
-        required image is already stable, which is all the ordering asks.
-        """
+        """Flush every dirty page, in a constraint-respecting order."""
         for page_id in self.dirty_page_ids():
             if self.is_dirty(page_id):  # may have been flushed as a prereq
                 self._flush_with_prerequisites(page_id)
@@ -285,23 +323,25 @@ class BufferPool:
         self.evictions += 1
 
     def _flush_with_prerequisites(self, page_id: str, _seen: set | None = None) -> None:
-        """Flush ``page_id``, first flushing any pages that careful write
-        ordering requires to go to disk before it.
+        """Flush ``page_id``, first flushing any pages the write graph
+        orders before it.
 
         ``_seen`` marks pages already handled in this pass — duplicate
-        constraints naming the same prerequisite are common and must not
-        be mistaken for cycles.  Genuine cycles cannot arise:
-        :meth:`add_flush_constraint` refuses to create them (it flushes
-        eagerly instead), mirroring the write graph's acyclicity side
-        condition.
+        prerequisites are common and must not recurse forever.  Genuine
+        cycles cannot arise: the scheduler's add-edge refuses them (and
+        :meth:`add_flush_constraint` then flushes eagerly instead),
+        mirroring the write graph's acyclicity side condition.  A
+        prerequisite that is *clean* (an empty obligation node) cannot
+        be discharged by flushing it — only a future re-dirty-and-flush
+        can — so the dependent page's flush will raise, which is the
+        correct refusal (the old bookkeeping wrongly discharged it).
         """
         seen = _seen if _seen is not None else set()
         if page_id in seen:
             return
         seen.add(page_id)
-        for constraint in self.blocked_by(page_id):
-            self._flush_with_prerequisites(constraint.first_page, seen)
-            constraint.discharged = True
+        for first in self.scheduler.blockers(page_id):
+            self._flush_with_prerequisites(first, seen)
         self.flush_page(page_id)
 
     def _choose_victim(self) -> str:
@@ -310,14 +350,29 @@ class BufferPool:
         ]
         if not candidates:
             raise CachePolicyError("every cached page is pinned; cannot evict")
-        if self.policy == "lru":
-            # First unpinned frame in insertion (LRU) order whose flush is
-            # not blocked; fall back to any unpinned frame.
+        if self.install_policy == "graph":
+            # Graph-driven selection: a clean frame needs no install at
+            # all — evicting it costs zero IO; failing that, a minimal
+            # uninstalled node (no live predecessors) installs without
+            # dragging prerequisite flushes along.  Recency (LRU/clock
+            # insertion order) breaks ties within each tier.
             for page_id in candidates:
-                if not self._frames[page_id].dirty or not self.blocked_by(page_id):
+                if not self._frames[page_id].dirty:
+                    return page_id
+            for page_id in candidates:
+                if not self.scheduler.blockers(page_id):
                     return page_id
             return candidates[0]
-        # Clock: sweep, clearing reference bits.
+        if self.policy == "lru":
+            # Legacy: first unpinned frame in insertion (LRU) order whose
+            # flush is not blocked; fall back to any unpinned frame.
+            for page_id in candidates:
+                if not self._frames[page_id].dirty or not self.scheduler.blockers(
+                    page_id
+                ):
+                    return page_id
+            return candidates[0]
+        # Legacy clock: sweep, clearing reference bits.
         ids = list(self._frames)
         for _ in range(2 * len(ids)):
             page_id = ids[self._clock_hand % len(ids)]
@@ -336,9 +391,9 @@ class BufferPool:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Lose every cached page and pending constraint (all volatile)."""
+        """Lose every cached page and the whole write graph (volatile)."""
         self._frames.clear()
-        self._constraints.clear()
+        self.scheduler.reset()
 
     def cached_page_ids(self) -> list[str]:
         """Sorted ids of every resident page."""
@@ -351,5 +406,6 @@ class BufferPool:
     def __repr__(self) -> str:
         return (
             f"BufferPool(cached={len(self._frames)}/{self.capacity}, "
-            f"dirty={len(self.dirty_page_ids())}, policy={self.policy})"
+            f"dirty={len(self.dirty_page_ids())}, policy={self.policy}, "
+            f"install={self.install_policy})"
         )

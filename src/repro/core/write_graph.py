@@ -1,4 +1,4 @@
-"""Write graphs (§5): how real systems batch installs.
+"""Write graphs (§5): how real systems batch installs — live.
 
 A write graph is a state graph whose nodes carry an ``installed`` bit,
 with the installed nodes forming a prefix.  It starts life as the
@@ -14,8 +14,21 @@ operations, each with the paper's side conditions enforced:
 - **remove a write** (only when no uninstalled reader needs the value) —
   the unexposed-variable optimization that shrinks atomic write sets.
 
+The graph is maintained *incrementally*: it subscribes to the conflict
+graph's append feed, so appending an operation to the log extends the
+write graph by one node in O(degree) — node values come from a running
+state, edges from the append's finalized edge delta filtered to
+installation edges — with no rebuild ever.  Per-variable questions
+(remove-write side conditions, the unexposed set) are answered from the
+conflict graph's :class:`~repro.core.varindex.VariableIndex` and a
+memoized :class:`~repro.core.exposed.ExposureMemo` instead of full
+scans, so the structure stays cheap enough to consult on every flush —
+which is exactly how :mod:`repro.cache` uses its page-level counterpart.
+
 Corollary 5 — the state determined by a write-graph prefix is potentially
-recoverable — is checked executable-style by :meth:`WriteGraph.audit`.
+recoverable — is checked executable-style by :meth:`WriteGraph.audit`,
+memoized between mutations so continuous auditing costs O(1) per
+untouched step.
 """
 
 from __future__ import annotations
@@ -24,8 +37,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
-from repro.core.exposed import exposed_variables
-from repro.core.explain import explains
+from repro.core.conflict import WR
+from repro.core.exposed import ExposureMemo
 from repro.core.expr import Value
 from repro.core.installation import InstallationGraph
 from repro.core.model import Operation, State
@@ -61,7 +74,13 @@ class WriteNode:
 
 
 class WriteGraph:
-    """A write graph tied to the installation graph it was derived from."""
+    """A live write graph tied to the installation graph it rides.
+
+    Construction absorbs every operation already in the graph, then
+    subscribes to the conflict graph's append feed: subsequent appends
+    grow the write graph one node at a time with their installation
+    edges, so one instance tracks a growing log for its whole life.
+    """
 
     def __init__(self, installation: InstallationGraph, initial: State):
         self.installation = installation
@@ -69,18 +88,59 @@ class WriteGraph:
         self.dag = Dag()
         self._nodes: dict[Hashable, WriteNode] = {}
         self._fresh = itertools.count()
+        # operation name -> current node id (updated by collapse).
+        self._op_node: dict[str, Hashable] = {}
+        # State after every operation appended so far: the source of each
+        # new node's write values (replacing a full state-graph rebuild).
+        self._running = initial.copy()
+        self._memo = ExposureMemo(installation.conflict)
+        self._audit_cache: bool | None = None
 
-        state_graph = installation.state_graph(initial)
         for operation in installation.operations:
-            node = WriteNode(
-                node_id=operation.name,
-                ops=frozenset({operation}),
-                writes=state_graph.writes(operation.name),
+            self._ingest(
+                operation, installation.dag.direct_predecessors(operation.name)
             )
-            self._nodes[operation.name] = node
-            self.dag.add_node(operation.name)
-        for source, target, labels in state_graph.dag.edges():
-            self.dag.add_edge(source, target, labels=labels, check_acyclic=False)
+        installation.conflict.subscribe(self._on_append)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the append feed)
+    # ------------------------------------------------------------------
+
+    def _ingest(self, operation: Operation, sources: Iterable[str]) -> None:
+        """Add one operation as a fresh node: evaluate its writes against
+        the running state, wire its (already-filtered) installation
+        edges, remapping sources through collapses."""
+        writes = operation.evaluate(self._running)
+        for variable, value in writes.items():
+            self._running.set(variable, value)
+        node = WriteNode(
+            node_id=operation.name,
+            ops=frozenset({operation}),
+            writes=dict(writes),
+        )
+        self._nodes[operation.name] = node
+        self._op_node[operation.name] = operation.name
+        self.dag.add_node(operation.name)
+        for source in {self._op_node[name] for name in sources}:
+            if source != operation.name:
+                self.dag.add_edge(source, operation.name, check_acyclic=False)
+        self._audit_cache = None
+
+    def _on_append(self, operation: Operation, incoming: dict[str, set[str]]) -> None:
+        """Apply one conflict-graph append: keep the new edges that
+        survive §3.1's wr-removal, exactly as the installation graph
+        does, but ending at this write graph's current nodes."""
+        self._ingest(
+            operation,
+            (name for name, labels in incoming.items() if labels != {WR}),
+        )
+
+    def _synced_memo(self) -> ExposureMemo:
+        """The exposure memo, synchronized to the installed prefix (the
+        sync invalidates only the symmetric difference, so steady-state
+        audits pay O(newly installed operations))."""
+        self._memo.set_installed(self.installed_operations())
+        return self._memo
 
     # ------------------------------------------------------------------
     # Inspection
@@ -99,11 +159,13 @@ class WriteGraph:
         return self.dag.nodes()
 
     def node_of(self, operation: Operation) -> WriteNode:
-        """The node whose operation set contains ``operation``."""
-        for node in self._nodes.values():
-            if operation in node.ops:
-                return node
-        raise KeyError(f"operation {operation.name!r} labels no write-graph node")
+        """The node whose operation set contains ``operation`` (O(1))."""
+        try:
+            return self._nodes[self._op_node[operation.name]]
+        except KeyError:
+            raise KeyError(
+                f"operation {operation.name!r} labels no write-graph node"
+            ) from None
 
     def installed_nodes(self) -> list[WriteNode]:
         """Nodes whose installed bit is set (they form a prefix)."""
@@ -146,6 +208,7 @@ class WriteGraph:
                     f"cannot install {node_id!r}: predecessor {pred!r} is uninstalled"
                 )
         node.installed = True
+        self._audit_cache = None
         return node
 
     def add_edge(self, source_id: Hashable, target_id: Hashable) -> None:
@@ -160,6 +223,7 @@ class WriteGraph:
             self.dag.add_edge(source_id, target_id, labels={"added"})
         except CycleError as exc:
             raise WriteGraphError(str(exc)) from exc
+        self._audit_cache = None
 
     def collapse(
         self, node_ids: Iterable[Hashable], new_id: Hashable | None = None
@@ -244,11 +308,14 @@ class WriteGraph:
             installed=installed,
         )
         self._nodes[new_id] = merged
+        for op in merged_ops:
+            self._op_node[op.name] = new_id
         self.dag.add_node(new_id)
         for source in incoming:
             self.dag.add_edge(source, new_id, check_acyclic=False)
         for target in outgoing:
             self.dag.add_edge(new_id, target, check_acyclic=False)
+        self._audit_cache = None
 
         assert self._installed_bits_form_prefix(), (
             "internal error: pre-validated collapse broke the installed prefix"
@@ -262,6 +329,9 @@ class WriteGraph:
         either installed, or ordered before ``node`` while some node
         following ``node`` blind-writes ``variable`` — i.e. no uninstalled
         reader can ever need the removed value.
+
+        Both checks run off the conflict graph's variable index: cost is
+        O(accessors of ``variable``), not O(nodes).
         """
         node = self._nodes[node_id]
         if variable not in node.writes:
@@ -273,20 +343,21 @@ class WriteGraph:
             raise WriteGraphError(
                 f"cannot remove a write from installed node {node_id!r}"
             )
+        index = self.installation.conflict.variable_index
         # (b) The removed value must never be needed as the final value:
-        # some node ordered after this one must overwrite the variable,
-        # either blindly (its replay regenerates the final value without
-        # reading) or while already installed (the stable state already
-        # holds the later value).
-        overwriter = any(
-            other.node_id != node_id
-            and self.dag.has_path(node_id, other.node_id)
-            and (
-                other.installed
-                or any(op.writes_blindly(variable) for op in other.ops)
-            )
-            for other in self._nodes.values()
-        )
+        # some node ordered after this one must blind-overwrite the
+        # variable (its replay regenerates the final value without
+        # reading).  An *installed* overwriter after this uninstalled
+        # node cannot exist — installed nodes form a prefix — so only
+        # blind writers need checking.
+        overwriter = False
+        for op in index.writers(variable):
+            if not op.writes_blindly(variable):
+                continue
+            other_id = self._op_node[op.name]
+            if other_id != node_id and self.dag.has_path(node_id, other_id):
+                overwriter = True
+                break
         if not overwriter:
             raise WriteGraphError(
                 f"cannot remove write of {variable!r} from {node_id!r}: "
@@ -295,18 +366,49 @@ class WriteGraph:
         # (a) No uninstalled reader may need the removed value.  The node's
         # own read is exempt: once the node installs it is never replayed,
         # and until then the stable value is untouched by this removal.
-        for other in self._nodes.values():
-            if other.node_id == node_id or not other.reads(variable):
+        for op in index.readers(variable):
+            other_id = self._op_node[op.name]
+            if other_id == node_id:
                 continue
+            other = self._nodes[other_id]
             if other.installed:
                 continue
-            if self.dag.has_path(other.node_id, node_id):
+            if self.dag.has_path(other_id, node_id):
                 continue  # reads an earlier version; ordered before us
             raise WriteGraphError(
                 f"cannot remove write of {variable!r} from {node_id!r}: "
-                f"uninstalled node {other.node_id!r} reads it"
+                f"uninstalled node {other_id!r} reads it"
             )
         del node.writes[variable]
+        self._audit_cache = None
+
+    # ------------------------------------------------------------------
+    # Elision
+    # ------------------------------------------------------------------
+
+    def unexposed_now(self) -> set[str]:
+        """Variables currently unexposed by the installed operations
+        (memoized per variable; see :class:`ExposureMemo`)."""
+        return set(self._synced_memo().unexposed_variables())
+
+    def elide_unexposed(self) -> dict[Hashable, set[str]]:
+        """Apply remove-write wherever its side conditions permit, for
+        every currently-unexposed variable — the §5 optimization a cache
+        manager runs before an atomic install to shrink the write set.
+        Returns {node_id: removed variables}; nodes whose removals are
+        refused (e.g. no blind overwriter yet) are simply skipped.
+        """
+        removed: dict[Hashable, set[str]] = {}
+        for variable in sorted(self.unexposed_now()):
+            for node in self.uninstalled_nodes():
+                if variable not in node.writes:
+                    continue
+                try:
+                    self.remove_write(node.node_id, variable)
+                except WriteGraphError:
+                    continue
+                removed.setdefault(node.node_id, set()).add(variable)
+        return removed
 
     # ------------------------------------------------------------------
     # States and audits
@@ -342,22 +444,25 @@ class WriteGraph:
 
     def audit(self) -> bool:
         """Corollary 5 check: the installed prefix's operations form an
-        installation-graph prefix that explains the stable state."""
-        installed_ops = self.installed_operations()
-        if not self.installation.is_prefix(installed_ops):
-            return False
-        return explains(
-            self.installation, installed_ops, self.stable_state(), self.initial
-        )
+        installation-graph prefix that explains the stable state.
 
-    def unexposed_now(self) -> set[str]:
-        """Variables currently unexposed by the installed operations."""
-        conflict = self.installation.conflict
-        installed_ops = self.installed_operations()
-        variables: set[str] = set()
-        for operation in conflict.operations:
-            variables |= operation.variables()
-        return variables - exposed_variables(conflict, installed_ops, variables)
+        The verdict is memoized and invalidated by every mutation, and
+        the exposure side of ``explains`` runs off the per-variable memo,
+        so auditing after each step of a long run is cheap.
+        """
+        if self._audit_cache is None:
+            installed_ops = self.installed_operations()
+            if not self.installation.is_prefix(installed_ops):
+                self._audit_cache = False
+            else:
+                determined = self.installation.determined_state(
+                    installed_ops, self.initial
+                )
+                exposed = self._synced_memo().exposed_variables()
+                self._audit_cache = self.stable_state().agrees_with(
+                    determined, exposed
+                )
+        return self._audit_cache
 
     def __repr__(self) -> str:
         return (

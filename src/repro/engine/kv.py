@@ -11,7 +11,11 @@
 - ``track_theory``: keep an incremental theory-audit tracker (conflict
   graph, installation graph, exposure memo) synchronized with the stable
   log during normal operation, so :meth:`KVDatabase.theory_audit` checks
-  the Recovery Invariant at any instant without rebuilding graphs.
+  the Recovery Invariant at any instant without rebuilding graphs;
+- ``install_policy``: how the buffer pool picks flush victims —
+  ``"graph"`` (default) asks the live §5 install scheduler and elides
+  redundant writes, ``"legacy"`` keeps the historical recency-only
+  behaviour (the E16 ablation baseline).
 
 The durability contract is checked by :meth:`verify_against`: after a
 crash and recovery, the visible state must equal the oracle applied to
@@ -38,6 +42,7 @@ class KVDatabase:
         method: str = "physiological",
         cache_capacity: int = 16,
         cache_policy: str = "lru",
+        install_policy: str = "graph",
         n_pages: int = 8,
         commit_every: int = 1,
         checkpoint_every: int | None = None,
@@ -54,6 +59,7 @@ class KVDatabase:
             cache_capacity=cache_capacity,
             cache_policy=cache_policy,
             log_segment_size=log_segment_size,
+            install_policy=install_policy,
         )
         self.method: RecoveryMethodKV = METHODS[method](
             machine, n_pages=n_pages, **(method_options or {})
@@ -198,5 +204,9 @@ class KVDatabase:
             disk_bytes=machine.disk.bytes_written,
             cache_hits=machine.pool.hits,
             cache_misses=machine.pool.misses,
+            page_flushes=machine.pool.flushes,
+            install_policy=machine.pool.install_policy,
         )
+        for key, value in machine.pool.scheduler.stats.as_dict().items():
+            stats[f"scheduler_{key}"] = value
         return stats

@@ -174,6 +174,23 @@ class LogManager:
                 f"through {self.stable_lsn}"
             )
 
+    def ensure_stable(self, lsn: int) -> None:
+        """The install gate: make every record through ``lsn`` stable.
+
+        This is the write-ahead rule phrased as the §5 install
+        operation's side condition — a page node tagged through ``lsn``
+        may install only once the log covers it.  Like real systems, an
+        unstable boundary *forces* the log rather than failing (that is
+        what "write-ahead" means); the final :meth:`wal_check` then
+        raises only if even a forced flush could not cover the LSN (a
+        genuinely torn protocol, e.g. a page tagged with a never-appended
+        LSN).  The check consults the per-segment stable boundary, so it
+        stays cheap no matter how long the log grows.
+        """
+        if self.segment_stable_boundary(lsn) < lsn:
+            self.flush(up_to_lsn=lsn)
+        self.wal_check(lsn)
+
     # ------------------------------------------------------------------
     # Checkpoints and truncation
     # ------------------------------------------------------------------

@@ -59,6 +59,7 @@ class Machine:
         cache_policy: str = "lru",
         enforce_wal: bool = True,
         log_segment_size: int | None = None,
+        install_policy: str = "graph",
     ):
         self.disk = Disk()
         self.log = (
@@ -72,6 +73,7 @@ class Machine:
             self.log if enforce_wal else None,
             capacity=cache_capacity,
             policy=cache_policy,  # type: ignore[arg-type]
+            install_policy=install_policy,  # type: ignore[arg-type]
         )
         self.crashed = False
 
@@ -88,6 +90,7 @@ class Machine:
             self.log if self.enforce_wal else None,
             capacity=self.pool.capacity,
             policy=self.pool.policy,  # type: ignore[arg-type]
+            install_policy=self.pool.install_policy,  # type: ignore[arg-type]
         )
         self.crashed = False
 

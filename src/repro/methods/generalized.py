@@ -45,12 +45,13 @@ class GeneralizedKV(RecoveryMethodKV):
         sharp_checkpoints: bool = False,
     ):
         super().__init__(machine, n_pages)
-        self._dirty_table: dict[str, int] = {}
         self.sharp_checkpoints = sharp_checkpoints
-        self.machine.pool.on_flush = self._note_flush
 
-    def _note_flush(self, page_id: str) -> None:
-        self._dirty_table.pop(page_id, None)
+    def dirty_table(self) -> dict[str, int]:
+        """The dirty page table (page -> recLSN), read off the pool's
+        live write graph — see
+        :meth:`repro.methods.physiological.PhysiologicalKV.dirty_table`."""
+        return self.machine.pool.scheduler.rec_lsns()
 
     # ------------------------------------------------------------------
     # Single-page operations (as in physiological recovery)
@@ -58,7 +59,6 @@ class GeneralizedKV(RecoveryMethodKV):
 
     def _log_and_apply(self, page_id: str, action: PageAction) -> None:
         entry = self.machine.log.append(PhysiologicalRedo(page_id, action))
-        self._dirty_table.setdefault(page_id, entry.lsn)
         self.machine.pool.update(
             page_id, lambda p: action.apply_to(p, lsn=entry.lsn), create=True
         )
@@ -97,15 +97,15 @@ class GeneralizedKV(RecoveryMethodKV):
         entry = self.machine.log.append(
             MultiPageRedo(read_page_ids=(src_page,), writes={dst_page: (action,)})
         )
-        self._dirty_table.setdefault(dst_page, entry.lsn)
         reader = lambda pid: pool.get_page(pid, create=True)
         pool.update(
             dst_page,
             lambda p: action.apply_to(p, lsn=entry.lsn, reader=reader),
             create=True,
         )
-        # Careful write ordering: the destination page must be installed
-        # before the source page can carry later updates to disk.
+        # Careful write ordering as the write graph's add-edge: the
+        # destination page must be installed before the source page can
+        # carry later updates to disk.
         pool.add_flush_constraint(dst_page, src_page)
         self.stats.operations += 1
 
@@ -118,7 +118,7 @@ class GeneralizedKV(RecoveryMethodKV):
         if self.sharp_checkpoints:
             self.machine.log.flush()
             self.machine.pool.flush_all()
-        snapshot = tuple(sorted(self._dirty_table.items()))
+        snapshot = tuple(sorted(self.dirty_table().items()))
         self.machine.log.append(CheckpointRecord(("generalized", snapshot)))
         self.machine.log.flush()
         self.stats.checkpoints += 1
@@ -132,7 +132,7 @@ class GeneralizedKV(RecoveryMethodKV):
         checkpoint_lsn = self.machine.log.last_stable_checkpoint_lsn
         if checkpoint_lsn < 0:
             return -1
-        return min([checkpoint_lsn, *self._dirty_table.values()])
+        return min([checkpoint_lsn, *self.dirty_table().values()])
 
     # ------------------------------------------------------------------
     # Recovery
@@ -152,8 +152,6 @@ class GeneralizedKV(RecoveryMethodKV):
         from repro.methods.physiological import analysis_pass
 
         self.machine.reboot_pool()
-        self.machine.pool.on_flush = self._note_flush
-        self._dirty_table.clear()
 
         log = self.machine.log
         scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
@@ -171,7 +169,6 @@ class GeneralizedKV(RecoveryMethodKV):
                 if page.lsn >= entry.lsn:
                     self.stats.records_skipped += 1
                     continue
-                self._dirty_table.setdefault(payload.page_id, entry.lsn)
                 pool.update(
                     payload.page_id,
                     lambda p, a=payload.action, l=entry.lsn: a.apply_to(p, lsn=l),
@@ -183,7 +180,6 @@ class GeneralizedKV(RecoveryMethodKV):
                     page = pool.get_page(page_id, create=True)
                     if page.lsn >= entry.lsn:
                         continue
-                    self._dirty_table.setdefault(page_id, entry.lsn)
 
                     def apply_actions(p, actions=actions, lsn=entry.lsn):
                         for action in actions:

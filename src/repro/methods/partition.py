@@ -147,6 +147,12 @@ def install_pages(pool, result: PartitionedRedoResult) -> None:
     Each rebuilt page wholesale replaces the pool's working copy: the
     partition worker started from the same disk image the pool would
     load, so the rebuilt page *is* the recovered working copy.
+
+    Adoption dirties the page with its *final* LSN already stamped, so
+    the install scheduler's node would otherwise record a recLSN equal
+    to the last replayed record; correct it to the partition's true
+    recLSN (the first record the worker replayed) so the dirty page
+    table and truncation point stay conservative.
     """
     for page_id, rebuilt in result.pages.items():
         def adopt(p: Page, src: Page = rebuilt) -> None:
@@ -156,3 +162,5 @@ def install_pages(pool, result: PartitionedRedoResult) -> None:
                 p.stamp(src.lsn)
 
         pool.update(page_id, adopt, create=True)
+        if page_id in result.rec_lsns:
+            pool.scheduler.set_rec_lsn(page_id, result.rec_lsns[page_id])

@@ -88,10 +88,6 @@ class PhysiologicalKV(RecoveryMethodKV):
         recovery_workers: int = 4,
     ):
         super().__init__(machine, n_pages)
-        # Dirty page table: page_id -> recLSN (the LSN that first dirtied
-        # the page since it was last clean).  Kept honest by the pool's
-        # flush observer, so stolen flushes advance the redo start point.
-        self._dirty_table: dict[str, int] = {}
         # Sharp checkpoints flush every dirty page first, buying minimal
         # recovery work at the cost of checkpoint IO; the default fuzzy
         # checkpoint just records the redo start point.
@@ -100,10 +96,14 @@ class PhysiologicalKV(RecoveryMethodKV):
         # because every physiological record touches exactly one page.
         self.parallel_recovery = parallel_recovery
         self.recovery_workers = recovery_workers
-        self.machine.pool.on_flush = self._note_flush
 
-    def _note_flush(self, page_id: str) -> None:
-        self._dirty_table.pop(page_id, None)
+    def dirty_table(self) -> dict[str, int]:
+        """The ARIES dirty page table (page -> recLSN), read off the
+        pool's live write graph: a page's node is born at first dirtying
+        (carrying the dirtying LSN) and retired when a flush installs —
+        or elides — it, so the scheduler's recLSN view *is* the dirty
+        page table.  No parallel bookkeeping, no flush observer."""
+        return self.machine.pool.scheduler.rec_lsns()
 
     # ------------------------------------------------------------------
     # Normal operation
@@ -111,7 +111,6 @@ class PhysiologicalKV(RecoveryMethodKV):
 
     def _log_and_apply(self, page_id: str, action: PageAction) -> None:
         entry = self.machine.log.append(PhysiologicalRedo(page_id, action))
-        self._dirty_table.setdefault(page_id, entry.lsn)
         self.machine.pool.update(
             page_id, lambda p: action.apply_to(p, lsn=entry.lsn), create=True
         )
@@ -145,7 +144,7 @@ class PhysiologicalKV(RecoveryMethodKV):
         if self.sharp_checkpoints:
             self.machine.log.flush()
             self.machine.pool.flush_all()
-        snapshot = tuple(sorted(self._dirty_table.items()))
+        snapshot = tuple(sorted(self.dirty_table().items()))
         self.machine.log.append(CheckpointRecord(("physiological", snapshot)))
         self.machine.log.flush()
         self.stats.checkpoints += 1
@@ -160,7 +159,7 @@ class PhysiologicalKV(RecoveryMethodKV):
         checkpoint_lsn = self.machine.log.last_stable_checkpoint_lsn
         if checkpoint_lsn < 0:
             return -1
-        return min([checkpoint_lsn, *self._dirty_table.values()])
+        return min([checkpoint_lsn, *self.dirty_table().values()])
 
     # ------------------------------------------------------------------
     # Recovery
@@ -181,8 +180,6 @@ class PhysiologicalKV(RecoveryMethodKV):
         scan (see :mod:`repro.methods.partition`).
         """
         self.machine.reboot_pool()
-        self.machine.pool.on_flush = self._note_flush
-        self._dirty_table.clear()
 
         log = self.machine.log
         scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
@@ -210,7 +207,6 @@ class PhysiologicalKV(RecoveryMethodKV):
                 # is already installed in the stable state.
                 self.stats.records_skipped += 1
                 continue
-            self._dirty_table.setdefault(payload.page_id, record.lsn)
             pool.update(
                 payload.page_id,
                 lambda p, a=payload.action, l=record.lsn: a.apply_to(p, lsn=l),
@@ -231,7 +227,6 @@ class PhysiologicalKV(RecoveryMethodKV):
             max_workers=self.recovery_workers,
         )
         install_pages(self.machine.pool, result)
-        self._dirty_table.update(result.rec_lsns)
         self.stats.records_scanned += result.scanned
         self.stats.records_replayed += result.replayed
         self.stats.records_skipped += result.skipped

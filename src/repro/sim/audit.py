@@ -60,6 +60,7 @@ class InstantAudit:
     holds: bool
     is_prefix: bool
     explains_state: bool
+    scheduler_ok: bool = True
     detail: str = ""
 
     def __bool__(self) -> bool:
@@ -241,18 +242,24 @@ def _redo_lsns(method, entries: Sequence[LogEntry]) -> set[int]:
             if e.lsn >= start and not isinstance(e.payload, CheckpointRecord)
         }
     if isinstance(method, (PhysiologicalKV, GeneralizedKV)):
-        from repro.methods.physiological import analysis_pass
-
-        _, redo_start = analysis_pass(entries)
         disk = method.machine.disk
 
         def page_lsn(page_id: str) -> int:
             return disk.read_page(page_id).lsn if disk.has_page(page_id) else -1
 
+        # The installed set is modeled by the pure page-LSN test: a
+        # record's effect is on disk iff its page's stable LSN covers it.
+        # The analysis pass's redo_start is deliberately NOT applied
+        # here: it is a *scan* optimization, sound because everything
+        # below it replays as a no-op or is already reflected — but
+        # flush elision can leave a net-identity window below redo_start
+        # whose records are individually unreflected (the disk keeps the
+        # pre-window image and LSN).  Treating those as installed would
+        # pick a witness prefix whose determined state disagrees with
+        # the disk mid-window; the page-LSN cut is the prefix whose
+        # determined state the disk actually holds.
         chosen = set()
         for entry in entries:
-            if entry.lsn < redo_start:
-                continue
             if isinstance(entry.payload, PhysiologicalRedo):
                 if page_lsn(entry.payload.page_id) < entry.lsn:
                     chosen.add(entry.lsn)
@@ -264,6 +271,47 @@ def _redo_lsns(method, entries: Sequence[LogEntry]) -> set[int]:
                     chosen.add(entry.lsn)
         return chosen
     raise AuditError(f"no redo model for {type(method).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Cross-checking the buffer pool's install scheduler
+# ----------------------------------------------------------------------
+
+def _scheduler_cross_check(method) -> tuple[bool, str]:
+    """Agree the engine's §5 install scheduler with the cache it governs.
+
+    Three obligations: the scheduler's own structural invariants hold
+    (live index consistent, edges symmetric, graph acyclic); the pages
+    with live pending writes are exactly the dirty LSN-stamped frames
+    (the live write graph *is* the dirty page table); and every recLSN is
+    at most its page's current LSN (a recLSN above the page LSN would let
+    analysis start past updates the page still carries).
+    """
+    pool = method.machine.pool
+    scheduler = getattr(pool, "scheduler", None)
+    if scheduler is None:
+        return True, ""
+    problems = scheduler.self_check()
+    if problems:
+        return False, f"scheduler self-check failed: {problems}"
+    dirty = {
+        page.page_id: page.lsn
+        for page in pool
+        if pool.is_dirty(page.page_id) and page.lsn >= 0
+    }
+    rec_lsns = scheduler.rec_lsns()
+    if set(dirty) != set(rec_lsns):
+        return False, (
+            f"dirty frames {sorted(dirty)} disagree with scheduler "
+            f"pending pages {sorted(rec_lsns)}"
+        )
+    for page_id, rec_lsn in rec_lsns.items():
+        if rec_lsn > dirty[page_id]:
+            return False, (
+                f"recLSN {rec_lsn} of {page_id!r} exceeds its page LSN "
+                f"{dirty[page_id]}"
+            )
+    return True, ""
 
 
 # ----------------------------------------------------------------------
@@ -350,13 +398,18 @@ class AuditTracker:
         else:
             detail = "installed set is not an installation-graph prefix"
 
+        scheduler_ok, scheduler_detail = _scheduler_cross_check(self.method)
+        if scheduler_detail:
+            detail = f"{detail}; {scheduler_detail}" if detail else scheduler_detail
+
         return InstantAudit(
             instant=instant,
             stable_records=len(self._by_lsn),
             redo_count=len(redo),
-            holds=prefix_ok and explains_ok,
+            holds=prefix_ok and explains_ok and scheduler_ok,
             is_prefix=prefix_ok,
             explains_state=explains_ok,
+            scheduler_ok=scheduler_ok,
             detail=detail,
         )
 

@@ -27,6 +27,8 @@ class CrashResult:
     error: str | None = None
     replayed: int = 0
     scanned: int = 0
+    audits: int = 0
+    audit_failures: int = 0
 
 
 def crash_once(
@@ -34,12 +36,34 @@ def crash_once(
     stream: Sequence[KVOp],
     crash_point: int,
     continue_after: bool = True,
+    audit_every: int | None = None,
 ) -> CrashResult:
     """Run ``stream[:crash_point]``, crash, recover, verify — then (by
     default) run the rest of the stream and verify again after a final
-    clean flush, proving the recovered system is a working system."""
+    clean flush, proving the recovered system is a working system.
+
+    With ``audit_every=N``, the Recovery Invariant (Corollary 5, plus
+    the install-scheduler cross-check) is evaluated after every N-th
+    pre-crash command via one incremental
+    :class:`~repro.sim.audit.AuditTracker` — §4.5's "the invariant must
+    hold continuously", enforced during normal operation rather than
+    only at the crash point.  Failed audits are counted, not raised, so
+    sweeps report them alongside recovery verdicts.
+    """
     db = make_db()
-    db.run(stream[:crash_point])
+    audits = audit_failures = 0
+    if audit_every is not None and audit_every > 0:
+        from repro.sim.audit import AuditTracker
+
+        tracker = AuditTracker(db.method)
+        for index, command in enumerate(stream[:crash_point], start=1):
+            db.execute(command)
+            if index % audit_every == 0:
+                audits += 1
+                if not tracker.audit(instant=index):
+                    audit_failures += 1
+    else:
+        db.run(stream[:crash_point])
     db.crash_and_recover()
     replayed = db.method.stats.records_replayed
     scanned = db.method.stats.records_scanned
@@ -53,6 +77,8 @@ def crash_once(
             error=str(exc),
             replayed=replayed,
             scanned=scanned,
+            audits=audits,
+            audit_failures=audit_failures,
         )
     if continue_after:
         # The recovered incarnation must accept the rest of the workload.
@@ -71,6 +97,8 @@ def crash_once(
                 error=f"post-recovery run diverged: {exc}",
                 replayed=replayed,
                 scanned=scanned,
+                audits=audits,
+                audit_failures=audit_failures,
             )
     return CrashResult(
         crash_point=crash_point,
@@ -78,6 +106,8 @@ def crash_once(
         recovered=True,
         replayed=replayed,
         scanned=scanned,
+        audits=audits,
+        audit_failures=audit_failures,
     )
 
 
@@ -86,12 +116,19 @@ def crash_sweep(
     stream: Sequence[KVOp],
     crash_points: Sequence[int] | None = None,
     continue_after: bool = True,
+    audit_every: int | None = None,
 ) -> list[CrashResult]:
     """Crash at every instant (default) or at the given sample of points."""
     if crash_points is None:
         crash_points = range(len(stream) + 1)
     return [
-        crash_once(make_db, stream, point, continue_after=continue_after)
+        crash_once(
+            make_db,
+            stream,
+            point,
+            continue_after=continue_after,
+            audit_every=audit_every,
+        )
         for point in crash_points
     ]
 

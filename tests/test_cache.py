@@ -158,6 +158,120 @@ class TestFlushConstraints:
         assert pool.pending_constraints() == []
 
 
+class TestRedirtyWindow:
+    """Regression: a constraint registered *after* ``first_page`` was
+    already flushed must not be retroactively satisfied by that earlier
+    flush.  The scheduler binds the edge to the first page's current
+    node generation; a clean page gets an empty obligation node, which
+    only a future re-dirty-and-flush can discharge."""
+
+    def test_past_flush_does_not_discharge(self):
+        pool = pool_with()
+        pool.update("first", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("first")  # on disk *before* the edge exists
+        pool.update("then", lambda p: p.put("k", 2), create=True)
+        constraint = pool.add_flush_constraint("first", "then")
+        assert not constraint.discharged
+        with pytest.raises(CachePolicyError, match="careful write ordering"):
+            pool.flush_page("then")
+
+    def test_clean_prerequisite_flush_is_not_a_discharge(self):
+        """Flushing the clean first page is a no-op and must not count:
+        the obligation names content that does not exist yet."""
+        pool = pool_with()
+        pool.update("first", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("first")
+        pool.update("then", lambda p: p.put("k", 2), create=True)
+        constraint = pool.add_flush_constraint("first", "then")
+        pool.flush_page("first")  # clean: no-op
+        assert not constraint.discharged
+        with pytest.raises(CachePolicyError, match="careful write ordering"):
+            pool.flush_page("then")
+
+    def test_flush_all_refuses_undischargeable_obligation(self):
+        """The prerequisite resolver cannot conjure the missing write
+        either — the old bookkeeping wrongly discharged here."""
+        pool = pool_with()
+        pool.update("first", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("first")
+        pool.update("then", lambda p: p.put("k", 2), create=True)
+        pool.add_flush_constraint("first", "then")
+        with pytest.raises(CachePolicyError, match="careful write ordering"):
+            pool.flush_all()
+
+    def test_redirty_and_flush_discharges(self):
+        """The re-dirty window closes properly: once the first page is
+        dirtied again and *that* content reaches disk, the constraint is
+        discharged and the dependent page may flush."""
+        pool = pool_with()
+        pool.update("first", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("first")
+        pool.update("then", lambda p: p.put("k", 2), create=True)
+        constraint = pool.add_flush_constraint("first", "then")
+        pool.update("first", lambda p: p.put("k", 3))  # the future write
+        pool.flush_page("first")
+        assert constraint.discharged
+        pool.flush_page("then")
+        assert pool.disk.read_page("then").get("k") == 2
+
+    def test_redirty_window_under_eviction(self):
+        """The window also closes when the re-dirtied page leaves via
+        eviction (steal) rather than an explicit flush."""
+        pool = pool_with(capacity=2)
+        pool.update("first", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("first")
+        pool.update("then", lambda p: p.put("k", 2), create=True)
+        constraint = pool.add_flush_constraint("first", "then")
+        pool.update("first", lambda p: p.put("k", 3))
+        pool.get_page("then")  # make "first" the LRU victim
+        pool.get_page("other", create=True)  # evicts (installs) "first"
+        assert constraint.discharged
+        pool.flush_page("then")
+        assert pool.disk.read_page("then").get("k") == 2
+
+
+class TestFlushElision:
+    """Remove-write at the pool layer: a dirty page whose cells equal
+    its disk image installs without IO."""
+
+    def test_identical_content_skips_the_write(self):
+        pool = pool_with()
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("p1")
+        assert pool.flushes == 1
+        # Overwrite with the same value: dirty again, but content equal.
+        pool.update("p1", lambda p: p.put("k", 1))
+        assert pool.is_dirty("p1")
+        pool.flush_page("p1")
+        assert pool.flushes == 1  # no second IO
+        assert not pool.is_dirty("p1")
+        assert pool.scheduler.stats.elisions == 1
+
+    def test_elision_discharges_constraints(self):
+        pool = pool_with()
+        pool.update("a", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("a")
+        pool.update("a", lambda p: p.put("k", 1))  # same content
+        pool.update("b", lambda p: p.put("k", 2), create=True)
+        constraint = pool.add_flush_constraint("a", "b")
+        pool.flush_page("a")  # elided, but still an install
+        assert constraint.discharged
+        pool.flush_page("b")
+
+    def test_legacy_policy_never_elides(self):
+        pool = BufferPool(Disk(), capacity=4, install_policy="legacy")
+        pool.update("p1", lambda p: p.put("k", 1), create=True)
+        pool.flush_page("p1")
+        pool.update("p1", lambda p: p.put("k", 1))
+        pool.flush_page("p1")
+        assert pool.flushes == 2
+        assert pool.scheduler.stats.elisions == 0
+
+    def test_unknown_install_policy_rejected(self):
+        with pytest.raises(ValueError, match="install policy"):
+            BufferPool(Disk(), install_policy="psychic")
+
+
 class TestEviction:
     def test_lru_evicts_least_recent(self):
         pool = pool_with(capacity=2)

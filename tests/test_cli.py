@@ -34,6 +34,37 @@ class TestCli:
         out = capsys.readouterr().out
         assert "0 invariant violations" in out
 
+    @pytest.mark.parametrize("method", ["physiological", "generalized"])
+    def test_demo_crash_at_midstream(self, method, capsys):
+        assert main(["demo", method, "--seed", "7", "--crash-at", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 7" in out and "crash at 20" in out
+        assert "recovered exactly" in out
+        assert "state verified" in out
+
+    def test_demo_crash_at_zero(self, capsys):
+        """Crashing before any command durably loses everything — and
+        the recovered incarnation still runs the full stream."""
+        assert main(["demo", "physiological", "--crash-at", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered exactly 0 durable operations" in out
+        assert "state verified" in out
+
+    def test_demo_crash_at_out_of_range(self, capsys):
+        assert main(["demo", "physiological", "--crash-at", "10000"]) == 2
+        assert "--crash-at must be in" in capsys.readouterr().err
+
+    def test_demo_seed_changes_workload(self, capsys):
+        assert main(["demo", "physiological", "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["demo", "physiological", "--seed", "4"]) == 0
+        second = capsys.readouterr().out
+        assert "seed 3" in first and "seed 4" in second
+
+    def test_audit_seed_flag(self, capsys):
+        assert main(["audit", "generalized", "--seed", "11"]) == 0
+        assert "0 invariant violations" in capsys.readouterr().out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -269,4 +269,4 @@ class TestPhysiologicalSpecifics:
             pid for pid in (kv.page_of("a"),) if kv.machine.disk.has_page(pid)
         ]
         if flushed_pages:
-            assert flushed_pages[0] not in kv._dirty_table
+            assert flushed_pages[0] not in kv.dirty_table()

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.conflict import ConflictGraph
+from repro.core.explain import explains
 from repro.core.expr import Var
 from repro.core.installation import InstallationGraph
 from repro.core.model import State
@@ -244,6 +245,98 @@ class TestRemoveWrite:
         wg = WriteGraph(opq_installation, initial_state)
         with pytest.raises(WriteGraphError, match="does not write"):
             wg.remove_write("P", "x")
+
+
+def scratch_corollary5(wg: WriteGraph) -> bool:
+    """Corollary 5, recomputed from first principles: nothing the live
+    graph caches (audit memo, exposure memo, running state) is used —
+    just the definitional ``explains`` over the installed operations and
+    the freshly-derived stable state."""
+    installed = wg.installed_operations()
+    if not wg.installation.is_prefix(installed):
+        return False
+    return explains(wg.installation, installed, wg.stable_state(), wg.initial)
+
+
+def drive_randomly(wg: WriteGraph, rng, steps: int) -> None:
+    """Apply ``steps`` random transformations (legal or rejected), and
+    after *every* attempt — including rejected ones, which must leave
+    every cache coherent — assert the live ``audit()`` agrees with the
+    from-scratch Corollary 5 verdict."""
+    for _ in range(steps):
+        choice = rng.random()
+        try:
+            if choice < 0.35:
+                candidates = wg.minimal_uninstalled_nodes()
+                if candidates:
+                    wg.install(rng.choice(candidates).node_id)
+            elif choice < 0.55:
+                ids = wg.node_ids()
+                if len(ids) >= 2:
+                    wg.collapse(rng.sample(ids, 2))
+            elif choice < 0.7:
+                ids = wg.node_ids()
+                if len(ids) >= 2:
+                    wg.add_edge(*rng.sample(ids, 2))
+            elif choice < 0.85:
+                node = rng.choice(wg.nodes())
+                if node.writes:
+                    wg.remove_write(node.node_id, rng.choice(sorted(node.writes)))
+            else:
+                wg.elide_unexposed()
+        except WriteGraphError:
+            pass  # illegal random move: rejected, state unchanged
+        live = wg.audit()
+        assert live == scratch_corollary5(wg), (
+            "live audit() diverged from the from-scratch Corollary 5 check"
+        )
+        assert live, "a legal-or-rejected transformation broke explainability"
+
+
+class TestLiveAuditAgreement:
+    """The memoized incremental audit must be *the same function* as the
+    definitional check, under every transformation order and under live
+    appends arriving mid-evolution."""
+
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_audit_agrees_with_scratch_check(self, seed, steps_seed):
+        from random import Random
+
+        ops = random_operations(
+            seed, OpSequenceSpec(n_operations=7, n_variables=3, blind_ratio=0.4)
+        )
+        wg = WriteGraph(InstallationGraph(ConflictGraph(ops)), State())
+        drive_randomly(wg, Random(steps_seed * 7919 + seed), steps=12)
+
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_audit_agrees_under_live_appends(self, seed, steps_seed):
+        """A write graph born before most of the log exists: operations
+        are appended live (the feed extends the graph in O(degree)),
+        interleaved with random transformations, and the incremental
+        audit must track the from-scratch verdict throughout."""
+        from random import Random
+
+        ops = random_operations(
+            seed, OpSequenceSpec(n_operations=8, n_variables=3, blind_ratio=0.4)
+        )
+        conflict = ConflictGraph(ops[:2])
+        wg = WriteGraph(InstallationGraph(conflict), State())
+        rng = Random(steps_seed * 104729 + seed)
+        for operation in ops[2:]:
+            conflict.append(operation)
+            assert operation.name in wg.node_ids()
+            assert wg.audit() == scratch_corollary5(wg)
+            drive_randomly(wg, rng, steps=3)
+        # Everything appended is accounted for exactly once.
+        assert sum(len(node.ops) for node in wg.nodes()) == len(ops)
 
 
 class TestCorollary5:

@@ -53,10 +53,10 @@ def test_method_comparison(benchmark):
                 method,
                 report["log_bytes"],
                 report["log_records"],
-                report["page_writes"],
-                report["records_scanned"],
-                report["records_replayed"],
-                report["records_skipped"],
+                report["disk_page_writes"],
+                report["method_records_scanned"],
+                report["method_records_replayed"],
+                report["method_records_skipped"],
             ]
         )
     by = {row[0]: row for row in rows}
@@ -201,7 +201,10 @@ def test_checkpoint_frequency_tradeoff(benchmark):
                 assert result.recovered, (label, cadence, result.error)
                 db = make()
                 db.run(STREAM)
-                grid[(label, cadence)] = (result.replayed, db.report()["page_writes"])
+                grid[(label, cadence)] = (
+                    result.replayed,
+                    db.report()["disk_page_writes"],
+                )
         return grid
 
     grid = benchmark(run)

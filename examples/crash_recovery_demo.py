@@ -38,9 +38,9 @@ def one_dramatic_crash() -> None:
         print(
             f"  {method:14s} issued={issued:3d} durable={durable:3d} "
             f"lost_tail={issued - durable}  "
-            f"log={report['log_bytes']:5d}B pages={report['page_writes']:3d} "
-            f"replayed={report['records_replayed']:3d} "
-            f"skipped={report['records_skipped']:3d}"
+            f"log={report['log_bytes']:5d}B pages={report['disk_page_writes']:3d} "
+            f"replayed={report['method_records_replayed']:3d} "
+            f"skipped={report['method_records_skipped']:3d}"
         )
     print("  (every method recovers exactly its durable prefix; the methods")
     print("   differ in *how* — staging swings, blind re-installs, LSN tests)")

@@ -18,6 +18,12 @@ Commands
 ``audit [method] [--seed N]``
     Run a mixed workload on an engine while auditing the Recovery
     Invariant at every instant via the theory bridge.
+``trace [--out FILE] {demo,audit} [args...]``
+    Run ``demo`` or ``audit`` with tracing on, then replay the trace
+    through :class:`repro.obs.RecoveryTimeline` and print the
+    human-readable recovery account.  ``demo`` and ``audit`` also accept
+    ``--trace FILE`` directly to write the JSON-lines trace without the
+    rendered report.
 """
 
 from __future__ import annotations
@@ -93,6 +99,15 @@ def cmd_graphs(_args) -> int:
     return 0
 
 
+def _make_tracer(trace_path: str | None):
+    """A file-backed tracer for ``--trace FILE`` (None when not asked for)."""
+    if not trace_path:
+        return None
+    from repro.obs import JsonLinesSink, Tracer
+
+    return Tracer(JsonLinesSink(trace_path))
+
+
 def cmd_demo(args) -> int:
     from repro.engine import KVDatabase
     from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
@@ -106,30 +121,42 @@ def cmd_demo(args) -> int:
     if not 0 <= crash_at <= len(stream):
         print(f"--crash-at must be in [0, {len(stream)}]", file=sys.stderr)
         return 2
-    db = KVDatabase(method=method, cache_capacity=4, commit_every=3, checkpoint_every=20)
-    db.run(stream[:crash_at])
-    print(
-        f"{method}: ran {len(db.applied)} mutations "
-        f"(seed {args.seed}, crash at {crash_at}); crashing..."
+    tracer = _make_tracer(getattr(args, "trace", None))
+    db = KVDatabase(
+        method=method,
+        cache_capacity=4,
+        commit_every=3,
+        checkpoint_every=20,
+        tracer=tracer,
     )
-    db.crash_and_recover()
-    durable = db.verify_against()
-    report = db.report()
-    print(
-        f"recovered exactly {durable} durable operations "
-        f"(replayed {report['records_replayed']}, "
-        f"skipped {report['records_skipped']}, "
-        f"log {report['log_bytes']}B)"
-    )
-    if crash_at < len(stream):
-        db.applied = db.applied[:durable]
-        db.run(stream[crash_at:])
-        db.commit()
-        db.verify_against()
+    try:
+        db.run(stream[:crash_at])
         print(
-            f"finished the remaining {len(stream) - crash_at} commands on "
-            f"the recovered incarnation; state verified"
+            f"{method}: ran {len(db.applied)} mutations "
+            f"(seed {args.seed}, crash at {crash_at}); crashing..."
         )
+        db.crash_and_recover()
+        durable = db.verify_against()
+        report = db.report()
+        print(
+            f"recovered exactly {durable} durable operations "
+            f"(replayed {report['method_records_replayed']}, "
+            f"skipped {report['method_records_skipped']}, "
+            f"log {report['log_bytes']}B)"
+        )
+        if crash_at < len(stream):
+            db.applied = db.applied[:durable]
+            db.run(stream[crash_at:])
+            db.commit()
+            db.verify_against()
+            print(
+                f"finished the remaining {len(stream) - crash_at} commands on "
+                f"the recovered incarnation; state verified"
+            )
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace}")
     return 0
 
 
@@ -148,20 +175,45 @@ def cmd_audit(args) -> int:
             copyadd_ratio=0.3, delete_ratio=0.0,
         )
     stream = generate_kv_workload(args.seed, spec)
-    db = KVDatabase(method=method, cache_capacity=4, commit_every=2, checkpoint_every=12)
-    audits = audited_run(db, stream)
-    violations = [a for a in audits if not a.holds]
-    graph = installation_graph_of(db)
-    print(
-        f"{method}: {len(audits)} instants audited, "
-        f"{len(violations)} invariant violations"
+    tracer = _make_tracer(getattr(args, "trace", None))
+    db = KVDatabase(
+        method=method,
+        cache_capacity=4,
+        commit_every=2,
+        checkpoint_every=12,
+        tracer=tracer,
     )
-    print(
-        f"lifted installation graph: {len(graph)} ops, "
-        f"{graph.dag.edge_count()} edges, "
-        f"{len(graph.removed_edges())} write-read edges removed"
-    )
+    try:
+        audits = audited_run(db, stream)
+        violations = [a for a in audits if not a.holds]
+        graph = installation_graph_of(db)
+        print(
+            f"{method}: {len(audits)} instants audited, "
+            f"{len(violations)} invariant violations"
+        )
+        print(
+            f"lifted installation graph: {len(graph)} ops, "
+            f"{graph.dag.edge_count()} edges, "
+            f"{len(graph.removed_edges())} write-read edges removed"
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace}")
     return 1 if violations else 0
+
+
+def cmd_trace(args) -> int:
+    """Run a traced sub-command, then render the trace as a timeline."""
+    from repro.obs import RecoveryTimeline
+
+    sub_argv = [args.traced_command, *args.rest, "--trace", args.out]
+    status = main(sub_argv)
+    timeline = RecoveryTimeline.from_file(args.out)
+    print()
+    print("== recovery timeline ==")
+    print(timeline.render())
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -190,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="K",
         help="crash after the K-th command (default: end of stream)",
     )
+    demo.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSON-lines trace of the whole run to FILE",
+    )
     audit = sub.add_parser("audit", help="audit an engine against the theory")
     audit.add_argument(
         "method",
@@ -200,12 +258,38 @@ def main(argv: list[str] | None = None) -> int:
     audit.add_argument(
         "--seed", type=int, default=2, help="workload seed (default: 2)"
     )
+    audit.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSON-lines trace of the whole run to FILE",
+    )
+    trace = sub.add_parser(
+        "trace", help="run demo/audit traced and render the recovery timeline"
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.jsonl",
+        metavar="FILE",
+        help="trace file to write (default: trace.jsonl)",
+    )
+    trace.add_argument(
+        "traced_command",
+        choices=["demo", "audit"],
+        help="the sub-command to run with tracing on",
+    )
+    trace.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments passed through to the sub-command",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "scenarios": cmd_scenarios,
         "graphs": cmd_graphs,
         "demo": cmd_demo,
         "audit": cmd_audit,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -32,6 +32,7 @@ from typing import Callable, Iterator, Literal
 
 from repro.cache.scheduler import InstallScheduler, SchedulerCycleError
 from repro.logmgr.manager import LogManager
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.storage.disk import Disk
 from repro.storage.page import Page
 
@@ -94,6 +95,7 @@ class BufferPool:
         policy: Literal["lru", "clock"] = "lru",
         steal: bool = True,
         install_policy: Literal["graph", "legacy"] = "graph",
+        tracer: Tracer | None = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
@@ -105,7 +107,8 @@ class BufferPool:
         self.policy = policy
         self.steal = steal
         self.install_policy = install_policy
-        self.scheduler = InstallScheduler()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler = InstallScheduler(tracer=self.tracer)
         self._frames: dict[str, _Frame] = {}  # insertion order = LRU order
         self._clock_hand = 0
         self.hits = 0
@@ -263,6 +266,10 @@ class BufferPool:
         if not force:
             blockers = self.scheduler.blockers(page_id)
             if blockers:
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "cache.flush_blocked", page=page_id, blockers=blockers
+                    )
                 raise CachePolicyError(
                     f"flush of {page_id!r} blocked until {blockers} flushed "
                     f"(careful write ordering)"
@@ -274,8 +281,15 @@ class BufferPool:
             and frame.page.same_contents(self.disk.read_page(page_id))
         ):
             # Remove-write: content already stable; no IO needed.
-            self.scheduler.remove_write(page_id)
+            node = self.scheduler.remove_write(page_id)
             frame.dirty = False
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "cache.elide",
+                    page=page_id,
+                    node=node.node_id if node is not None else None,
+                    reason="content_equals_disk",
+                )
             if self.on_flush is not None:
                 self.on_flush(page_id)
             return
@@ -284,7 +298,16 @@ class BufferPool:
         self.disk.write_page(frame.page)
         frame.dirty = False
         self.flushes += 1
-        self.scheduler.install(page_id, force=True)
+        node = self.scheduler.install(page_id, force=True)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache.flush",
+                page=page_id,
+                lsn=frame.page.lsn,
+                node=node.node_id if node is not None else None,
+                writes=node.writes if node is not None else 0,
+                forced=force,
+            )
         if self.on_flush is not None:
             self.on_flush(page_id)
 
@@ -311,8 +334,12 @@ class BufferPool:
             self._frames[page_id] = frame
 
     def _evict_one(self) -> None:
-        victim_id = self._choose_victim()
+        victim_id, tier = self._choose_victim()
         frame = self._frames[victim_id]
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache.victim", page=victim_id, tier=tier, dirty=frame.dirty
+            )
         if frame.dirty:
             if not self.steal:
                 raise CachePolicyError(
@@ -344,7 +371,9 @@ class BufferPool:
             self._flush_with_prerequisites(first, seen)
         self.flush_page(page_id)
 
-    def _choose_victim(self) -> str:
+    def _choose_victim(self) -> tuple[str, str]:
+        """Pick an eviction victim; returns ``(page_id, tier)`` where the
+        tier names the rule that selected it (traced as ``cache.victim``)."""
         candidates = [
             page_id for page_id, frame in self._frames.items() if frame.pinned == 0
         ]
@@ -358,11 +387,11 @@ class BufferPool:
             # insertion order) breaks ties within each tier.
             for page_id in candidates:
                 if not self._frames[page_id].dirty:
-                    return page_id
+                    return page_id, "clean_frame"
             for page_id in candidates:
                 if not self.scheduler.blockers(page_id):
-                    return page_id
-            return candidates[0]
+                    return page_id, "minimal_node"
+            return candidates[0], "fallback"
         if self.policy == "lru":
             # Legacy: first unpinned frame in insertion (LRU) order whose
             # flush is not blocked; fall back to any unpinned frame.
@@ -370,8 +399,8 @@ class BufferPool:
                 if not self._frames[page_id].dirty or not self.scheduler.blockers(
                     page_id
                 ):
-                    return page_id
-            return candidates[0]
+                    return page_id, "lru"
+            return candidates[0], "fallback"
         # Legacy clock: sweep, clearing reference bits.
         ids = list(self._frames)
         for _ in range(2 * len(ids)):
@@ -383,8 +412,8 @@ class BufferPool:
             if frame.referenced:
                 frame.referenced = False
                 continue
-            return page_id
-        return candidates[0]
+            return page_id, "clock"
+        return candidates[0], "fallback"
 
     # ------------------------------------------------------------------
     # Failure model

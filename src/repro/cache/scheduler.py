@@ -38,7 +38,9 @@ never satisfies it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class SchedulerError(RuntimeError):
@@ -106,13 +108,14 @@ class InstallScheduler:
     what flush decisions need.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self._live: dict[str, PageNode] = {}  # page_id -> its one live node
         self._nodes: dict[int, PageNode] = {}  # node_id -> node
         self._preds: dict[int, set[int]] = {}
         self._succs: dict[int, set[int]] = {}
         self._next_id = 0
         self.stats = SchedulerStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # The four §5 transformations
@@ -164,6 +167,10 @@ class InstallScheduler:
             then.node_id, first.node_id
         ):
             self.stats.cycles_refused += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "scheduler.cycle_refused", first=first_page, then=then_page
+                )
             raise SchedulerCycleError(
                 f"edge {first_page!r} -> {then_page!r} would close a cycle"
             )
@@ -171,6 +178,14 @@ class InstallScheduler:
             self._succs[first.node_id].add(then.node_id)
             self._preds[then.node_id].add(first.node_id)
             self.stats.edges_added += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "scheduler.add_edge",
+                    first=first_page,
+                    then=then_page,
+                    first_node=first.node_id,
+                    then_node=then.node_id,
+                )
         return (first.node_id, then.node_id)
 
     def install(self, page_id: str, force: bool = False) -> PageNode | None:
@@ -202,6 +217,16 @@ class InstallScheduler:
         self._retire(node)
         node.installed = True
         self.stats.installs += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "scheduler.install",
+                page=page_id,
+                node=node.node_id,
+                writes=node.writes,
+                rec_lsn=node.rec_lsn,
+                last_lsn=node.last_lsn,
+                forced=force,
+            )
         return node
 
     def remove_write(self, page_id: str) -> PageNode | None:
@@ -228,6 +253,14 @@ class InstallScheduler:
         self._retire(node)
         node.installed = True
         self.stats.elisions += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "scheduler.remove_write",
+                page=page_id,
+                node=node.node_id,
+                writes=node.writes,
+                rec_lsn=node.rec_lsn,
+            )
         return node
 
     # ------------------------------------------------------------------

@@ -27,6 +27,8 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.methods import METHODS, Machine, RecoveryMethodKV
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.workloads.kv import KVOp, apply_to_oracle
 
 
@@ -50,21 +52,25 @@ class KVDatabase:
         log_segment_size: int | None = None,
         truncate_on_checkpoint: bool = False,
         track_theory: bool = False,
+        tracer: Tracer | None = None,
     ):
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; choose from {sorted(METHODS)}"
             )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         machine = Machine(
             cache_capacity=cache_capacity,
             cache_policy=cache_policy,
             log_segment_size=log_segment_size,
             install_policy=install_policy,
+            tracer=self.tracer,
         )
         self.method: RecoveryMethodKV = METHODS[method](
             machine, n_pages=n_pages, **(method_options or {})
         )
         self.method_name = method
+        self.metrics = self._build_metrics()
         self.commit_every = max(1, commit_every)
         self.checkpoint_every = checkpoint_every
         # Retire log segments the method promises never to re-read.  Off
@@ -77,6 +83,47 @@ class KVDatabase:
         self._since_checkpoint = 0
         self.applied: list[KVOp] = []
 
+    def _build_metrics(self) -> MetricsRegistry:
+        """One registry over every component's counters, via collectors.
+
+        The collectors dereference ``self.method.machine`` *at snapshot
+        time*, because the pool (and with it the scheduler) is replaced
+        by ``reboot_pool()`` during recovery — binding the objects here
+        would silently keep reading the dead incarnation.
+        """
+        registry = MetricsRegistry()
+        registry.register_collector("method", lambda: self.method.stats.as_dict())
+        registry.register_collector(
+            "log",
+            lambda m=self: {
+                "bytes": m.method.machine.log.total_bytes(),
+                "records": len(m.method.machine.log),
+                "forces": m.method.machine.log.forced_flushes,
+                "stable_lsn": m.method.machine.log.stable_lsn,
+            },
+        )
+        registry.register_collector(
+            "disk",
+            lambda m=self: {
+                "page_writes": m.method.machine.disk.page_writes,
+                "bytes_written": m.method.machine.disk.bytes_written,
+            },
+        )
+        registry.register_collector(
+            "cache",
+            lambda m=self: {
+                "hits": m.method.machine.pool.hits,
+                "misses": m.method.machine.pool.misses,
+                "flushes": m.method.machine.pool.flushes,
+                "evictions": m.method.machine.pool.evictions,
+            },
+        )
+        registry.register_collector(
+            "scheduler",
+            lambda m=self: m.method.machine.pool.scheduler.stats.as_dict(),
+        )
+        return registry
+
     # ------------------------------------------------------------------
     # Normal operation
     # ------------------------------------------------------------------
@@ -84,6 +131,8 @@ class KVDatabase:
     def execute(self, command: KVOp) -> Any:
         """Run one command, honoring the commit/checkpoint cadence."""
         kind = command[0]
+        if self.tracer.enabled:
+            self.tracer.event("engine.command", kind=kind, key=command[1])
         result = self.method.apply(command)
         if kind in ("put", "add", "copyadd", "delete"):
             self.applied.append(command)
@@ -112,10 +161,15 @@ class KVDatabase:
 
     def checkpoint(self) -> None:
         """Take a method checkpoint; resets the cadence counter."""
+        span = self.tracer.span("checkpoint", method=self.method_name)
         self.method.checkpoint()
+        retired = 0
         if self.truncate_on_checkpoint:
-            self.method.truncate_log()
+            retired = self.method.truncate_log()
         self._since_checkpoint = 0
+        span.end(
+            stable_lsn=self.method.machine.log.stable_lsn, records_retired=retired
+        )
 
     def get(self, key: str) -> Any:
         """Read ``key`` through the method's cache."""
@@ -145,6 +199,14 @@ class KVDatabase:
 
     def crash(self) -> None:
         """Lose the cache and the unforced log tail."""
+        if self.tracer.enabled:
+            self.tracer.event(
+                "engine.crash",
+                stable_lsn=self.method.machine.log.stable_lsn,
+                lost_tail=self.method.machine.log.next_lsn
+                - 1
+                - self.method.machine.log.stable_lsn,
+            )
         self.method.crash()
 
     def recover(self) -> None:
@@ -193,20 +255,25 @@ class KVDatabase:
     # ------------------------------------------------------------------
 
     def report(self) -> dict[str, Any]:
-        """Method stats plus log/disk/cache counters, as a dict."""
-        stats = self.method.stats.as_dict()
-        machine = self.method.machine
-        stats.update(
-            method=self.method_name,
-            log_bytes=machine.log.total_bytes(),
-            log_records=len(machine.log),
-            page_writes=machine.disk.page_writes,
-            disk_bytes=machine.disk.bytes_written,
-            cache_hits=machine.pool.hits,
-            cache_misses=machine.pool.misses,
-            page_flushes=machine.pool.flushes,
-            install_policy=machine.pool.install_policy,
-        )
-        for key, value in machine.pool.scheduler.stats.as_dict().items():
-            stats[f"scheduler_{key}"] = value
+        """Every component's counters, namespaced, plus identity labels.
+
+        Built from the metrics registry's snapshot — each counter
+        arrives as ``namespace.key`` and is reported as
+        ``namespace_key`` (``method_records_replayed``, ``log_forces``,
+        ``scheduler_elisions``, ...).  The registry raises on any name
+        collision, and the underscore flattening is re-checked here, so
+        the historical silent-overwrite hazard of merging flat dicts is
+        structurally gone.
+        """
+        stats: dict[str, Any] = {}
+        for name, value in self.metrics.snapshot().items():
+            key = name.replace(".", "_")
+            assert key not in stats, f"report key collision on {key!r}"
+            stats[key] = value
+        for label, value in (
+            ("method", self.method_name),
+            ("install_policy", self.method.machine.pool.install_policy),
+        ):
+            assert label not in stats, f"report key collision on {label!r}"
+            stats[label] = value
         return stats

@@ -26,6 +26,7 @@ from bisect import bisect_right
 from typing import Any, Callable, Iterator
 
 from repro.logmgr.records import CheckpointRecord, LogRecord, Payload
+from repro.obs.trace import NULL_TRACER, Tracer
 
 DEFAULT_SEGMENT_SIZE = 1024
 
@@ -64,10 +65,15 @@ class LogSegment:
 class LogManager:
     """An append-only segmented log with an explicit stable/volatile boundary."""
 
-    def __init__(self, segment_size: int = DEFAULT_SEGMENT_SIZE):
+    def __init__(
+        self,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        tracer: Tracer | None = None,
+    ):
         if segment_size < 1:
             raise ValueError("segment_size must be at least 1")
         self.segment_size = segment_size
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._segments: list[LogSegment] = [LogSegment(0)]
         self._next_lsn = 0
         self._stable_lsn = -1
@@ -98,12 +104,20 @@ class LogManager:
         self._next_lsn += 1
         if isinstance(payload, CheckpointRecord):
             self._checkpoint_lsns.append(record.lsn)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "log.append", lsn=record.lsn, payload=type(payload).__name__
+            )
         return record
 
     def flush(self, up_to_lsn: int | None = None) -> None:
         """Force the log to disk through ``up_to_lsn`` (default: all)."""
         target = self._next_lsn - 1 if up_to_lsn is None else min(up_to_lsn, self._next_lsn - 1)
         if target > self._stable_lsn:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "log.force", from_lsn=self._stable_lsn, stable_lsn=target
+                )
             self._stable_lsn = target
             self.forced_flushes += 1
 
@@ -236,6 +250,10 @@ class LogManager:
                 )
             if self._archive_sink is not None:
                 self._archive_sink(segment)
+        if retired and self.tracer.enabled:
+            self.tracer.event(
+                "log.truncate", retired=retired, head_lsn=self.head_lsn
+            )
         return retired
 
     @property

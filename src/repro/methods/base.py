@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.cache import BufferPool
 from repro.logmgr import LogManager
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.storage import Disk
 
 
@@ -60,12 +61,14 @@ class Machine:
         enforce_wal: bool = True,
         log_segment_size: int | None = None,
         install_policy: str = "graph",
+        tracer: Tracer | None = None,
     ):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.disk = Disk()
         self.log = (
-            LogManager(segment_size=log_segment_size)
+            LogManager(segment_size=log_segment_size, tracer=self.tracer)
             if log_segment_size is not None
-            else LogManager()
+            else LogManager(tracer=self.tracer)
         )
         self.enforce_wal = enforce_wal
         self.pool = BufferPool(
@@ -74,6 +77,7 @@ class Machine:
             capacity=cache_capacity,
             policy=cache_policy,  # type: ignore[arg-type]
             install_policy=install_policy,  # type: ignore[arg-type]
+            tracer=self.tracer,
         )
         self.crashed = False
 
@@ -91,6 +95,7 @@ class Machine:
             capacity=self.pool.capacity,
             policy=self.pool.policy,  # type: ignore[arg-type]
             install_policy=self.pool.install_policy,  # type: ignore[arg-type]
+            tracer=self.tracer,
         )
         self.crashed = False
 
@@ -109,6 +114,12 @@ class RecoveryMethodKV(ABC):
         self.machine = machine if machine is not None else Machine()
         self.n_pages = n_pages
         self.stats = MethodStats()
+
+    @property
+    def tracer(self) -> Tracer:
+        """The machine's tracer (the :data:`~repro.obs.trace.NULL_TRACER`
+        unless the engine was constructed with tracing on)."""
+        return self.machine.tracer
 
     # -- the KV interface ------------------------------------------------
 

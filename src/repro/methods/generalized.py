@@ -31,6 +31,7 @@ from repro.logmgr import (
     PhysiologicalRedo,
 )
 from repro.methods.base import Machine, RecoveryMethodKV
+from repro.obs.trace import traced_segments
 
 
 class GeneralizedKV(RecoveryMethodKV):
@@ -151,29 +152,53 @@ class GeneralizedKV(RecoveryMethodKV):
         schedule is unsound here (see :mod:`repro.methods.partition`)."""
         from repro.methods.physiological import analysis_pass
 
+        tracer = self.tracer
+        span = tracer.span("recovery", method=self.name, full_scan=full_scan)
+        before = self.stats.as_dict()
         self.machine.reboot_pool()
 
         log = self.machine.log
         scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
-        _, redo_start = analysis_pass(log.stable_records_from(scan_from))
+        analysis = tracer.span("recovery.analysis", scan_from=scan_from)
+        table, redo_start = analysis_pass(log.stable_records_from(scan_from))
         if full_scan:
             redo_start = 0
+        analysis.end(redo_start=redo_start, dirty_pages=len(table))
 
         pool = self.machine.pool
         reader = lambda pid: pool.get_page(pid, create=True)
-        for entry in log.stable_records_from(redo_start):
+        records = log.stable_records_from(redo_start)
+        if tracer.enabled:
+            records = traced_segments(tracer, log, records)
+        for entry in records:
             self.stats.records_scanned += 1
             payload = entry.payload
             if isinstance(payload, PhysiologicalRedo):
                 page = pool.get_page(payload.page_id, create=True)
                 if page.lsn >= entry.lsn:
                     self.stats.records_skipped += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "recovery.record",
+                            lsn=entry.lsn,
+                            decision="skipped",
+                            reason="lsn_test",
+                            page=payload.page_id,
+                            page_lsn=page.lsn,
+                        )
                     continue
                 pool.update(
                     payload.page_id,
                     lambda p, a=payload.action, l=entry.lsn: a.apply_to(p, lsn=l),
                 )
                 self.stats.records_replayed += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "recovery.record",
+                        lsn=entry.lsn,
+                        decision="replayed",
+                        page=payload.page_id,
+                    )
             elif isinstance(payload, MultiPageRedo):
                 replayed = False
                 for page_id, actions in payload.writes.items():
@@ -194,8 +219,36 @@ class GeneralizedKV(RecoveryMethodKV):
                             pool.add_flush_constraint(page_id, read_id)
                 if replayed:
                     self.stats.records_replayed += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "recovery.record",
+                            lsn=entry.lsn,
+                            decision="replayed",
+                            pages=sorted(payload.writes),
+                        )
                 else:
                     self.stats.records_skipped += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "recovery.record",
+                            lsn=entry.lsn,
+                            decision="skipped",
+                            reason="lsn_test",
+                            pages=sorted(payload.writes),
+                        )
             else:
                 self.stats.records_skipped += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "recovery.record",
+                        lsn=entry.lsn,
+                        decision="skipped",
+                        reason="not_redo_payload",
+                    )
         self.stats.recoveries += 1
+        span.end(
+            redo_start=redo_start,
+            scanned=self.stats.records_scanned - before["records_scanned"],
+            replayed=self.stats.records_replayed - before["records_replayed"],
+            skipped=self.stats.records_skipped - before["records_skipped"],
+        )

@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.logmgr import CheckpointRecord, LogicalRedo
 from repro.methods.base import Machine, RecoveryMethodKV
+from repro.obs.trace import traced_segments
 from repro.storage import Page, ShadowStore
 
 
@@ -161,19 +162,44 @@ class LogicalKV(RecoveryMethodKV):
         materialized).  ``full_scan`` is accepted for interface parity;
         the restored root pointer already names the right replay start
         (the backup's own checkpoint LSN)."""
+        tracer = self.tracer
+        span = tracer.span("recovery", method=self.name, full_scan=full_scan)
+        before = self.stats.as_dict()
         self.machine.reboot_pool()
         self._cache.clear()
         self.shadow = ShadowStore(self.machine.disk)
         self.shadow.abandon_staging()  # half-built staging is garbage
+        analysis = tracer.span("recovery.analysis")
         checkpoint_lsn = self.shadow.checkpoint_lsn()
-        for record in self.machine.log.stable_records_from(checkpoint_lsn + 1):
+        analysis.end(checkpoint_lsn=checkpoint_lsn, redo_start=checkpoint_lsn + 1)
+        records = self.machine.log.stable_records_from(checkpoint_lsn + 1)
+        if tracer.enabled:
+            records = traced_segments(tracer, self.machine.log, records)
+        for record in records:
             self.stats.records_scanned += 1
             if not isinstance(record.payload, LogicalRedo):
                 self.stats.records_skipped += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "recovery.record",
+                        lsn=record.lsn,
+                        decision="skipped",
+                        reason="not_redo_payload",
+                    )
                 continue
             self._apply_logical(record.payload.description)
             self.stats.records_replayed += 1
+            if tracer.enabled:
+                tracer.event(
+                    "recovery.record", lsn=record.lsn, decision="replayed"
+                )
         self.stats.recoveries += 1
+        span.end(
+            redo_start=checkpoint_lsn + 1,
+            scanned=self.stats.records_scanned - before["records_scanned"],
+            replayed=self.stats.records_replayed - before["records_replayed"],
+            skipped=self.stats.records_skipped - before["records_skipped"],
+        )
 
     # ------------------------------------------------------------------
     # Inspection

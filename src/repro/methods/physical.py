@@ -29,6 +29,7 @@ from typing import Any
 from repro.logmgr import CheckpointRecord, LogRecord, PhysicalRedo
 from repro.methods.base import Machine, RecoveryMethodKV
 from repro.methods.partition import install_pages, partitioned_redo
+from repro.obs.trace import traced_segments
 from repro.storage.page import Page
 
 
@@ -155,9 +156,14 @@ class PhysicalKV(RecoveryMethodKV):
         cross-page conflict edges, so any schedule preserving per-page
         log order is conflict-order consistent and Theorem 3 applies
         (see :mod:`repro.methods.partition`)."""
+        tracer = self.tracer
+        span = tracer.span("recovery", method=self.name, full_scan=full_scan)
+        before = self.stats.as_dict()
         self.machine.reboot_pool()
         log = self.machine.log
+        analysis = tracer.span("recovery.analysis", full_scan=full_scan)
         start = 0 if full_scan else log.last_stable_checkpoint_lsn + 1
+        analysis.end(redo_start=start)
 
         if self.parallel_recovery:
             result = partitioned_redo(
@@ -171,13 +177,39 @@ class PhysicalKV(RecoveryMethodKV):
             self.stats.records_replayed += result.replayed
             self.stats.records_skipped += result.skipped
             self.stats.recoveries += 1
+            if tracer.enabled:
+                # Worker threads replay concurrently; one summary event
+                # stands in for the per-record stream.
+                tracer.event(
+                    "recovery.partitioned",
+                    scanned=result.scanned,
+                    replayed=result.replayed,
+                    skipped=result.skipped,
+                    workers=self.recovery_workers,
+                )
+            span.end(
+                redo_start=start,
+                scanned=result.scanned,
+                replayed=result.replayed,
+                skipped=result.skipped,
+            )
             return
 
         pool = self.machine.pool
-        for record in log.stable_records_from(start):
+        records = log.stable_records_from(start)
+        if tracer.enabled:
+            records = traced_segments(tracer, log, records)
+        for record in records:
             self.stats.records_scanned += 1
             if not isinstance(record.payload, PhysicalRedo):
                 self.stats.records_skipped += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "recovery.record",
+                        lsn=record.lsn,
+                        decision="skipped",
+                        reason="not_redo_payload",
+                    )
                 continue
             pool.update(
                 record.payload.page_id,
@@ -185,4 +217,17 @@ class PhysicalKV(RecoveryMethodKV):
                 create=True,
             )
             self.stats.records_replayed += 1
+            if tracer.enabled:
+                tracer.event(
+                    "recovery.record",
+                    lsn=record.lsn,
+                    decision="replayed",
+                    page=record.payload.page_id,
+                )
         self.stats.recoveries += 1
+        span.end(
+            redo_start=start,
+            scanned=self.stats.records_scanned - before["records_scanned"],
+            replayed=self.stats.records_replayed - before["records_replayed"],
+            skipped=self.stats.records_skipped - before["records_skipped"],
+        )

@@ -37,6 +37,7 @@ from repro.logmgr import (
 )
 from repro.methods.base import Machine, RecoveryMethodKV
 from repro.methods.partition import install_pages, partitioned_redo
+from repro.obs.trace import traced_segments
 from repro.storage.page import Page
 
 
@@ -179,26 +180,48 @@ class PhysiologicalKV(RecoveryMethodKV):
         so Theorem 3 guarantees the same final state as the sequential
         scan (see :mod:`repro.methods.partition`).
         """
+        tracer = self.tracer
+        span = tracer.span("recovery", method=self.name, full_scan=full_scan)
+        before = self.stats.as_dict()
         self.machine.reboot_pool()
 
         log = self.machine.log
         scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
-        _, redo_start = analysis_pass(log.stable_records_from(scan_from))
+        analysis = tracer.span("recovery.analysis", scan_from=scan_from)
+        table, redo_start = analysis_pass(log.stable_records_from(scan_from))
         if full_scan:
             redo_start = 0
+        analysis.end(redo_start=redo_start, dirty_pages=len(table))
 
         if self.parallel_recovery:
             self._redo_partitioned(redo_start)
         else:
             self._redo_sequential(redo_start)
         self.stats.recoveries += 1
+        span.end(
+            redo_start=redo_start,
+            scanned=self.stats.records_scanned - before["records_scanned"],
+            replayed=self.stats.records_replayed - before["records_replayed"],
+            skipped=self.stats.records_skipped - before["records_skipped"],
+        )
 
     def _redo_sequential(self, redo_start: int) -> None:
         pool = self.machine.pool
-        for record in self.machine.log.stable_records_from(redo_start):
+        tracer = self.tracer
+        records = self.machine.log.stable_records_from(redo_start)
+        if tracer.enabled:
+            records = traced_segments(tracer, self.machine.log, records)
+        for record in records:
             self.stats.records_scanned += 1
             if not isinstance(record.payload, PhysiologicalRedo):
                 self.stats.records_skipped += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "recovery.record",
+                        lsn=record.lsn,
+                        decision="skipped",
+                        reason="not_redo_payload",
+                    )
                 continue
             payload = record.payload
             page = pool.get_page(payload.page_id, create=True)
@@ -206,12 +229,28 @@ class PhysiologicalKV(RecoveryMethodKV):
                 # THE redo test: the page tag says this operation's effect
                 # is already installed in the stable state.
                 self.stats.records_skipped += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "recovery.record",
+                        lsn=record.lsn,
+                        decision="skipped",
+                        reason="lsn_test",
+                        page=payload.page_id,
+                        page_lsn=page.lsn,
+                    )
                 continue
             pool.update(
                 payload.page_id,
                 lambda p, a=payload.action, l=record.lsn: a.apply_to(p, lsn=l),
             )
             self.stats.records_replayed += 1
+            if tracer.enabled:
+                tracer.event(
+                    "recovery.record",
+                    lsn=record.lsn,
+                    decision="replayed",
+                    page=payload.page_id,
+                )
 
     def _redo_partitioned(self, redo_start: int) -> None:
         def apply_record(page: Page, record: LogRecord) -> bool:
@@ -230,3 +269,13 @@ class PhysiologicalKV(RecoveryMethodKV):
         self.stats.records_scanned += result.scanned
         self.stats.records_replayed += result.replayed
         self.stats.records_skipped += result.skipped
+        if self.tracer.enabled:
+            # Worker threads replay concurrently; the coordinating thread
+            # emits one summary event instead of per-record events.
+            self.tracer.event(
+                "recovery.partitioned",
+                scanned=result.scanned,
+                replayed=result.replayed,
+                skipped=result.skipped,
+                workers=self.recovery_workers,
+            )

@@ -1,0 +1,252 @@
+"""The metrics registry: one namespaced read path for every counter.
+
+Before this module, the system's operational counters were scattered:
+``MethodStats`` on each recovery method, ``SchedulerStats`` on the
+install scheduler, loose attributes on the log manager, disk, and
+buffer pool — and :meth:`repro.engine.KVDatabase.report` merged them
+into one flat dict with ``update()``, silently at risk of key
+collisions.  The :class:`MetricsRegistry` unifies them:
+
+- **instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) are owned by the registry and named with dotted
+  namespaces (``obs.trace_records``, ``recovery.redo_start``);
+- **collectors** adopt the existing per-component stats objects without
+  rewriting them: a collector is a namespace plus a callable returning
+  a plain mapping, and its keys are published as ``namespace.key``
+  (``method.records_replayed``, ``scheduler.elisions``, ``log.forces``);
+- :meth:`MetricsRegistry.snapshot` materializes everything into one
+  dict and **raises on any name collision** instead of silently
+  overwriting — the fix for the historical ``report()`` hazard;
+- :meth:`MetricsRegistry.delta` subtracts two snapshots, which is what
+  benchmarks and the crash harnesses want ("how much redo work did
+  *this* recovery do").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+_NAMESPACE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class MetricsError(ValueError):
+    """A metrics-naming violation: bad name, type clash, or collision."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricsError(
+            f"metric name {name!r} must be dotted lowercase "
+            f"(namespace.key, e.g. 'method.records_replayed')"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0: counters only go up)."""
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: set directly, or computed by a callable."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], Any] | None = None):
+        self.name = name
+        self._value: Any = 0
+        self._fn = fn
+
+    def set(self, value: Any) -> None:
+        """Set the gauge (illegal on computed gauges)."""
+        if self._fn is not None:
+            raise MetricsError(f"gauge {self.name!r} is computed; cannot set")
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        """The current value (calling the callable for computed gauges)."""
+        return self._fn() if self._fn is not None else self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}={self.value})"
+
+
+class Histogram:
+    """A running distribution summary: count / total / min / max.
+
+    Deliberately no buckets — the repo's benchmarks want exact summary
+    moments, and bucket boundaries would be one more thing to tune.
+    A snapshot publishes four keys: ``<name>.count``, ``<name>.total``,
+    ``<name>.min``, ``<name>.max``.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Any = None
+        self.max: Any = None
+
+    def observe(self, value) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def mean(self) -> float:
+        """The mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """The four summary values keyed by suffix."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r} n={self.count} mean={self.mean():.3g})"
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and adopted stats — one namespace.
+
+    Instruments are created on first request (``counter(name)`` is
+    get-or-create); requesting an existing name as a different
+    instrument type raises.  Collectors adopt external stats objects;
+    their keys surface as ``namespace.key`` in every snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._collectors: dict[str, Callable[[], Mapping[str, Any]]] = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def _instrument(self, name: str, kind: type):
+        _check_name(name)
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not kind:
+                raise MetricsError(
+                    f"{name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        instrument = kind(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str, fn: Callable[[], Any] | None = None) -> Gauge:
+        """Get or create the gauge ``name`` (optionally computed by ``fn``)."""
+        _check_name(name)
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not Gauge:
+                raise MetricsError(
+                    f"{name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        instrument = Gauge(name, fn)
+        self._instruments[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._instrument(name, Histogram)
+
+    # -- collectors ----------------------------------------------------
+
+    def register_collector(
+        self, namespace: str, collect: Callable[[], Mapping[str, Any]]
+    ) -> None:
+        """Adopt an external stats source under ``namespace``.
+
+        ``collect`` is called at snapshot time and must return a plain
+        mapping; each key ``k`` is published as ``namespace.k``.  This
+        is how the registry absorbs the pre-existing ``MethodStats``,
+        ``SchedulerStats``, and log/disk/pool counters without moving
+        them.
+        """
+        if not _NAMESPACE_RE.match(namespace):
+            raise MetricsError(f"bad collector namespace {namespace!r}")
+        if namespace in self._collectors:
+            raise MetricsError(f"collector namespace {namespace!r} already taken")
+        self._collectors[namespace] = collect
+
+    # -- reads ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every metric, one dict, dotted names; raises on collisions."""
+        out: dict[str, Any] = {}
+
+        def put(key: str, value: Any) -> None:
+            if key in out:
+                raise MetricsError(f"metric name collision on {key!r}")
+            out[key] = value
+
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                for suffix, value in instrument.summary().items():
+                    put(f"{name}.{suffix}", value)
+            else:
+                put(name, instrument.value)
+        for namespace, collect in self._collectors.items():
+            for key, value in collect().items():
+                put(f"{namespace}.{key}", value)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """Alias of :meth:`snapshot` (symmetry with the stats objects)."""
+        return self.snapshot()
+
+    def delta(self, previous: Mapping[str, Any]) -> dict[str, Any]:
+        """Current snapshot minus ``previous``, numeric keys subtracted.
+
+        Keys absent from ``previous`` count from zero; non-numeric
+        values (labels) are passed through unchanged.  The shape every
+        "work done by this phase" measurement wants.
+        """
+        current = self.snapshot()
+        out: dict[str, Any] = {}
+        for key, value in current.items():
+            before = previous.get(key, 0)
+            if isinstance(value, (int, float)) and isinstance(before, (int, float)):
+                out[key] = value - before
+            else:
+                out[key] = value
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(instruments={len(self._instruments)}, "
+            f"collectors={sorted(self._collectors)})"
+        )

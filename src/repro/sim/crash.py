@@ -65,8 +65,12 @@ def crash_once(
     else:
         db.run(stream[:crash_point])
     db.crash_and_recover()
-    replayed = db.method.stats.records_replayed
-    scanned = db.method.stats.records_scanned
+    # Read the redo-work counters through the metrics registry, the same
+    # namespaced path production reporting uses (sim and report() must
+    # agree by construction, not by parallel bookkeeping).
+    snapshot = db.metrics.snapshot()
+    replayed = snapshot["method.records_replayed"]
+    scanned = snapshot["method.records_scanned"]
     try:
         durable = db.verify_against()
     except VerificationError as exc:

@@ -72,3 +72,83 @@ class TestCli:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliTracing:
+    """The ``--trace`` flags and the ``trace`` sub-command."""
+
+    def test_demo_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        path = tmp_path / "demo.jsonl"
+        assert main(["demo", "physiological", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+        records = load_trace(str(path))  # raises if malformed
+        assert any(r["type"] == "span_start" and r["name"] == "recovery" for r in records)
+
+    def test_audit_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        path = tmp_path / "audit.jsonl"
+        assert main(["audit", "generalized", "--trace", str(path)]) == 0
+        assert f"trace written to {path}" in capsys.readouterr().out
+        records = load_trace(str(path))
+        assert any(r["name"] == "engine.command" for r in records if r["type"] == "event")
+
+    def test_trace_command_renders_timeline(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert (
+            main(["trace", "--out", str(path), "demo", "--crash-at", "30"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "== recovery timeline ==" in out
+        assert "recovery #1" in out
+        assert "redo_start=" in out
+        assert "segment [" in out
+        assert path.exists()
+
+    def test_trace_command_audit(self, tmp_path, capsys):
+        path = tmp_path / "a.jsonl"
+        assert main(["trace", "--out", str(path), "audit", "physical"]) == 0
+        out = capsys.readouterr().out
+        assert "== recovery timeline ==" in out
+
+    def test_traced_crash_run_matches_report_counters(self, tmp_path, capsys):
+        """The golden-file check: a traced crash run produces a
+        well-formed JSON-lines trace whose recovery span totals equal the
+        engine's report()/registry counters."""
+        from repro.engine import KVDatabase
+        from repro.obs import JsonLinesSink, RecoveryTimeline, Tracer
+        from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+        path = tmp_path / "golden.jsonl"
+        tracer = Tracer(JsonLinesSink(str(path)))
+        db = KVDatabase(
+            method="physiological",
+            cache_capacity=4,
+            commit_every=3,
+            checkpoint_every=10,
+            tracer=tracer,
+        )
+        stream = generate_kv_workload(
+            5, KVWorkloadSpec(n_operations=50, n_keys=10, put_ratio=0.6, add_ratio=0.2)
+        )
+        db.run(stream)
+        db.crash_and_recover()
+        db.verify_against()
+        report = db.report()
+        tracer.close()
+
+        timeline = RecoveryTimeline.from_file(str(path))  # validates every line
+        assert len(timeline.recoveries()) == 1
+        totals = timeline.totals()
+        # MethodStats survives the crash, so the per-record trace events
+        # must add up to exactly what the registry/report publishes.
+        assert totals["method.records_scanned"] == report["method_records_scanned"]
+        assert totals["method.records_replayed"] == report["method_records_replayed"]
+        assert totals["method.records_skipped"] == report["method_records_skipped"]
+        # And the recovery span's own end fields agree too.
+        recovery = timeline.recoveries()[0]
+        assert recovery.field("scanned") == report["method_records_scanned"]
+        assert recovery.field("redo_start") is not None

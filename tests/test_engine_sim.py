@@ -63,7 +63,13 @@ class TestKVDatabase:
         db = KVDatabase(method="physical")
         db.run(small_stream(n=10))
         report = db.report()
-        for key in ("method", "log_bytes", "page_writes", "operations"):
+        for key in (
+            "method",
+            "log_bytes",
+            "disk_page_writes",
+            "method_operations",
+            "scheduler_installs",
+        ):
             assert key in report
 
     def test_verification_error_is_loud(self):

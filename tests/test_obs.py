@@ -1,0 +1,407 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonLinesSink,
+    MetricsError,
+    MetricsRegistry,
+    NullTracer,
+    RecoveryTimeline,
+    RingBufferSink,
+    Tracer,
+    load_trace,
+)
+from repro.obs.timeline import TraceReadError, build_span_tree
+from repro.obs.trace import NULL_SPAN, TraceError
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("log.forces")
+        c.inc()
+        c.inc(2)
+        assert reg.counter("log.forces") is c
+        assert reg.snapshot()["log.forces"] == 3
+
+    def test_counter_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("a.b").inc(-1)
+
+    def test_name_must_be_dotted(self):
+        reg = MetricsRegistry()
+        for bad in ("plain", "Caps.name", "a.", ".b", "a b.c"):
+            with pytest.raises(MetricsError):
+                reg.counter(bad)
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y")
+        with pytest.raises(MetricsError):
+            reg.gauge("x.y")
+        with pytest.raises(MetricsError):
+            reg.histogram("x.y")
+
+    def test_gauge_set_and_computed(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pool.dirty")
+        g.set(7)
+        assert reg.snapshot()["pool.dirty"] == 7
+        computed = reg.gauge("pool.cached", fn=lambda: 42)
+        assert computed.value == 42
+        with pytest.raises(MetricsError):
+            computed.set(1)
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("redo.scan_len")
+        for v in (5, 1, 3):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["redo.scan_len.count"] == 3
+        assert snap["redo.scan_len.total"] == 9
+        assert snap["redo.scan_len.min"] == 1
+        assert snap["redo.scan_len.max"] == 5
+        assert h.mean() == 3.0
+
+    def test_collector_namespacing(self):
+        reg = MetricsRegistry()
+        reg.register_collector("method", lambda: {"records_replayed": 4})
+        assert reg.snapshot()["method.records_replayed"] == 4
+
+    def test_duplicate_collector_namespace_raises(self):
+        reg = MetricsRegistry()
+        reg.register_collector("m", lambda: {})
+        with pytest.raises(MetricsError):
+            reg.register_collector("m", lambda: {})
+
+    def test_collision_raises_instead_of_overwriting(self):
+        """The fix for the historical report() hazard: a collision is an
+        error, never a silent overwrite."""
+        reg = MetricsRegistry()
+        reg.counter("method.operations")
+        reg.register_collector("method", lambda: {"operations": 9})
+        with pytest.raises(MetricsError, match="collision"):
+            reg.snapshot()
+
+    def test_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.ops")
+        reg.register_collector("labels", lambda: {"name": "x"})
+        c.inc(5)
+        before = reg.snapshot()
+        c.inc(3)
+        d = reg.delta(before)
+        assert d["a.ops"] == 3
+        assert d["labels.name"] == "x"  # labels pass through
+
+    def test_as_dict_alias(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        assert reg.as_dict() == reg.snapshot()
+
+
+class TestTracer:
+    def test_events_and_spans_are_seq_ordered(self):
+        sink = RingBufferSink()
+        tr = Tracer(sink)
+        with tr.span("outer", tag=1):
+            tr.event("ping", n=1)
+            with tr.span("inner"):
+                tr.event("pong", n=2)
+        records = list(sink)
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs)
+        kinds = [r["type"] for r in records]
+        assert kinds == [
+            "span_start", "event", "span_start", "event", "span_end", "span_end",
+        ]
+
+    def test_event_attaches_to_innermost_open_span(self):
+        sink = RingBufferSink()
+        tr = Tracer(sink)
+        outer = tr.span("outer")
+        inner = tr.span("inner")
+        tr.event("deep")
+        inner.end()
+        tr.event("shallow")
+        outer.end()
+        tr.event("top")
+        by_name = {r["name"]: r for r in sink if r["type"] == "event"}
+        assert by_name["deep"]["span"] == inner.span_id
+        assert by_name["shallow"]["span"] == outer.span_id
+        assert by_name["top"]["span"] is None
+
+    def test_double_end_raises(self):
+        tr = Tracer(RingBufferSink())
+        span = tr.span("s")
+        span.end()
+        with pytest.raises(TraceError):
+            span.end()
+
+    def test_out_of_order_end_is_tolerated(self):
+        tr = Tracer(RingBufferSink())
+        outer = tr.span("outer")
+        inner = tr.span("inner")
+        outer.end()  # crash-unwind shape: outer closes while inner is open
+        inner.end()
+        assert tr._stack == []
+
+    def test_null_tracer_is_disabled_and_allocation_free(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+        NULL_TRACER.event("ignored", x=1)
+        assert NULL_TRACER.records_emitted == 0
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_ring_buffer_drops_oldest(self):
+        sink = RingBufferSink(capacity=3)
+        tr = Tracer(sink)
+        for i in range(5):
+            tr.event("e", i=i)
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [r["fields"]["i"] for r in sink] == [2, 3, 4]
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = Tracer(JsonLinesSink(str(path)))
+        with tr.span("recovery", method="physical"):
+            tr.event("recovery.record", lsn=3, decision="replayed")
+        tr.close()
+        records = load_trace(str(path))
+        assert len(records) == 3
+        assert records[0]["fields"]["method"] == "physical"
+
+
+class TestTimeline:
+    def _trace(self):
+        sink = RingBufferSink()
+        tr = Tracer(sink)
+        with tr.span("recovery", method="demo", full_scan=False) as rec:
+            with tr.span("recovery.analysis", scan_from=0) as an:
+                an.end(redo_start=2, dirty_pages=1)
+            with tr.span("recovery.segment", base_lsn=0, end_lsn=9):
+                tr.event("recovery.record", lsn=2, decision="replayed")
+                tr.event("recovery.record", lsn=3, decision="skipped", reason="lsn_test")
+            rec.end(redo_start=2, scanned=2, replayed=1, skipped=1)
+        return sink
+
+    def test_span_tree_shape(self):
+        timeline = RecoveryTimeline.from_sink(self._trace())
+        [recovery] = timeline.recoveries()
+        assert recovery.closed
+        assert [c.name for c in recovery.children] == [
+            "recovery.analysis",
+            "recovery.segment",
+        ]
+        assert recovery.field("redo_start") == 2  # end fields win
+
+    def test_totals_from_record_events(self):
+        timeline = RecoveryTimeline.from_sink(self._trace())
+        totals = timeline.totals()
+        assert totals["method.records_scanned"] == 2
+        assert totals["method.records_replayed"] == 1
+        assert totals["method.records_skipped"] == 1
+
+    def test_render_mentions_the_story(self):
+        text = RecoveryTimeline.from_sink(self._trace()).render()
+        assert "recovery #1" in text
+        assert "redo_start=2" in text
+        assert "segment [0..9]" in text
+        assert "lsn_test=1" in text
+
+    def test_unclosed_span_reports_interrupted(self):
+        sink = RingBufferSink()
+        tr = Tracer(sink)
+        tr.span("recovery", method="demo")  # crash: never ended
+        timeline = RecoveryTimeline.from_sink(sink)
+        [recovery] = timeline.recoveries()
+        assert not recovery.closed
+        assert "INTERRUPTED" in timeline.render()
+
+    def test_partitioned_summary_counts(self):
+        sink = RingBufferSink()
+        tr = Tracer(sink)
+        with tr.span("recovery", method="physical"):
+            tr.event("recovery.partitioned", scanned=10, replayed=7, skipped=3)
+        totals = RecoveryTimeline.from_sink(sink).totals()
+        assert totals["method.records_scanned"] == 10
+        assert totals["method.records_replayed"] == 7
+
+    def test_malformed_trace_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(TraceReadError):
+            load_trace(str(path))
+
+    def test_bad_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        path.write_text(json.dumps({"seq": 0, "type": "mystery"}) + "\n")
+        with pytest.raises(TraceReadError):
+            load_trace(str(path))
+
+    def test_event_for_unknown_span_raises(self):
+        with pytest.raises(TraceReadError):
+            build_span_tree(
+                [{"seq": 0, "type": "event", "name": "e", "span": 99, "fields": {}}]
+            )
+
+    def test_double_close_raises(self):
+        records = [
+            {"seq": 0, "type": "span_start", "name": "s", "id": 0, "parent": None,
+             "fields": {}},
+            {"seq": 1, "type": "span_end", "name": "s", "id": 0, "fields": {}},
+            {"seq": 2, "type": "span_end", "name": "s", "id": 0, "fields": {}},
+        ]
+        with pytest.raises(TraceReadError):
+            build_span_tree(records)
+
+
+class TestEngineIntegration:
+    """The tracer threaded through a real engine produces the promised shape."""
+
+    def _run(self, method="physiological", **db_kwargs):
+        from repro.engine import KVDatabase
+        from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        db = KVDatabase(
+            method=method,
+            cache_capacity=4,
+            commit_every=2,
+            checkpoint_every=10,
+            tracer=tracer,
+            **db_kwargs,
+        )
+        stream = generate_kv_workload(
+            3, KVWorkloadSpec(n_operations=40, n_keys=8, put_ratio=0.7)
+        )
+        db.run(stream)
+        db.crash_and_recover()
+        db.verify_against()
+        return db, RecoveryTimeline.from_sink(sink)
+
+    def test_recovery_span_tree_reconstructs_redo(self):
+        db, timeline = self._run()
+        [recovery] = timeline.recoveries()
+        assert recovery.field("method") == "physiological"
+        assert recovery.field("redo_start") >= 0
+        analysis = recovery.find("recovery.analysis")
+        assert analysis and analysis[0].field("redo_start") == recovery.field(
+            "redo_start"
+        )
+        segments = recovery.find("recovery.segment")
+        seg_records = sum(
+            1
+            for s in segments
+            for e in s.events
+            if e["name"] == "recovery.record"
+        )
+        assert seg_records == recovery.field("scanned")
+
+    def test_totals_equal_registry_snapshot(self):
+        db, timeline = self._run()
+        snapshot = db.metrics.snapshot()
+        totals = timeline.totals()
+        for key in (
+            "method.records_scanned",
+            "method.records_replayed",
+            "method.records_skipped",
+        ):
+            assert totals[key] == snapshot[key], key
+
+    def test_flush_events_carry_graph_reason(self):
+        _, timeline = self._run()
+        flushes = timeline.events("cache.flush")
+        assert flushes, "a 4-frame cache over 8 pages must flush"
+        for event in flushes:
+            assert "node" in event["fields"]
+            assert "writes" in event["fields"]
+
+    def test_generalized_traces_edges_and_multipage_redo(self):
+        from repro.engine import KVDatabase
+
+        sink = RingBufferSink()
+        db = KVDatabase(
+            method="generalized", cache_capacity=4, tracer=Tracer(sink)
+        )
+        # "src" and "dst" hash to different pages, so the copyadd is a
+        # genuine multi-page record with a careful-write-ordering edge.
+        db.execute(("put", "src", 1))
+        db.execute(("copyadd", "dst", ("src", 5)))
+        db.commit()
+        db.crash_and_recover()
+        db.verify_against()
+        timeline = RecoveryTimeline.from_sink(sink)
+        names = {r.get("name") for r in timeline.records}
+        assert "scheduler.add_edge" in names  # the careful write ordering
+        assert timeline.recoveries()
+
+    def test_log_events_present(self):
+        _, timeline = self._run()
+        assert timeline.events("log.append")
+        assert timeline.events("log.force")
+        assert timeline.events("engine.crash")
+
+    def test_checkpoint_span_present(self):
+        _, timeline = self._run()
+        assert timeline.spans("checkpoint")
+
+    def test_report_is_namespaced_and_collision_free(self):
+        db, _ = self._run()
+        report = db.report()
+        for key in (
+            "method_operations",
+            "method_records_replayed",
+            "log_forces",
+            "log_bytes",
+            "disk_page_writes",
+            "cache_hits",
+            "scheduler_installs",
+            "scheduler_elisions",
+        ):
+            assert key in report, key
+        assert report["method"] == "physiological"
+
+    def test_untraced_database_uses_null_tracer(self):
+        from repro.engine import KVDatabase
+
+        db = KVDatabase(method="physical")
+        assert db.tracer is NULL_TRACER
+        assert db.method.machine.pool.tracer is NULL_TRACER
+        db.execute(("put", "k", 1))
+        db.crash_and_recover()
+        assert NULL_TRACER.records_emitted == 0
+
+    def test_sim_crash_reports_through_registry(self):
+        from repro.engine import KVDatabase
+        from repro.sim.crash import crash_once
+        from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+        stream = generate_kv_workload(
+            4, KVWorkloadSpec(n_operations=20, n_keys=6, put_ratio=0.8)
+        )
+        result = crash_once(
+            lambda: KVDatabase(method="physiological", cache_capacity=4),
+            stream,
+            crash_point=15,
+        )
+        assert result.recovered
+        assert result.scanned >= result.replayed >= 0
+
+
+class TestInstrumentCounters:
+    def test_counter_classes_repr(self):
+        assert "log.forces" in repr(Counter("log.forces"))
+        assert "g.x" in repr(Gauge("g.x"))
+        assert "h.y" in repr(Histogram("h.y"))

@@ -24,6 +24,11 @@ Commands
     human-readable recovery account.  ``demo`` and ``audit`` also accept
     ``--trace FILE`` directly to write the JSON-lines trace without the
     rendered report.
+``logdump <dir|file>``
+    Pretty-print binary log segment files (``.wal``) and archives
+    (``.arch``): one line per record with LSN, payload type, page,
+    encoded size, and CRC status; a torn tail is reported with its byte
+    offset and reason.  ``demo --log-dir DIR`` produces such files.
 """
 
 from __future__ import annotations
@@ -122,12 +127,14 @@ def cmd_demo(args) -> int:
         print(f"--crash-at must be in [0, {len(stream)}]", file=sys.stderr)
         return 2
     tracer = _make_tracer(getattr(args, "trace", None))
+    log_dir = getattr(args, "log_dir", None)
     db = KVDatabase(
         method=method,
         cache_capacity=4,
         commit_every=3,
         checkpoint_every=20,
         tracer=tracer,
+        log_dir=log_dir,
     )
     try:
         db.run(stream[:crash_at])
@@ -152,6 +159,13 @@ def cmd_demo(args) -> int:
             print(
                 f"finished the remaining {len(stream) - crash_at} commands on "
                 f"the recovered incarnation; state verified"
+            )
+        if log_dir is not None:
+            store = db.method.machine.log.store
+            print(
+                f"durable log: {store.appends} records staged, "
+                f"{store.fsyncs} fsyncs; inspect with "
+                f"`python -m repro logdump {log_dir}`"
             )
     finally:
         if tracer is not None:
@@ -203,6 +217,79 @@ def cmd_audit(args) -> int:
     return 1 if violations else 0
 
 
+def _payload_pages(payload) -> str:
+    """The page column for one logdump line ('-' for pageless payloads)."""
+    page = getattr(payload, "page_id", None)
+    if page is not None:
+        return page
+    writes = getattr(payload, "writes", None)
+    if writes:
+        return ",".join(sorted(writes))
+    return "-"
+
+
+def cmd_logdump(args) -> int:
+    """Pretty-print binary segment files, torn tails included."""
+    from pathlib import Path
+
+    from repro.logmgr.codec import (
+        FILE_HEADER_SIZE,
+        CodecError,
+        TornTail,
+        decode_file_header,
+        decode_frame,
+    )
+    from repro.logmgr.filelog import ARCHIVE_SUFFIX, SEGMENT_SUFFIX
+
+    target = Path(args.path)
+    if target.is_dir():
+        # Archives are the truncated (older) prefix; list them first.
+        paths = sorted(target.glob(f"segment-*{ARCHIVE_SUFFIX}")) + sorted(
+            target.glob(f"segment-*{SEGMENT_SUFFIX}")
+        )
+        if not paths:
+            print(f"no segment files in {target}", file=sys.stderr)
+            return 2
+    elif target.is_file():
+        paths = [target]
+    else:
+        print(f"{target}: no such file or directory", file=sys.stderr)
+        return 2
+    total = torn = 0
+    for path in paths:
+        buf = path.read_bytes()
+        try:
+            base_lsn = decode_file_header(buf)
+        except CodecError as exc:
+            print(f"{path.name}: bad header ({exc})", file=sys.stderr)
+            return 2
+        kind = "archive" if path.suffix == ARCHIVE_SUFFIX else "segment"
+        print(f"== {path.name} ({kind}, base_lsn={base_lsn}, {len(buf)}B) ==")
+        offset = FILE_HEADER_SIZE
+        while offset < len(buf):
+            try:
+                record, next_offset = decode_frame(buf, offset)
+            except TornTail as tear:
+                print(
+                    f"  torn tail at byte {tear.offset}: {tear.reason} "
+                    f"({len(buf) - tear.offset}B after the tear are not "
+                    f"part of the log)"
+                )
+                torn += 1
+                break
+            print(
+                f"  lsn={record.lsn:<6d} "
+                f"type={type(record.payload).__name__:<18s} "
+                f"page={_payload_pages(record.payload):<12s} "
+                f"size={next_offset - offset}B crc=ok"
+            )
+            offset = next_offset
+            total += 1
+    tail = f", {torn} torn tail(s)" if torn else ""
+    print(f"{total} records in {len(paths)} file(s){tail}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run a traced sub-command, then render the trace as a timeline."""
     from repro.obs import RecoveryTimeline
@@ -248,6 +335,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write a JSON-lines trace of the whole run to FILE",
     )
+    demo.add_argument(
+        "--log-dir",
+        dest="log_dir",
+        default=None,
+        metavar="DIR",
+        help="put the log on binary segment files in DIR "
+        "(inspect them with `repro logdump DIR`)",
+    )
     audit = sub.add_parser("audit", help="audit an engine against the theory")
     audit.add_argument(
         "method",
@@ -283,6 +378,12 @@ def main(argv: list[str] | None = None) -> int:
         nargs=argparse.REMAINDER,
         help="arguments passed through to the sub-command",
     )
+    logdump = sub.add_parser(
+        "logdump", help="pretty-print binary log segment files"
+    )
+    logdump.add_argument(
+        "path", help="a segment directory, or one .wal/.arch file"
+    )
     args = parser.parse_args(argv)
     handlers = {
         "scenarios": cmd_scenarios,
@@ -290,6 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": cmd_demo,
         "audit": cmd_audit,
         "trace": cmd_trace,
+        "logdump": cmd_logdump,
     }
     return handlers[args.command](args)
 

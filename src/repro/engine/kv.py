@@ -15,7 +15,13 @@
 - ``install_policy``: how the buffer pool picks flush victims —
   ``"graph"`` (default) asks the live §5 install scheduler and elides
   redundant writes, ``"legacy"`` keeps the historical recency-only
-  behaviour (the E16 ablation baseline).
+  behaviour (the E16 ablation baseline);
+- ``log_dir`` / ``group_commit`` / ``fsync``: put the log on real binary
+  segment files.  ``commit_every`` batches N operations per *force*;
+  ``group_commit`` additionally lets N forces share one *fsync* — the
+  two group-commit levers multiply.  :meth:`KVDatabase.cold_start`
+  reopens a database from the segment directory alone (plus whatever
+  disk survived), which is how the cross-process crash tests recover.
 
 The durability contract is checked by :meth:`verify_against`: after a
 crash and recovery, the visible state must equal the oracle applied to
@@ -53,19 +59,27 @@ class KVDatabase:
         truncate_on_checkpoint: bool = False,
         track_theory: bool = False,
         tracer: Tracer | None = None,
+        log_dir=None,
+        group_commit: int = 1,
+        fsync: bool = True,
+        machine: Machine | None = None,
     ):
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; choose from {sorted(METHODS)}"
             )
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        machine = Machine(
-            cache_capacity=cache_capacity,
-            cache_policy=cache_policy,
-            log_segment_size=log_segment_size,
-            install_policy=install_policy,
-            tracer=self.tracer,
-        )
+        if machine is None:
+            machine = Machine(
+                cache_capacity=cache_capacity,
+                cache_policy=cache_policy,
+                log_segment_size=log_segment_size,
+                install_policy=install_policy,
+                tracer=self.tracer,
+                log_dir=log_dir,
+                group_commit=group_commit,
+                fsync=fsync,
+            )
         self.method: RecoveryMethodKV = METHODS[method](
             machine, n_pages=n_pages, **(method_options or {})
         )
@@ -82,6 +96,74 @@ class KVDatabase:
         self._since_commit = 0
         self._since_checkpoint = 0
         self.applied: list[KVOp] = []
+
+    @classmethod
+    def cold_start(
+        cls,
+        log_dir,
+        disk=None,
+        method: str = "physiological",
+        *,
+        cache_capacity: int = 16,
+        cache_policy: str = "lru",
+        install_policy: str = "graph",
+        n_pages: int = 8,
+        commit_every: int = 1,
+        checkpoint_every: int | None = None,
+        method_options: dict | None = None,
+        log_segment_size: int | None = None,
+        truncate_on_checkpoint: bool = False,
+        group_commit: int = 1,
+        fsync: bool = True,
+        recover: bool = True,
+        tracer: Tracer | None = None,
+    ) -> "KVDatabase":
+        """Restart from durable state alone: segment files plus a disk.
+
+        This is what a real process does after ``kill -9``: no Python
+        objects survive, so the log manager is rebuilt from the segment
+        directory (:meth:`~repro.logmgr.manager.LogManager.open`, which
+        applies the torn-tail rule to whatever the crash left), the
+        ``disk`` is whatever page store survived (a fresh empty
+        :class:`~repro.storage.Disk` when pages lived nowhere durable —
+        then recovery must replay the whole log, so run it with
+        ``checkpoint_every=None`` workloads or ``full_scan`` semantics
+        in mind), and ``recover()`` replays the stable prefix.  Pass
+        ``recover=False`` to inspect the pre-recovery state.
+        """
+        from repro.logmgr.manager import DEFAULT_SEGMENT_SIZE, LogManager
+
+        tracer_obj = tracer if tracer is not None else NULL_TRACER
+        log = LogManager.open(
+            log_dir,
+            segment_size=(
+                log_segment_size if log_segment_size is not None else DEFAULT_SEGMENT_SIZE
+            ),
+            tracer=tracer_obj,
+            group_commit=group_commit,
+            fsync=fsync,
+        )
+        machine = Machine(
+            cache_capacity=cache_capacity,
+            cache_policy=cache_policy,
+            install_policy=install_policy,
+            tracer=tracer_obj,
+            disk=disk,
+            log=log,
+        )
+        db = cls(
+            method=method,
+            n_pages=n_pages,
+            commit_every=commit_every,
+            checkpoint_every=checkpoint_every,
+            method_options=method_options,
+            truncate_on_checkpoint=truncate_on_checkpoint,
+            tracer=tracer_obj,
+            machine=machine,
+        )
+        if recover:
+            db.recover()
+        return db
 
     def _build_metrics(self) -> MetricsRegistry:
         """One registry over every component's counters, via collectors.
@@ -122,6 +204,14 @@ class KVDatabase:
             "scheduler",
             lambda m=self: m.method.machine.pool.scheduler.stats.as_dict(),
         )
+        registry.register_collector(
+            "durable",
+            lambda m=self: (
+                m.method.machine.log.store.as_dict()
+                if m.method.machine.log.store is not None
+                else {}
+            ),
+        )
         return registry
 
     # ------------------------------------------------------------------
@@ -155,8 +245,21 @@ class KVDatabase:
             self.execute(command)
 
     def commit(self) -> None:
-        """Force the log; resets the group-commit counter."""
+        """Force the log; resets the operation-batching counter.
+
+        On a durable log with ``group_commit=N``, a commit *requests* a
+        force but only every Nth request pays the fsync — operations of
+        a not-yet-synced batch are still volatile (``durable_count``
+        says so).  Use :meth:`sync` for a hard durability point.
+        """
         self.method.commit()
+        self._since_commit = 0
+
+    def sync(self) -> None:
+        """Commit with a barrier: everything issued so far is durable on
+        return, regardless of the group-commit batch state.  On an
+        in-memory log this is identical to :meth:`commit`."""
+        self.method.machine.log.flush(barrier=True)
         self._since_commit = 0
 
     def checkpoint(self) -> None:

@@ -20,6 +20,14 @@ from repro.logmgr.records import (
     PhysicalRedo,
     PhysiologicalRedo,
 )
+from repro.logmgr.codec import (
+    CodecError,
+    TornTail,
+    decode_frame,
+    encode_record,
+    iter_frames,
+)
+from repro.logmgr.filelog import FileLogStore
 from repro.logmgr.manager import (
     DEFAULT_SEGMENT_SIZE,
     LogManager,
@@ -29,7 +37,9 @@ from repro.logmgr.manager import (
 
 __all__ = [
     "CheckpointRecord",
+    "CodecError",
     "DEFAULT_SEGMENT_SIZE",
+    "FileLogStore",
     "LogEntry",
     "LogManager",
     "LogRecord",
@@ -39,5 +49,9 @@ __all__ = [
     "PageAction",
     "PhysicalRedo",
     "PhysiologicalRedo",
+    "TornTail",
     "WalViolation",
+    "decode_frame",
+    "encode_record",
+    "iter_frames",
 ]

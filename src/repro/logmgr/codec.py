@@ -1,0 +1,441 @@
+"""The binary wire format: struct-packed, versioned, CRC-guarded.
+
+A log that survives a crash can only contain *bytes*, so every payload
+in :mod:`repro.logmgr.records` has an exact binary encoding here.  The
+format is deliberately boring — little-endian ``struct`` packing, no
+compression, no pointers — because boring formats are the ones a
+recovery scan can trust after a kill -9.
+
+Record frame (what :class:`~repro.logmgr.filelog.FileLogStore` appends
+to a segment file)::
+
+    u32 body_length | u32 crc32(body) | body
+
+    body = u8 format_version | u64 lsn | tagged payload | tagged labels
+
+The **torn-tail rule**: a frame whose length field runs past the end of
+the file, or whose body fails the CRC check, ends the stable log — the
+decoder reports the tear and refuses to look further, because bytes
+after a torn record are firmware noise, not history.  This is how a
+write interrupted mid-``fsync`` is detected and discarded at the next
+cold start.
+
+Values inside payloads (cell contents, action arguments, label values)
+are encoded with a small tagged value codec covering ``None``, bools,
+ints, floats, strings, bytes, tuples, lists, and dicts — everything the
+engines, the B-tree, and the checkpoint snapshots actually log.  A
+payload holding anything else (e.g. an abstract theory
+:class:`~repro.core.model.Operation`) raises :class:`CodecError`; such
+logs are in-memory-only by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Iterator, NamedTuple
+
+from repro.logmgr.records import (
+    CheckpointRecord,
+    LogRecord,
+    LogicalRedo,
+    MultiPageRedo,
+    PageAction,
+    PhysicalRedo,
+    PhysiologicalRedo,
+)
+
+FORMAT_VERSION = 1
+
+# Segment-file header: magic, format version, base LSN of the file.
+FILE_MAGIC = b"RLOG"
+_FILE_HEADER = struct.Struct("<4sBQ")
+FILE_HEADER_SIZE = _FILE_HEADER.size
+
+# Frame prefix: body length, CRC32 of the body.
+_FRAME_PREFIX = struct.Struct("<II")
+FRAME_PREFIX_SIZE = _FRAME_PREFIX.size
+
+_BODY_PREFIX = struct.Struct("<BQ")
+
+# ----------------------------------------------------------------------
+# Tags
+# ----------------------------------------------------------------------
+
+# Value tags (one byte each).
+_V_NONE = 0x00
+_V_TRUE = 0x01
+_V_FALSE = 0x02
+_V_INT = 0x03       # i64
+_V_BIGINT = 0x04    # u32 length + signed big-endian bytes
+_V_FLOAT = 0x05     # f64
+_V_STR = 0x06       # u32 length + utf-8
+_V_BYTES = 0x07     # u32 length + raw
+_V_TUPLE = 0x08     # u32 count + values
+_V_LIST = 0x09      # u32 count + values
+_V_DICT = 0x0A      # u32 count + key/value pairs
+
+# Payload tags.
+PAYLOAD_PHYSICAL = 0x11
+PAYLOAD_PHYSIOLOGICAL = 0x12
+PAYLOAD_LOGICAL = 0x13
+PAYLOAD_MULTIPAGE = 0x14
+PAYLOAD_CHECKPOINT = 0x15
+
+PAYLOAD_NAMES = {
+    PAYLOAD_PHYSICAL: "PhysicalRedo",
+    PAYLOAD_PHYSIOLOGICAL: "PhysiologicalRedo",
+    PAYLOAD_LOGICAL: "LogicalRedo",
+    PAYLOAD_MULTIPAGE: "MultiPageRedo",
+    PAYLOAD_CHECKPOINT: "CheckpointRecord",
+}
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+class CodecError(ValueError):
+    """A payload or value the wire format cannot represent (encode side)
+    or malformed bytes that are not a clean torn tail (decode side)."""
+
+
+class TornTail(Exception):
+    """A frame failed the length or CRC check: the stable log ends here.
+
+    Carries the byte ``offset`` of the tear and a human ``reason`` —
+    the decode loop raises it, and scanners catch it to stop cleanly.
+    """
+
+    def __init__(self, offset: int, reason: str):
+        super().__init__(f"torn log tail at byte {offset}: {reason}")
+        self.offset = offset
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------
+
+def encode_value(value: Any, out: bytearray) -> None:
+    """Append the tagged encoding of ``value`` to ``out``.
+
+    Bools are checked before ints (``bool`` is an ``int`` subclass);
+    ints outside i64 take the big-int path so checkpoint counters can
+    never silently wrap.
+    """
+    if value is None:
+        out += _U8.pack(_V_NONE)
+    elif value is True:
+        out += _U8.pack(_V_TRUE)
+    elif value is False:
+        out += _U8.pack(_V_FALSE)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out += _U8.pack(_V_INT)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+            out += _U8.pack(_V_BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif isinstance(value, float):
+        out += _U8.pack(_V_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _U8.pack(_V_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out += _U8.pack(_V_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, tuple):
+        out += _U8.pack(_V_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            encode_value(item, out)
+    elif isinstance(value, list):
+        out += _U8.pack(_V_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            encode_value(item, out)
+    elif isinstance(value, dict):
+        out += _U8.pack(_V_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            encode_value(key, out)
+            encode_value(item, out)
+    else:
+        raise CodecError(
+            f"value of type {type(value).__name__!r} has no wire encoding"
+        )
+
+
+def decode_value(buf: bytes, offset: int) -> tuple[Any, int]:
+    """Decode one tagged value at ``offset``; returns (value, next offset)."""
+    try:
+        tag = buf[offset]
+    except IndexError:
+        raise CodecError(f"value truncated at byte {offset}") from None
+    offset += 1
+    if tag == _V_NONE:
+        return None, offset
+    if tag == _V_TRUE:
+        return True, offset
+    if tag == _V_FALSE:
+        return False, offset
+    try:
+        if tag == _V_INT:
+            return _I64.unpack_from(buf, offset)[0], offset + 8
+        if tag == _V_FLOAT:
+            return _F64.unpack_from(buf, offset)[0], offset + 8
+        if tag in (_V_BIGINT, _V_STR, _V_BYTES):
+            (length,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            raw = bytes(buf[offset : offset + length])
+            if len(raw) != length:
+                raise CodecError(f"value truncated at byte {offset}")
+            offset += length
+            if tag == _V_BIGINT:
+                return int.from_bytes(raw, "big", signed=True), offset
+            if tag == _V_STR:
+                return raw.decode("utf-8"), offset
+            return raw, offset
+        if tag in (_V_TUPLE, _V_LIST):
+            (count,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            items = []
+            for _ in range(count):
+                item, offset = decode_value(buf, offset)
+                items.append(item)
+            return (tuple(items) if tag == _V_TUPLE else items), offset
+        if tag == _V_DICT:
+            (count,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            result: dict = {}
+            for _ in range(count):
+                key, offset = decode_value(buf, offset)
+                item, offset = decode_value(buf, offset)
+                result[key] = item
+            return result, offset
+    except struct.error:
+        raise CodecError(f"value truncated at byte {offset}") from None
+    raise CodecError(f"unknown value tag 0x{tag:02x} at byte {offset - 1}")
+
+
+# ----------------------------------------------------------------------
+# Payload codec
+# ----------------------------------------------------------------------
+
+def _encode_action(action: PageAction, out: bytearray) -> None:
+    encode_value(action.kind, out)
+    encode_value(action.args, out)
+
+
+def _decode_action(buf: bytes, offset: int) -> tuple[PageAction, int]:
+    kind, offset = decode_value(buf, offset)
+    args, offset = decode_value(buf, offset)
+    return PageAction(kind, args), offset
+
+
+def payload_tag(payload: Any) -> int:
+    """The wire tag for ``payload`` (CodecError for unencodable types)."""
+    if isinstance(payload, PhysicalRedo):
+        return PAYLOAD_PHYSICAL
+    if isinstance(payload, PhysiologicalRedo):
+        return PAYLOAD_PHYSIOLOGICAL
+    if isinstance(payload, LogicalRedo):
+        return PAYLOAD_LOGICAL
+    if isinstance(payload, MultiPageRedo):
+        return PAYLOAD_MULTIPAGE
+    if isinstance(payload, CheckpointRecord):
+        return PAYLOAD_CHECKPOINT
+    raise CodecError(
+        f"payload of type {type(payload).__name__!r} has no wire encoding "
+        f"(only the §6 record types are durable)"
+    )
+
+
+def encode_payload(payload: Any, out: bytearray) -> None:
+    """Append ``u8 tag`` plus the payload body to ``out``."""
+    tag = payload_tag(payload)
+    out += _U8.pack(tag)
+    if tag == PAYLOAD_PHYSICAL:
+        encode_value(payload.page_id, out)
+        encode_value(payload.cells, out)
+        encode_value(payload.whole_page, out)
+    elif tag == PAYLOAD_PHYSIOLOGICAL:
+        encode_value(payload.page_id, out)
+        _encode_action(payload.action, out)
+    elif tag == PAYLOAD_LOGICAL:
+        encode_value(payload.description, out)
+    elif tag == PAYLOAD_MULTIPAGE:
+        encode_value(payload.read_page_ids, out)
+        out += _U32.pack(len(payload.writes))
+        for page_id, actions in payload.writes.items():
+            encode_value(page_id, out)
+            out += _U32.pack(len(actions))
+            for action in actions:
+                _encode_action(action, out)
+    else:  # PAYLOAD_CHECKPOINT
+        encode_value(payload.data, out)
+
+
+def decode_payload(buf: bytes, offset: int) -> tuple[Any, int]:
+    """Decode one tagged payload at ``offset``; returns (payload, next)."""
+    try:
+        tag = buf[offset]
+    except IndexError:
+        raise CodecError(f"payload truncated at byte {offset}") from None
+    offset += 1
+    if tag == PAYLOAD_PHYSICAL:
+        page_id, offset = decode_value(buf, offset)
+        cells, offset = decode_value(buf, offset)
+        whole_page, offset = decode_value(buf, offset)
+        return PhysicalRedo(page_id, cells, whole_page), offset
+    if tag == PAYLOAD_PHYSIOLOGICAL:
+        page_id, offset = decode_value(buf, offset)
+        action, offset = _decode_action(buf, offset)
+        return PhysiologicalRedo(page_id, action), offset
+    if tag == PAYLOAD_LOGICAL:
+        description, offset = decode_value(buf, offset)
+        return LogicalRedo(description), offset
+    if tag == PAYLOAD_MULTIPAGE:
+        read_page_ids, offset = decode_value(buf, offset)
+        try:
+            (n_writes,) = _U32.unpack_from(buf, offset)
+        except struct.error:
+            raise CodecError(f"payload truncated at byte {offset}") from None
+        offset += 4
+        writes: dict = {}
+        for _ in range(n_writes):
+            page_id, offset = decode_value(buf, offset)
+            try:
+                (n_actions,) = _U32.unpack_from(buf, offset)
+            except struct.error:
+                raise CodecError(f"payload truncated at byte {offset}") from None
+            offset += 4
+            actions = []
+            for _ in range(n_actions):
+                action, offset = _decode_action(buf, offset)
+                actions.append(action)
+            writes[page_id] = tuple(actions)
+        return MultiPageRedo(read_page_ids, writes), offset
+    if tag == PAYLOAD_CHECKPOINT:
+        data, offset = decode_value(buf, offset)
+        return CheckpointRecord(data), offset
+    raise CodecError(f"unknown payload tag 0x{tag:02x} at byte {offset - 1}")
+
+
+# ----------------------------------------------------------------------
+# Record frames
+# ----------------------------------------------------------------------
+
+def encode_record(record: LogRecord) -> bytes:
+    """The full wire frame for ``record`` (prefix + CRC'd body)."""
+    body = bytearray(_BODY_PREFIX.pack(FORMAT_VERSION, record.lsn))
+    encode_payload(record.payload, body)
+    encode_value(record.labels, body)
+    return _FRAME_PREFIX.pack(len(body), zlib.crc32(body)) + bytes(body)
+
+
+def encoded_size(record: LogRecord) -> int:
+    """The exact on-wire byte count of ``record``'s frame."""
+    return len(encode_record(record))
+
+
+def is_encodable(payload: Any) -> bool:
+    """Can this payload take the durable path?  (Type check only — a
+    known payload type holding an exotic value still raises
+    :class:`CodecError` at encode time.)"""
+    return isinstance(
+        payload,
+        (
+            PhysicalRedo,
+            PhysiologicalRedo,
+            LogicalRedo,
+            MultiPageRedo,
+            CheckpointRecord,
+        ),
+    )
+
+
+def decode_frame(buf: bytes, offset: int) -> tuple[LogRecord, int]:
+    """Decode one frame at ``offset``; returns (record, next offset).
+
+    Raises :class:`TornTail` when the frame is incomplete or its CRC
+    fails — by the torn-tail rule the caller must treat ``offset`` as
+    the end of the stable log.  Raises :class:`CodecError` for bytes
+    that pass the CRC but decode to garbage (a format bug, not a tear).
+    """
+    end = len(buf)
+    if offset == end:
+        raise TornTail(offset, "end of data")
+    if end - offset < FRAME_PREFIX_SIZE:
+        raise TornTail(offset, "truncated frame prefix")
+    length, crc = _FRAME_PREFIX.unpack_from(buf, offset)
+    body_start = offset + FRAME_PREFIX_SIZE
+    if end - body_start < length:
+        raise TornTail(offset, f"frame body truncated ({end - body_start}/{length} bytes)")
+    body = bytes(buf[body_start : body_start + length])
+    if zlib.crc32(body) != crc:
+        raise TornTail(offset, "crc mismatch")
+    version, lsn = _BODY_PREFIX.unpack_from(body, 0)
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported format version {version} at byte {offset}")
+    pos = _BODY_PREFIX.size
+    payload, pos = decode_payload(body, pos)
+    labels, pos = decode_value(body, pos)
+    if pos != length:
+        raise CodecError(
+            f"frame at byte {offset} has {length - pos} trailing bytes after decode"
+        )
+    return LogRecord(lsn=lsn, payload=payload, labels=labels), body_start + length
+
+
+def encode_file_header(base_lsn: int) -> bytes:
+    """The segment-file header: magic, format version, base LSN."""
+    return _FILE_HEADER.pack(FILE_MAGIC, FORMAT_VERSION, base_lsn)
+
+
+def decode_file_header(buf: bytes) -> int:
+    """Validate a segment-file header and return its base LSN."""
+    if len(buf) < FILE_HEADER_SIZE:
+        raise CodecError("segment file shorter than its header")
+    magic, version, base_lsn = _FILE_HEADER.unpack_from(buf, 0)
+    if magic != FILE_MAGIC:
+        raise CodecError(f"bad segment magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported segment format version {version}")
+    return base_lsn
+
+
+class ScanResult(NamedTuple):
+    """Outcome of :func:`scan_frames` over one buffer."""
+
+    records: int
+    clean: bool
+    tear_offset: int | None
+    tear_reason: str | None
+
+
+def iter_frames(buf: bytes, offset: int = 0) -> Iterator[LogRecord]:
+    """Yield decoded records from ``buf`` until the data ends or tears.
+
+    The torn-tail rule applied as an iterator: a clean end-of-buffer and
+    a torn record both simply stop the stream.  Callers that need to
+    distinguish (the cold-start open path, ``logdump``) use
+    :func:`decode_frame` directly and catch :class:`TornTail`.
+    """
+    while True:
+        try:
+            record, offset = decode_frame(buf, offset)
+        except TornTail:
+            return
+        yield record

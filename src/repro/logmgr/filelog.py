@@ -1,0 +1,380 @@
+"""File-backed log segments: real bytes, real ``fsync``, real survival.
+
+One :class:`FileLogStore` owns a directory of segment files, each named
+``segment-<base_lsn>.wal`` and laid out as a
+:data:`~repro.logmgr.codec.FILE_MAGIC` header followed by consecutive
+record frames (see :mod:`repro.logmgr.codec`).  The store is the
+durability half of the :class:`~repro.logmgr.manager.LogManager`: the
+manager stays the LSN authority and the in-memory read path, while the
+store turns ``flush()`` into ``write``/``fsync`` against these files.
+
+The write path is staged:
+
+- :meth:`stage` buffers an encoded frame in memory (an append is cheap
+  and *volatile*);
+- :meth:`write_up_to` hands staged frames to the OS in one ``write``
+  per segment file (written but unsynced bytes live in the page cache —
+  still volatile under the failure model);
+- :meth:`sync` is the only durability point: one ``fsync`` per dirty
+  file, after which everything written survives a crash.
+
+Group commit lives one level up: the manager counts pending force
+requests and calls :meth:`sync` once per batch, so N commits share one
+``fsync`` — the classic group-commit trade measured by benchmark E18.
+
+:meth:`crash` simulates the kernel's view of a power cut: staged frames
+vanish, and every file is truncated back to its last synced length.
+The cross-process kill test does the same thing for real — ``kill -9``
+discards the staging buffer with the process, and the torn-tail rule
+cleans up whatever partial frame the page cache happened to flush.
+
+Sealed segment files double as the **archive**: :meth:`archive_segment`
+renames a truncated segment to ``.arch`` instead of deleting it, so log
+truncation and media-recovery archiving are the same binary format.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.logmgr.codec import (
+    FILE_HEADER_SIZE,
+    CodecError,
+    TornTail,
+    decode_file_header,
+    decode_frame,
+    encode_file_header,
+    iter_frames,
+)
+from repro.logmgr.records import LogRecord
+
+SEGMENT_SUFFIX = ".wal"
+ARCHIVE_SUFFIX = ".arch"
+
+
+def segment_filename(base_lsn: int) -> str:
+    """The canonical file name for the segment starting at ``base_lsn``."""
+    return f"segment-{base_lsn:016d}{SEGMENT_SUFFIX}"
+
+
+def iter_file_records(path):
+    """Decode every record of one segment or archive file, in order.
+
+    Stands alone from any store — ``logdump`` and the cold-start path
+    use it on bare paths.  A torn tail simply ends the stream (use
+    :func:`~repro.logmgr.codec.decode_frame` directly to see the tear).
+    """
+    buf = Path(path).read_bytes()
+    decode_file_header(buf)
+    yield from iter_frames(buf, FILE_HEADER_SIZE)
+
+
+class _SegmentHandle:
+    """Bookkeeping for one segment file (internal to the store)."""
+
+    __slots__ = ("path", "base_lsn", "fh", "size", "synced_size")
+
+    def __init__(self, path: Path, base_lsn: int, fh, size: int, synced_size: int):
+        self.path = path
+        self.base_lsn = base_lsn
+        self.fh = fh  # raw (unbuffered) append handle, or None once closed
+        self.size = size
+        self.synced_size = synced_size
+
+
+class FileLogStore:
+    """A directory of binary segment files with staged, batched writes."""
+
+    def __init__(self, directory: str | os.PathLike, fsync: bool = True):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # ``fsync=False`` keeps the file layout but skips the syscall —
+        # for tests and benches that want the format without the wait.
+        self.fsync_enabled = fsync
+        self._handles: list[_SegmentHandle] = []
+        self._staged: list[tuple[int, int, bytes]] = []  # (lsn, base, frame)
+        self._dir_dirty = False  # a file was created since the last sync
+        # Counters surfaced through the engine metrics registry.
+        self.appends = 0
+        self.staged_bytes = 0
+        self.frames_written = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.syncs = 0
+        self.records_decoded = 0
+        self.torn_tails = 0
+        self.segments_created = 0
+        self.segments_archived = 0
+
+    # ------------------------------------------------------------------
+    # Attach (cold start)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, directory: str | os.PathLike, fsync: bool = True) -> "FileLogStore":
+        """Open an existing segment directory without creating anything.
+
+        Every ``.wal`` file becomes a handle; the newest one is reopened
+        for appending.  Bytes on disk at attach time are, by definition,
+        the crash survivors, so ``synced_size`` starts at the file size.
+        """
+        store = cls(directory, fsync=fsync)
+        paths = sorted(store.directory.glob(f"segment-*{SEGMENT_SUFFIX}"))
+        for index, path in enumerate(paths):
+            size = path.stat().st_size
+            with path.open("rb") as fh:
+                header = fh.read(FILE_HEADER_SIZE)
+            base_lsn = decode_file_header(header)
+            fh = path.open("ab", buffering=0) if index == len(paths) - 1 else None
+            store._handles.append(_SegmentHandle(path, base_lsn, fh, size, size))
+        return store
+
+    def segment_base_lsns(self) -> list[int]:
+        """Base LSNs of the (non-archived) segment files, oldest first."""
+        return [handle.base_lsn for handle in self._handles]
+
+    def is_empty(self) -> bool:
+        """True when the store has no segment files yet."""
+        return not self._handles
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def begin_segment(self, base_lsn: int) -> None:
+        """Start a new segment file; subsequent frames route to it."""
+        path = self.directory / segment_filename(base_lsn)
+        fh = path.open("ab", buffering=0)
+        header = encode_file_header(base_lsn)
+        fh.write(header)
+        self._handles.append(
+            _SegmentHandle(path, base_lsn, fh, len(header), 0)
+        )
+        self.segments_created += 1
+        self._dir_dirty = True
+
+    def stage(self, lsn: int, frame: bytes) -> None:
+        """Buffer one encoded frame for the current (newest) segment."""
+        if not self._handles:
+            raise CodecError("stage() before begin_segment()")
+        self._staged.append((lsn, self._handles[-1].base_lsn, frame))
+        self.appends += 1
+        self.staged_bytes += len(frame)
+
+    def write_up_to(self, lsn: int) -> None:
+        """Hand staged frames with LSN <= ``lsn`` to the OS, in order,
+        one ``write`` per touched segment file.  Written bytes are still
+        volatile until :meth:`sync`."""
+        if not self._staged or self._staged[0][0] > lsn:
+            return
+        cut = 0
+        while cut < len(self._staged) and self._staged[cut][0] <= lsn:
+            cut += 1
+        batch, self._staged = self._staged[:cut], self._staged[cut:]
+        by_base = {handle.base_lsn: handle for handle in self._handles}
+        index = 0
+        while index < cut:
+            base = batch[index][1]
+            chunk = []
+            while index < cut and batch[index][1] == base:
+                chunk.append(batch[index][2])
+                index += 1
+            handle = by_base[base]
+            blob = b"".join(chunk)
+            handle.fh.write(blob)
+            handle.size += len(blob)
+            self.frames_written += len(chunk)
+            self.bytes_written += len(blob)
+            self.staged_bytes -= len(blob)
+
+    def sync(self) -> None:
+        """The durability point: ``fsync`` every file with unsynced
+        bytes (and the directory when files were created), then close
+        sealed files that will never be written again."""
+        for handle in self._handles:
+            if handle.size > handle.synced_size:
+                if self.fsync_enabled and handle.fh is not None:
+                    os.fsync(handle.fh.fileno())
+                    self.fsyncs += 1
+                handle.synced_size = handle.size
+        if self._dir_dirty:
+            if self.fsync_enabled:
+                dir_fd = os.open(self.directory, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+                self.fsyncs += 1
+            self._dir_dirty = False
+        for handle in self._handles[:-1]:
+            if handle.fh is not None and handle.size == handle.synced_size:
+                handle.fh.close()
+                handle.fh = None
+        self.syncs += 1
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose everything volatile: staged frames and written-but-
+        unsynced file tails (files with nothing synced disappear)."""
+        self._staged.clear()
+        self.staged_bytes = 0
+        survivors: list[_SegmentHandle] = []
+        for handle in self._handles:
+            # A file whose synced bytes don't reach past the header holds
+            # no records — drop it so a post-crash rotation can recreate
+            # the segment cleanly instead of appending a second header.
+            if handle.synced_size <= FILE_HEADER_SIZE:
+                if handle.fh is not None:
+                    handle.fh.close()
+                handle.path.unlink(missing_ok=True)
+                continue
+            if handle.size > handle.synced_size:
+                if handle.fh is not None:
+                    handle.fh.close()
+                with handle.path.open("rb+") as fh:
+                    fh.truncate(handle.synced_size)
+                handle.size = handle.synced_size
+                handle.fh = None
+            survivors.append(handle)
+        self._handles = survivors
+        # Reopen the newest survivor for the recovered incarnation.
+        self._reopen_active()
+
+    def truncate_segment_tail(self, base_lsn: int, byte_offset: int) -> None:
+        """Cut a torn tail off a segment file (cold-start cleanup)."""
+        handle = self._handle_for(base_lsn)
+        if handle.fh is not None:
+            handle.fh.close()
+            handle.fh = None
+        with handle.path.open("rb+") as fh:
+            fh.truncate(byte_offset)
+        handle.size = handle.synced_size = byte_offset
+        self.torn_tails += 1
+        self._reopen_active()
+
+    def drop_segments_after(self, base_lsn: int) -> int:
+        """Delete segment files beyond ``base_lsn`` (they follow a torn
+        record, so by the torn-tail rule they are not part of the log).
+        Returns the number of files removed."""
+        keep, drop = [], []
+        for handle in self._handles:
+            (keep if handle.base_lsn <= base_lsn else drop).append(handle)
+        for handle in drop:
+            if handle.fh is not None:
+                handle.fh.close()
+            handle.path.unlink(missing_ok=True)
+        self._handles = keep
+        self._reopen_active()
+        return len(drop)
+
+    def _reopen_active(self) -> None:
+        """Make sure the newest segment file is open for appending."""
+        if self._handles and self._handles[-1].fh is None:
+            self._handles[-1].fh = self._handles[-1].path.open("ab", buffering=0)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def _handle_for(self, base_lsn: int) -> _SegmentHandle:
+        for handle in self._handles:
+            if handle.base_lsn == base_lsn:
+                return handle
+        raise KeyError(f"no segment file with base LSN {base_lsn}")
+
+    def read_segment_bytes(self, base_lsn: int) -> bytes:
+        """The segment file's current on-disk bytes (header included)."""
+        return self._handle_for(base_lsn).path.read_bytes()
+
+    def scan_segment(self, base_lsn: int, start_lsn: int = 0):
+        """Stream decoded records of one segment file, skipping records
+        below ``start_lsn``.  Stops cleanly at a torn tail (the manager
+        only scans fully synced segments, so a tear here would mean the
+        file was corrupted after the fact)."""
+        buf = self.read_segment_bytes(base_lsn)
+        decode_file_header(buf)
+        offset = FILE_HEADER_SIZE
+        while True:
+            try:
+                record, offset = decode_frame(buf, offset)
+            except TornTail:
+                return
+            self.records_decoded += 1
+            if record.lsn >= start_lsn:
+                yield record
+
+    def load_segment(
+        self, base_lsn: int
+    ) -> tuple[list[LogRecord], int | None, str | None]:
+        """Decode one whole segment file into memory (the cold-start
+        path).  Returns ``(records, tear_offset, tear_reason)`` where a
+        ``None`` tear offset means the file decoded cleanly to its end."""
+        buf = self.read_segment_bytes(base_lsn)
+        decode_file_header(buf)
+        offset = FILE_HEADER_SIZE
+        records: list[LogRecord] = []
+        while offset < len(buf):
+            try:
+                record, offset = decode_frame(buf, offset)
+            except TornTail as tear:
+                return records, tear.offset, tear.reason
+            records.append(record)
+            self.records_decoded += 1
+        return records, None, None
+
+    # ------------------------------------------------------------------
+    # Archive
+    # ------------------------------------------------------------------
+
+    def archive_segment(self, base_lsn: int) -> Path:
+        """Retire a segment file by renaming it ``.arch`` — the archive
+        sink and the log share one binary format, so media recovery can
+        scan archived segments with the same decoder."""
+        handle = self._handle_for(base_lsn)
+        if handle.fh is not None:
+            handle.fh.close()
+            handle.fh = None
+        target = handle.path.with_suffix(ARCHIVE_SUFFIX)
+        handle.path.rename(target)
+        self._handles.remove(handle)
+        self.segments_archived += 1
+        return target
+
+    def archived_paths(self) -> list[Path]:
+        """Archived segment files, oldest first."""
+        return sorted(self.directory.glob(f"segment-*{ARCHIVE_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, int]:
+        """The store's counters (for the engine metrics registry)."""
+        return {
+            "appends": self.appends,
+            "frames_written": self.frames_written,
+            "bytes_written": self.bytes_written,
+            "fsyncs": self.fsyncs,
+            "syncs": self.syncs,
+            "records_decoded": self.records_decoded,
+            "torn_tails": self.torn_tails,
+            "segments_created": self.segments_created,
+            "segments_archived": self.segments_archived,
+        }
+
+    def close(self) -> None:
+        """Close every open file handle (idempotent)."""
+        for handle in self._handles:
+            if handle.fh is not None:
+                handle.fh.close()
+                handle.fh = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FileLogStore({str(self.directory)!r}, segments={len(self._handles)}, "
+            f"fsyncs={self.fsyncs})"
+        )

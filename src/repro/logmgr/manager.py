@@ -18,6 +18,21 @@ crash truncates the tail.  :meth:`wal_check` implements the write-ahead
 rule a cache manager must consult before flushing a page: the record
 that produced a page's latest update must be stable before the page may
 reach disk.
+
+**Durable tier.**  By default the log is in-memory and ``flush()``
+merely advances the stable watermark (a simulated disk boundary).  Give
+the manager a :class:`~repro.logmgr.filelog.FileLogStore` and the same
+API becomes real: ``append`` encodes each record to its binary frame
+(:mod:`repro.logmgr.codec`) and stages it, ``flush`` writes and —
+subject to **group commit** — ``fsync``\\ s, and the stable watermark
+only advances at an actual ``fsync``.  With ``group_commit=N``, N force
+requests share one ``fsync``; ``ensure_stable`` passes ``barrier=True``
+because the write-ahead rule cannot wait for a batch to fill.  Sealed,
+fully-synced segments drop their decoded records from memory and are
+re-streamed from their files on demand, so long-log memory stays
+O(segment); :meth:`LogManager.open` rebuilds a manager from the segment
+files alone (cold start), applying the codec's torn-tail rule to
+whatever a crash left behind.
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Any, Callable, Iterator
 
+from repro.logmgr.codec import CodecError, encode_record
 from repro.logmgr.records import CheckpointRecord, LogRecord, Payload
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -42,24 +58,63 @@ class LogSegment:
     segment covers ``[base_lsn, base_lsn + len(records))``.  The segment
     itself is dumb storage — stability is a property of the manager's
     watermark, exposed per segment via :meth:`LogManager.segment_stable_boundary`.
+
+    A file-backed segment that is sealed and fully synced may be
+    **evicted**: ``records`` becomes ``None`` and only the statistics
+    needed for accounting (count, bytes, per-type counts) stay resident;
+    reads re-stream the segment's file through the store.
     """
 
-    __slots__ = ("base_lsn", "records")
+    __slots__ = ("base_lsn", "records", "_count", "_bytes", "_type_counts")
 
     def __init__(self, base_lsn: int):
         self.base_lsn = base_lsn
-        self.records: list[LogRecord] = []
+        self.records: list[LogRecord] | None = []
+        self._count = 0
+        self._bytes = 0
+        self._type_counts: dict[type, int] = {}
 
     @property
     def end_lsn(self) -> int:
         """The last LSN held (``base_lsn - 1`` when empty)."""
-        return self.base_lsn + len(self.records) - 1
+        return self.base_lsn + len(self) - 1
+
+    @property
+    def evicted(self) -> bool:
+        """True when decoded records were dropped (file-backed only)."""
+        return self.records is None
+
+    def evict(self) -> None:
+        """Drop the decoded records, keeping count/byte/type statistics.
+
+        Only legal for a segment whose every record is durable in a
+        segment file — the manager enforces that before calling.
+        """
+        if self.records is None:
+            return
+        self._count = len(self.records)
+        self._bytes = sum(record.size_bytes() for record in self.records)
+        for record in self.records:
+            kind = type(record.payload)
+            self._type_counts[kind] = self._type_counts.get(kind, 0) + 1
+        self.records = None
+
+    @property
+    def stat_bytes(self) -> int:
+        """Byte accounting for an evicted segment (0 while resident)."""
+        return self._bytes
+
+    @property
+    def type_counts(self) -> dict[type, int]:
+        """Per-payload-type counts for an evicted segment."""
+        return self._type_counts
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self._count if self.records is None else len(self.records)
 
     def __repr__(self) -> str:
-        return f"LogSegment(lsns=[{self.base_lsn}..{self.end_lsn}])"
+        state = ", evicted" if self.records is None else ""
+        return f"LogSegment(lsns=[{self.base_lsn}..{self.end_lsn}]{state})"
 
 
 class LogManager:
@@ -69,14 +124,24 @@ class LogManager:
         self,
         segment_size: int = DEFAULT_SEGMENT_SIZE,
         tracer: Tracer | None = None,
+        store=None,
+        group_commit: int = 1,
     ):
         if segment_size < 1:
             raise ValueError("segment_size must be at least 1")
+        if group_commit < 1:
+            raise ValueError("group_commit must be at least 1")
         self.segment_size = segment_size
+        self.group_commit = group_commit
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._store = store
         self._segments: list[LogSegment] = [LogSegment(0)]
         self._next_lsn = 0
         self._stable_lsn = -1
+        # Durable-tier watermarks: written-but-unsynced bytes are still
+        # volatile; forces between fsyncs accumulate for group commit.
+        self._written_lsn = -1
+        self._pending_forces = 0
         self._checkpoint_lsns: list[int] = []
         # Truncation bookkeeping: retired records stay countable even
         # after their segments leave memory.
@@ -85,6 +150,108 @@ class LogManager:
         self._archived_type_counts: dict[type, int] = {}
         self._archive_sink: Callable[[LogSegment], None] | None = None
         self.forced_flushes = 0
+        if store is not None and store.is_empty():
+            store.begin_segment(0)
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        tracer: Tracer | None = None,
+        group_commit: int = 1,
+        fsync: bool = True,
+    ) -> "LogManager":
+        """Cold-start: rebuild a manager from a segment directory alone.
+
+        Every record in the files is, by definition, the stable prefix —
+        nothing volatile survives a real crash — so ``stable_lsn`` lands
+        on the last decodable record.  The codec's torn-tail rule is
+        applied: a record failing its length/CRC check ends the log, the
+        file is truncated at the tear, and any later segment files are
+        deleted (they lie beyond a hole and are not part of history).
+        An empty or missing directory yields a fresh durable manager.
+        """
+        from repro.logmgr.filelog import FileLogStore
+
+        from repro.logmgr.filelog import iter_file_records
+
+        store = FileLogStore.attach(directory, fsync=fsync)
+        manager = cls(
+            segment_size=segment_size,
+            tracer=tracer,
+            store=store,
+            group_commit=group_commit,
+        )
+        # Archived (truncated) segments still count: warm managers keep
+        # their byte/type accounting across truncation, so a cold start
+        # must fold the .arch files back in for the two paths to agree.
+        archived_checkpoints: list[int] = []
+        for path in store.archived_paths():
+            for record in iter_file_records(path):
+                manager._archived_records += 1
+                manager._archived_bytes += record.size_bytes()
+                kind = type(record.payload)
+                manager._archived_type_counts[kind] = (
+                    manager._archived_type_counts.get(kind, 0) + 1
+                )
+                if isinstance(record.payload, CheckpointRecord):
+                    archived_checkpoints.append(record.lsn)
+        bases = store.segment_base_lsns()
+        if not bases:
+            manager._checkpoint_lsns = archived_checkpoints
+            return manager
+        segments: list[LogSegment] = []
+        checkpoints: list[int] = []
+        for position, base in enumerate(bases):
+            records, tear_offset, tear_reason = store.load_segment(base)
+            segment = LogSegment(base)
+            segment.records = records
+            segments.append(segment)
+            checkpoints.extend(
+                record.lsn
+                for record in records
+                if isinstance(record.payload, CheckpointRecord)
+            )
+            if tear_offset is not None:
+                store.truncate_segment_tail(base, tear_offset)
+                dropped = store.drop_segments_after(base)
+                if manager.tracer.enabled:
+                    manager.tracer.event(
+                        "log.torn_tail",
+                        base_lsn=base,
+                        offset=tear_offset,
+                        reason=tear_reason,
+                        dropped_segments=dropped,
+                    )
+                break
+        expected = segments[0].base_lsn
+        for segment in segments:
+            if segment.base_lsn != expected:
+                raise CodecError(
+                    f"segment files not dense: expected base LSN {expected}, "
+                    f"found {segment.base_lsn}"
+                )
+            for index, record in enumerate(segment.records):
+                if record.lsn != segment.base_lsn + index:
+                    raise CodecError(
+                        f"segment {segment.base_lsn} holds LSN {record.lsn} "
+                        f"at position {index}"
+                    )
+            expected = segment.end_lsn + 1
+        manager._segments = segments
+        manager._stable_lsn = segments[-1].end_lsn
+        manager._written_lsn = manager._stable_lsn
+        manager._next_lsn = manager._stable_lsn + 1
+        manager._checkpoint_lsns = archived_checkpoints + checkpoints
+        for segment in segments[:-1]:
+            segment.evict()
+        return manager
+
+    @property
+    def store(self):
+        """The file-backed segment store, or None for an in-memory log."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Append / force
@@ -94,12 +261,20 @@ class LogManager:
         """Append ``payload`` with the next LSN; returns the record.
 
         This is the one place in the whole system where an LSN is born.
+        On a durable log the record is also encoded to its wire frame
+        and staged (volatile until the next force reaches an fsync).
         """
         tail = self._segments[-1]
         if len(tail) >= self.segment_size:
             tail = LogSegment(self._next_lsn)
             self._segments.append(tail)
+            if self._store is not None:
+                self._store.begin_segment(self._next_lsn)
         record = LogRecord(lsn=self._next_lsn, payload=payload, labels=labels)
+        if self._store is not None:
+            frame = encode_record(record)
+            object.__setattr__(record, "_encoded_size", len(frame))
+            self._store.stage(record.lsn, frame)
         tail.records.append(record)
         self._next_lsn += 1
         if isinstance(payload, CheckpointRecord):
@@ -110,16 +285,57 @@ class LogManager:
             )
         return record
 
-    def flush(self, up_to_lsn: int | None = None) -> None:
-        """Force the log to disk through ``up_to_lsn`` (default: all)."""
+    def flush(self, up_to_lsn: int | None = None, barrier: bool = False) -> None:
+        """Force the log to disk through ``up_to_lsn`` (default: all).
+
+        In-memory logs just advance the watermark.  Durable logs write
+        staged frames immediately but count the force toward the group
+        commit: only every ``group_commit``-th force (or a
+        ``barrier=True`` force, used by the write-ahead rule) pays the
+        fsync and advances the stable watermark — N commits, one fsync.
+        """
         target = self._next_lsn - 1 if up_to_lsn is None else min(up_to_lsn, self._next_lsn - 1)
-        if target > self._stable_lsn:
+        if self._store is None:
+            if target > self._stable_lsn:
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "log.force", from_lsn=self._stable_lsn, stable_lsn=target
+                    )
+                self._stable_lsn = target
+                self.forced_flushes += 1
+            return
+        if target > self._written_lsn:
+            self._store.write_up_to(target)
+            self._written_lsn = target
+        if self._written_lsn <= self._stable_lsn:
+            return
+        self._pending_forces += 1
+        if barrier or self._pending_forces >= self.group_commit:
+            coalesced = self._pending_forces
+            self._store.sync()
+            self._pending_forces = 0
             if self.tracer.enabled:
                 self.tracer.event(
-                    "log.force", from_lsn=self._stable_lsn, stable_lsn=target
+                    "log.force",
+                    from_lsn=self._stable_lsn,
+                    stable_lsn=self._written_lsn,
                 )
-            self._stable_lsn = target
+                self.tracer.event(
+                    "log.fsync",
+                    stable_lsn=self._written_lsn,
+                    coalesced=coalesced,
+                    barrier=barrier,
+                )
+            self._stable_lsn = self._written_lsn
             self.forced_flushes += 1
+            self._evict_synced()
+
+    def _evict_synced(self) -> None:
+        """Drop decoded records of sealed, fully-stable segments — their
+        bytes are in synced files, so reads can re-stream them."""
+        for segment in self._segments[:-1]:
+            if segment.records is not None and segment.end_lsn <= self._stable_lsn:
+                segment.evict()
 
     @property
     def next_lsn(self) -> int:
@@ -199,10 +415,12 @@ class LogManager:
         raises only if even a forced flush could not cover the LSN (a
         genuinely torn protocol, e.g. a page tagged with a never-appended
         LSN).  The check consults the per-segment stable boundary, so it
-        stays cheap no matter how long the log grows.
+        stays cheap no matter how long the log grows.  On a durable log
+        this force is a **barrier**: it cannot wait for a group-commit
+        batch to fill, because the page is about to hit disk.
         """
         if self.segment_stable_boundary(lsn) < lsn:
-            self.flush(up_to_lsn=lsn)
+            self.flush(up_to_lsn=lsn, barrier=True)
         self.wal_check(lsn)
 
     # ------------------------------------------------------------------
@@ -233,8 +451,10 @@ class LogManager:
         :attr:`head_lsn` — and only stable ones: a volatile record can
         still be needed verbatim by the next flush.  Retired records stay
         visible to the byte/count accounting (and flow to the archive
-        sink if one is installed, preserving media recovery).  Returns
-        the number of records retired.
+        sink if one is installed, preserving media recovery).  On a
+        durable log the segment's file is renamed to the archive suffix
+        rather than deleted — truncation and archiving share one binary
+        format.  Returns the number of records retired.
         """
         retired = 0
         cutoff = min(lsn - 1, self._stable_lsn)
@@ -242,14 +462,29 @@ class LogManager:
             segment = self._segments.pop(0)
             retired += len(segment)
             self._archived_records += len(segment)
-            for record in segment.records:
-                self._archived_bytes += record.size_bytes()
-                kind = type(record.payload)
-                self._archived_type_counts[kind] = (
-                    self._archived_type_counts.get(kind, 0) + 1
-                )
-            if self._archive_sink is not None:
-                self._archive_sink(segment)
+            if segment.records is None:
+                self._archived_bytes += segment.stat_bytes
+                for kind, n in segment.type_counts.items():
+                    self._archived_type_counts[kind] = (
+                        self._archived_type_counts.get(kind, 0) + n
+                    )
+                if self._archive_sink is not None:
+                    materialized = LogSegment(segment.base_lsn)
+                    materialized.records = list(
+                        self._store.scan_segment(segment.base_lsn)
+                    )
+                    self._archive_sink(materialized)
+            else:
+                for record in segment.records:
+                    self._archived_bytes += record.size_bytes()
+                    kind = type(record.payload)
+                    self._archived_type_counts[kind] = (
+                        self._archived_type_counts.get(kind, 0) + 1
+                    )
+                if self._archive_sink is not None:
+                    self._archive_sink(segment)
+            if self._store is not None:
+                self._store.archive_segment(segment.base_lsn)
         if retired and self.tracer.enabled:
             self.tracer.event(
                 "log.truncate", retired=retired, head_lsn=self.head_lsn
@@ -264,6 +499,17 @@ class LogManager:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+
+    def _segment_records(self, segment: LogSegment, offset: int) -> Iterator[LogRecord]:
+        """Stream one segment's records from index ``offset`` — straight
+        from memory when resident, re-decoded from the segment file in
+        O(segment) memory when evicted."""
+        if segment.records is not None:
+            yield from segment.records[offset:]
+        else:
+            yield from self._store.scan_segment(
+                segment.base_lsn, start_lsn=segment.base_lsn + offset
+            )
 
     def records_from(self, lsn: int, volatile: bool = True) -> Iterator[LogRecord]:
         """Stream records with LSN >= ``lsn``, in order, segment by
@@ -281,7 +527,7 @@ class LogManager:
             if segment.base_lsn > limit:
                 return
             offset = max(0, start - segment.base_lsn)
-            for record in segment.records[offset:]:
+            for record in self._segment_records(segment, offset):
                 if record.lsn > limit:
                     return
                 yield record
@@ -307,53 +553,99 @@ class LogManager:
     def entry(self, lsn: int) -> LogRecord:
         """The record with exactly this LSN (must be retained)."""
         segment = self.segment_containing(lsn)
-        return segment.records[lsn - segment.base_lsn]
+        if segment.records is not None:
+            return segment.records[lsn - segment.base_lsn]
+        for record in self._store.scan_segment(segment.base_lsn, start_lsn=lsn):
+            return record
+        raise KeyError(f"LSN {lsn} missing from segment file {segment.base_lsn}")
 
     def stable_count_of(self, *payload_types: type) -> int:
         """Stable records whose payload is an instance of the given
         types, truncated segments included — the one durable-count
-        primitive every method shares."""
+        primitive every method shares.  Evicted segments answer from
+        their cached per-type counts (they are fully stable by
+        construction), so this never touches a file."""
         count = sum(
             n
             for kind, n in self._archived_type_counts.items()
             if issubclass(kind, payload_types)
         )
-        return count + sum(
-            1
-            for record in self.stable_records_from(self.head_lsn)
-            if isinstance(record.payload, payload_types)
-        )
+        for segment in self._segments:
+            if segment.base_lsn > self._stable_lsn:
+                break
+            if segment.records is None:
+                count += sum(
+                    n
+                    for kind, n in segment.type_counts.items()
+                    if issubclass(kind, payload_types)
+                )
+            else:
+                for record in segment.records:
+                    if record.lsn > self._stable_lsn:
+                        break
+                    if isinstance(record.payload, payload_types):
+                        count += 1
+        return count
 
     def stable_bytes(self) -> int:
         """Bytes in the stable prefix (truncated segments included)."""
-        return self._archived_bytes + sum(
-            record.size_bytes() for record in self.stable_records_from(self.head_lsn)
-        )
+        total = self._archived_bytes
+        for segment in self._segments:
+            if segment.base_lsn > self._stable_lsn:
+                break
+            if segment.records is None:
+                total += segment.stat_bytes
+            else:
+                for record in segment.records:
+                    if record.lsn > self._stable_lsn:
+                        break
+                    total += record.size_bytes()
+        return total
 
     def total_bytes(self) -> int:
         """Bytes in the whole log, volatile tail and truncated segments
         included."""
-        return self._archived_bytes + sum(
-            record.size_bytes() for record in self.records_from(self.head_lsn)
-        )
+        total = self._archived_bytes
+        for segment in self._segments:
+            if segment.records is None:
+                total += segment.stat_bytes
+            else:
+                total += sum(record.size_bytes() for record in segment.records)
+        return total
 
     # ------------------------------------------------------------------
     # Failure model
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Drop the volatile tail; the stable prefix survives."""
+        """Drop the volatile tail; the stable prefix survives.
+
+        On a durable log this also discards staged frames and truncates
+        each segment file back to its last-synced length — exactly what
+        the kernel does to the page cache when the process dies.
+        """
         while self._segments and self._segments[-1].base_lsn > self._stable_lsn:
             if len(self._segments) == 1:
                 self._segments[-1].records.clear()
                 break
             self._segments.pop()
         tail = self._segments[-1]
-        keep = max(0, self._stable_lsn - tail.base_lsn + 1)
-        del tail.records[keep:]
+        if tail.records is not None:
+            keep = max(0, self._stable_lsn - tail.base_lsn + 1)
+            del tail.records[keep:]
         self._next_lsn = self._stable_lsn + 1
         while self._checkpoint_lsns and self._checkpoint_lsns[-1] > self._stable_lsn:
             self._checkpoint_lsns.pop()
+        if self._store is not None:
+            self._store.crash()
+            self._written_lsn = self._stable_lsn
+            self._pending_forces = 0
+            # The crash deletes files with no synced records; if the
+            # tail segment's file was one of them, start it afresh so
+            # the recovered incarnation has somewhere to stage appends.
+            tail = self._segments[-1]
+            if tail.base_lsn not in self._store.segment_base_lsns():
+                self._store.begin_segment(tail.base_lsn)
 
     def __len__(self) -> int:
         """Records the log accounts for (truncated segments included)."""

@@ -52,7 +52,16 @@ class MethodStats:
 
 
 class Machine:
-    """One simulated node: disk (stable), log and cache (volatile tail)."""
+    """One simulated node: disk (stable), log and cache (volatile tail).
+
+    By default the log is in-memory with a simulated stable boundary.
+    Pass ``log_dir`` to put the log on real files (binary segment files
+    with fsync — see :mod:`repro.logmgr.filelog`); ``group_commit=N``
+    then lets N forces share one fsync, and ``fsync=False`` keeps the
+    file format but skips the syscall.  ``disk``/``log`` accept prebuilt
+    components, which is how cold-start recovery injects a crash
+    survivor's disk image and a :meth:`LogManager.open`-rebuilt log.
+    """
 
     def __init__(
         self,
@@ -62,14 +71,29 @@ class Machine:
         log_segment_size: int | None = None,
         install_policy: str = "graph",
         tracer: Tracer | None = None,
+        log_dir=None,
+        group_commit: int = 1,
+        fsync: bool = True,
+        disk: Disk | None = None,
+        log: LogManager | None = None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.disk = Disk()
-        self.log = (
-            LogManager(segment_size=log_segment_size, tracer=self.tracer)
-            if log_segment_size is not None
-            else LogManager(tracer=self.tracer)
-        )
+        self.disk = disk if disk is not None else Disk()
+        if log is not None:
+            # A prebuilt manager (e.g. LogManager.open's cold start).
+            self.log = log
+        else:
+            log_kwargs: dict = {
+                "tracer": self.tracer,
+                "group_commit": group_commit,
+            }
+            if log_segment_size is not None:
+                log_kwargs["segment_size"] = log_segment_size
+            if log_dir is not None:
+                from repro.logmgr.filelog import FileLogStore
+
+                log_kwargs["store"] = FileLogStore(log_dir, fsync=fsync)
+            self.log = LogManager(**log_kwargs)
         self.enforce_wal = enforce_wal
         self.pool = BufferPool(
             self.disk,

@@ -143,6 +143,10 @@ class GeneralizedKV(RecoveryMethodKV):
         """Analysis (reconstruct the dirty page table by streaming the
         stable checkpoint suffix), then LSN-test redo, also streamed.
         ``full_scan`` starts the scan at the head (media recovery).
+        Multi-page records round-trip the binary codec like everything
+        else, so both passes work identically over a file-backed log's
+        evicted segments (re-decoded per segment) and after a cold
+        start from the segment directory.
 
         Generalized recovery stays sequential even when its physical
         cousins partition: a §6.4 multi-page record *reads* pages other

@@ -126,7 +126,12 @@ class LogicalKV(RecoveryMethodKV):
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        self.machine.log.flush()  # force the log before installing
+        # Barrier, not a plain force: the staged pages snapshot the live
+        # cache — state through the last *applied* operation — so the
+        # stable log must cover every applied LSN before the swing, or a
+        # group-commit batch still in flight would leave the installed
+        # root ahead of the durable prefix.
+        self.machine.log.flush(barrier=True)
         checkpoint_lsn = self.machine.log.stable_lsn
         for page in self._cache.values():
             self.shadow.stage_page(page)
@@ -161,7 +166,10 @@ class LogicalKV(RecoveryMethodKV):
         the segmented log (the checkpoint suffix; no record list is
         materialized).  ``full_scan`` is accepted for interface parity;
         the restored root pointer already names the right replay start
-        (the backup's own checkpoint LSN)."""
+        (the backup's own checkpoint LSN).  Cold start composes cleanly:
+        the root pointer lives on the disk and the suffix streams off
+        the segment files, so a process that lost every Python object
+        still recovers to the identical shadow state."""
         tracer = self.tracer
         span = tracer.span("recovery", method=self.name, full_scan=full_scan)
         before = self.stats.as_dict()

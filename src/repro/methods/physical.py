@@ -149,7 +149,11 @@ class PhysicalKV(RecoveryMethodKV):
         """Replay every stable physical record after the last stable
         checkpoint (or the whole log for media recovery), blindly,
         streaming the checkpoint suffix straight off the segmented log —
-        no record list is materialized.
+        no record list is materialized.  On a file-backed log the stream
+        decodes evicted segments from their files one segment at a time,
+        so a cold start (:meth:`~repro.logmgr.manager.LogManager.open`)
+        recovers in O(segment) memory and lands on the same state as the
+        in-memory path.
 
         With ``parallel_recovery`` the suffix is partitioned by page and
         replayed concurrently; blind single-page writes have no

@@ -173,6 +173,9 @@ class PhysiologicalKV(RecoveryMethodKV):
         test per record — peak resident records stay O(segment), not
         O(log).  Media recovery (``full_scan``) scans from the head: the
         LSN test bypasses whatever the restored backup already holds.
+        Both passes run on a file-backed log too, re-decoding evicted
+        segments from their binary files — the two-scan shape costs two
+        streaming decodes of the suffix, never a materialized log.
 
         With ``parallel_recovery`` the redo suffix is partitioned by
         page and replayed concurrently; per-partition log order plus

@@ -7,6 +7,20 @@ sample), which is how experiment E5 certifies that the §6 methods recover
 from *any* crash point.
 """
 
-from repro.sim.crash import CrashResult, crash_once, crash_sweep, repeated_crashes
+from repro.sim.crash import (
+    CrashResult,
+    canonical_state,
+    cold_restart_states,
+    crash_once,
+    crash_sweep,
+    repeated_crashes,
+)
 
-__all__ = ["CrashResult", "crash_once", "crash_sweep", "repeated_crashes"]
+__all__ = [
+    "CrashResult",
+    "canonical_state",
+    "cold_restart_states",
+    "crash_once",
+    "crash_sweep",
+    "repeated_crashes",
+]

@@ -90,7 +90,10 @@ def crash_once(
         surviving = db.applied[:durable] if durable <= len(db.applied) else db.applied
         db.applied = list(surviving)
         db.run(stream[crash_point:])
-        db.commit()
+        # A barrier, not a plain commit: with fsync group-commit the last
+        # batch may still be volatile, and the oracle compare below needs
+        # every applied operation durable.
+        db.sync()
         try:
             db.verify_against()
         except VerificationError as exc:
@@ -137,6 +140,62 @@ def crash_sweep(
     ]
 
 
+def canonical_state(db: KVDatabase) -> dict:
+    """A method-agnostic canonical serialization of recovered state.
+
+    Covers everything the durability contract talks about: the visible
+    key-value mapping, the durable operation count, the stable LSN, and
+    the full disk image (cells and LSN tag of every page — for the
+    logical method this includes the shadow pages and the root, so two
+    equal states are equal all the way down, not just at the KV surface).
+    Used by the cold-start tests to assert the file-backed recovery path
+    lands *identically* to the in-memory one.
+    """
+    machine = db.method.machine
+    return {
+        "dump": db.method.dump(),
+        "durable": db.durable_count(),
+        "stable_lsn": machine.log.stable_lsn,
+        "disk": {
+            page_id: (dict(page.cells), page.lsn)
+            for page_id, page in sorted(machine.disk.snapshot().items())
+        },
+    }
+
+
+def cold_restart_states(
+    db: KVDatabase, log_dir, **cold_kwargs
+) -> tuple[dict, dict]:
+    """Crash ``db`` and recover it twice — warm and cold — and return
+    both canonical states.
+
+    The *warm* path is the ordinary in-memory one: the same Python
+    objects survive, ``crash()`` truncates the volatile tail, and
+    ``recover()`` replays.  The *cold* path is what a real restart has:
+    only the segment files in ``log_dir`` and a copy of the
+    crash-surviving disk image; :meth:`KVDatabase.cold_start` rebuilds
+    the log manager from the files (torn-tail rule applied) and recovers
+    on a second, fully independent database.  Corollary 4 demands these
+    agree — the test asserts the returned pair is equal.
+
+    ``cold_kwargs`` are forwarded to :meth:`KVDatabase.cold_start`
+    (``n_pages`` and ``method`` default to the warm database's).
+    """
+    from repro.storage import Disk
+
+    db.crash()
+    snapshot = db.method.machine.disk.snapshot()
+    db.recover()
+    warm = canonical_state(db)
+    survivor = Disk()
+    for page in snapshot.values():
+        survivor.write_page(page)
+    cold_kwargs.setdefault("method", db.method_name)
+    cold_kwargs.setdefault("n_pages", db.method.n_pages)
+    cold_db = KVDatabase.cold_start(log_dir, disk=survivor, **cold_kwargs)
+    return warm, canonical_state(cold_db)
+
+
 def repeated_crashes(
     make_db: Callable[[], KVDatabase],
     stream: Sequence[KVOp],
@@ -162,7 +221,7 @@ def repeated_crashes(
                 error=str(exc),
             )
     db.run(stream[done:])
-    db.commit()
+    db.sync()
     try:
         durable = db.verify_against()
     except VerificationError as exc:

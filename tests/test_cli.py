@@ -74,6 +74,88 @@ class TestCli:
             main([])
 
 
+class TestLogdump:
+    """The ``logdump`` command over real segment files."""
+
+    def _durable_run(self, tmp_path, method="physiological", **db_kwargs):
+        from repro.engine import KVDatabase
+        from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+        db = KVDatabase(method=method, log_dir=tmp_path, **db_kwargs)
+        db.run(
+            generate_kv_workload(
+                5, KVWorkloadSpec(n_operations=30, n_keys=8, put_ratio=0.7)
+            )
+        )
+        db.sync()
+        return db
+
+    def test_demo_log_dir_writes_segments(self, tmp_path, capsys):
+        log_dir = tmp_path / "wal"
+        assert main(["demo", "physiological", "--log-dir", str(log_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "durable log:" in out and "fsyncs" in out
+        assert list(log_dir.glob("segment-*.wal"))
+
+    def test_logdump_directory_golden(self, tmp_path, capsys):
+        """The golden-format check: one header line per file, one
+        ``lsn=... type=... page=... size=...B crc=ok`` line per record,
+        and a record-count footer that matches the log."""
+        db = self._durable_run(tmp_path)
+        record_count = len(db.method.machine.log)
+        assert main(["logdump", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("== segment-0000000000000000.wal (segment, base_lsn=0, ")
+        body = [line for line in lines if line.startswith("  lsn=")]
+        assert len(body) == record_count
+        assert body[0].split() == [
+            "lsn=0",
+            "type=PhysiologicalRedo",
+            f"page={db.method.machine.log.entry(0).payload.page_id}",
+            f"size={db.method.machine.log.entry(0).size_bytes()}B",
+            "crc=ok",
+        ]
+        assert lines[-1] == f"{record_count} records in 1 file(s)"
+
+    def test_logdump_single_file_and_archive(self, tmp_path, capsys):
+        db = self._durable_run(
+            tmp_path,
+            method="logical",  # its truncation point tracks the root pointer
+            log_segment_size=8,
+            checkpoint_every=10,
+            truncate_on_checkpoint=True,
+        )
+        store = db.method.machine.log.store
+        assert store.segments_archived > 0
+        archive = store.archived_paths()[0]
+        assert main(["logdump", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "(archive, base_lsn=0," in out
+        assert "crc=ok" in out
+        # A directory dump lists archives before live segments.
+        assert main(["logdump", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.index("(archive,") < out.index("(segment,")
+
+    def test_logdump_reports_torn_tail(self, tmp_path, capsys):
+        self._durable_run(tmp_path)
+        path = next(tmp_path.glob("segment-*.wal"))
+        path.write_bytes(path.read_bytes()[:-3])
+        assert main(["logdump", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail at byte" in out
+        assert "1 torn tail(s)" in out
+
+    def test_logdump_missing_path(self, tmp_path, capsys):
+        assert main(["logdump", str(tmp_path / "nope")]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_logdump_empty_directory(self, tmp_path, capsys):
+        assert main(["logdump", str(tmp_path)]) == 2
+        assert "no segment files" in capsys.readouterr().err
+
+
 class TestCliTracing:
     """The ``--trace`` flags and the ``trace`` sub-command."""
 

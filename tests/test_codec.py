@@ -1,0 +1,267 @@
+"""Round-trip and torn-tail tests for the binary wire format.
+
+The property half generates randomized instances of every payload type
+(all ``PageAction`` kinds, labels, checkpoints) from seeded ``Random``
+streams and asserts encode→decode is the identity.  The adversarial half
+flips bytes, truncates frames, and checks the torn-tail rule: a damaged
+record ends the stable log, cleanly, every time.
+"""
+
+import random
+
+import pytest
+
+from repro.logmgr.codec import (
+    FILE_HEADER_SIZE,
+    FRAME_PREFIX_SIZE,
+    CodecError,
+    TornTail,
+    decode_file_header,
+    decode_frame,
+    encode_file_header,
+    encode_record,
+    encode_value,
+    decode_value,
+    iter_frames,
+)
+from repro.logmgr.records import (
+    CheckpointRecord,
+    LogRecord,
+    LogicalRedo,
+    MultiPageRedo,
+    PageAction,
+    PhysicalRedo,
+    PhysiologicalRedo,
+)
+
+ACTION_KINDS = (
+    "put",
+    "delete",
+    "add",
+    "split-move",
+    "truncate",
+    "set-meta",
+    "copycell",
+    "copyfrom",
+)
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    """One random codec-representable value (bounded nesting)."""
+    scalar_makers = [
+        lambda: None,
+        lambda: rng.choice([True, False]),
+        lambda: rng.randint(-(2**62), 2**62),
+        lambda: rng.randint(2**64, 2**80),  # forces the bigint path
+        lambda: rng.random() * 1e6 - 5e5,
+        lambda: "".join(rng.choices("abcxyz-éλ0123", k=rng.randint(0, 12))),
+        lambda: bytes(rng.randbytes(rng.randint(0, 16))),
+    ]
+    makers = list(scalar_makers)
+    if depth < 2:
+        makers += [
+            lambda: tuple(random_value(rng, depth + 1) for _ in range(rng.randint(0, 3))),
+            lambda: [random_value(rng, depth + 1) for _ in range(rng.randint(0, 3))],
+            lambda: {
+                rng.choice(["a", "b", "c", 1, 2]): random_value(rng, depth + 1)
+                for _ in range(rng.randint(0, 3))
+            },
+        ]
+    return rng.choice(makers)()
+
+
+def random_action(rng: random.Random) -> PageAction:
+    """A random action of a random kind with shape-correct args."""
+    kind = rng.choice(ACTION_KINDS)
+    if kind in ("put", "set-meta"):
+        args = (f"k{rng.randint(0, 99)}", random_value(rng))
+    elif kind == "delete":
+        args = (f"k{rng.randint(0, 99)}",)
+    elif kind == "add":
+        args = (f"k{rng.randint(0, 99)}", rng.randint(-50, 50))
+    elif kind == "split-move":
+        args = (f"page{rng.randint(0, 9)}", f"k{rng.randint(0, 99)}")
+    elif kind == "truncate":
+        args = (f"k{rng.randint(0, 99)}",)
+    elif kind == "copycell":
+        args = (f"a{rng.randint(0, 9)}", f"b{rng.randint(0, 9)}", rng.randint(-9, 9))
+    else:  # copyfrom
+        args = (
+            f"page{rng.randint(0, 9)}",
+            f"src{rng.randint(0, 9)}",
+            f"dst{rng.randint(0, 9)}",
+            rng.randint(-9, 9),
+        )
+    return PageAction(kind, args)
+
+
+def random_payload(rng: random.Random):
+    """A random instance of a random §6 payload type."""
+    choice = rng.randrange(5)
+    if choice == 0:
+        cells = {
+            f"k{rng.randint(0, 99)}": random_value(rng)
+            for _ in range(rng.randint(0, 5))
+        }
+        return PhysicalRedo(
+            f"page{rng.randint(0, 9)}", cells, whole_page=rng.random() < 0.3
+        )
+    if choice == 1:
+        return PhysiologicalRedo(f"page{rng.randint(0, 9)}", random_action(rng))
+    if choice == 2:
+        return LogicalRedo(
+            tuple(random_value(rng) for _ in range(rng.randint(1, 4)))
+        )
+    if choice == 3:
+        writes = {
+            f"page{rng.randint(0, 9)}": tuple(
+                random_action(rng) for _ in range(rng.randint(1, 3))
+            )
+            for _ in range(rng.randint(1, 3))
+        }
+        reads = tuple(f"page{rng.randint(0, 9)}" for _ in range(rng.randint(0, 2)))
+        return MultiPageRedo(reads, writes)
+    return CheckpointRecord(
+        tuple(random_value(rng) for _ in range(rng.randint(0, 3)))
+    )
+
+
+def random_record(rng: random.Random, lsn: int) -> LogRecord:
+    """A random record with random labels."""
+    labels = {
+        rng.choice(["page", "note", "image", "origin"]): random_value(rng)
+        for _ in range(rng.randint(0, 2))
+    }
+    return LogRecord(lsn=lsn, payload=random_payload(rng), labels=labels)
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_values_round_trip(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            value = random_value(rng)
+            out = bytearray()
+            encode_value(value, out)
+            decoded, end = decode_value(bytes(out), 0)
+            assert decoded == value
+            assert end == len(out)
+
+    def test_bool_is_not_confused_with_int(self):
+        for value in (True, False, 0, 1):
+            out = bytearray()
+            encode_value(value, out)
+            decoded, _ = decode_value(bytes(out), 0)
+            assert decoded == value and type(decoded) is type(value)
+
+    def test_bigint_beyond_i64(self):
+        for value in (2**63, -(2**63) - 1, 10**40, -(10**40)):
+            out = bytearray()
+            encode_value(value, out)
+            decoded, _ = decode_value(bytes(out), 0)
+            assert decoded == value
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CodecError, match="no wire encoding"):
+            encode_value(object(), bytearray())
+
+    def test_truncated_value_raises_codec_error(self):
+        out = bytearray()
+        encode_value("hello world", out)
+        with pytest.raises(CodecError, match="truncated"):
+            decode_value(bytes(out[:-3]), 0)
+
+
+class TestRecordRoundTrip:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_records_round_trip(self, seed):
+        rng = random.Random(1000 + seed)
+        for lsn in range(30):
+            record = random_record(rng, lsn)
+            frame = encode_record(record)
+            decoded, end = decode_frame(frame, 0)
+            assert end == len(frame)
+            assert decoded.lsn == record.lsn
+            assert decoded.payload == record.payload
+            assert decoded.labels == record.labels
+
+    def test_every_action_kind_round_trips(self):
+        rng = random.Random(7)
+        kinds_seen = set()
+        for _ in range(400):
+            action = random_action(rng)
+            kinds_seen.add(action.kind)
+            record = LogRecord(lsn=0, payload=PhysiologicalRedo("p", action))
+            decoded, _ = decode_frame(encode_record(record), 0)
+            assert decoded.payload.action == action
+        assert kinds_seen == set(ACTION_KINDS)
+
+    def test_unencodable_payload_raises(self):
+        record = LogRecord(lsn=0, payload=("not", "a", "payload"))
+        with pytest.raises(CodecError, match="no wire encoding"):
+            encode_record(record)
+
+
+class TestTornTail:
+    def _frames(self, n=5):
+        rng = random.Random(42)
+        return [encode_record(random_record(rng, lsn)) for lsn in range(n)]
+
+    def test_clean_buffer_decodes_fully(self):
+        frames = self._frames()
+        buf = b"".join(frames)
+        assert [r.lsn for r in iter_frames(buf)] == [0, 1, 2, 3, 4]
+
+    def test_truncated_last_frame_ends_stream(self):
+        frames = self._frames()
+        buf = b"".join(frames)[:-3]  # tear inside the last frame
+        assert [r.lsn for r in iter_frames(buf)] == [0, 1, 2, 3]
+
+    def test_corrupted_byte_ends_stream_at_that_record(self):
+        frames = self._frames()
+        # Flip a byte in the body of frame 2.
+        offset = len(frames[0]) + len(frames[1]) + FRAME_PREFIX_SIZE + 2
+        buf = bytearray(b"".join(frames))
+        buf[offset] ^= 0xFF
+        assert [r.lsn for r in iter_frames(bytes(buf))] == [0, 1]
+
+    def test_decode_frame_reports_tear_offset_and_reason(self):
+        frames = self._frames(2)
+        buf = b"".join(frames)[:-1]
+        _, offset = decode_frame(buf, 0)
+        with pytest.raises(TornTail) as info:
+            decode_frame(buf, offset)
+        assert info.value.offset == offset
+        assert "truncated" in info.value.reason
+
+    def test_crc_mismatch_is_a_tear_not_an_error(self):
+        frame = bytearray(self._frames(1)[0])
+        frame[-1] ^= 0x01
+        with pytest.raises(TornTail, match="crc mismatch"):
+            decode_frame(bytes(frame), 0)
+
+    def test_bytes_after_a_tear_are_never_decoded(self):
+        """The torn-tail rule: even a perfectly valid frame after a torn
+        one is firmware noise, not history."""
+        frames = self._frames(3)
+        damaged = bytearray(frames[1])
+        damaged[FRAME_PREFIX_SIZE] ^= 0xFF
+        buf = frames[0] + bytes(damaged) + frames[2]
+        assert [r.lsn for r in iter_frames(buf)] == [0]
+
+
+class TestFileHeader:
+    def test_round_trip(self):
+        header = encode_file_header(123456)
+        assert len(header) == FILE_HEADER_SIZE
+        assert decode_file_header(header) == 123456
+
+    def test_bad_magic_raises(self):
+        header = bytearray(encode_file_header(0))
+        header[0] ^= 0xFF
+        with pytest.raises(CodecError, match="magic"):
+            decode_file_header(bytes(header))
+
+    def test_short_header_raises(self):
+        with pytest.raises(CodecError, match="shorter"):
+            decode_file_header(b"RL")

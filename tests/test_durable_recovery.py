@@ -1,0 +1,228 @@
+"""Durable-log recovery tests: cold starts and a real process kill.
+
+Corollary 4 says recovery lands on the state determined by the stable
+log prefix.  With a file-backed log there are two ways to get there —
+the warm path (same Python objects, in-memory crash simulation) and the
+cold path (a new process holding nothing but the segment files and the
+surviving disk).  These tests assert the two land on *identical*
+canonical states for every §6 method, and then do it for real: a child
+process is SIGKILLed mid-workload and the parent recovers cold from the
+files the kernel kept.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine import KVDatabase
+from repro.sim import cold_restart_states
+from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+ALL_METHODS = ["physical", "physiological", "logical", "generalized"]
+
+MIXED = KVWorkloadSpec(
+    n_operations=120,
+    n_keys=12,
+    put_ratio=0.5,
+    add_ratio=0.25,
+    delete_ratio=0.05,
+)
+
+
+class TestColdRestartEquivalence:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_cold_state_identical_to_warm(self, tmp_path, method):
+        db = KVDatabase(
+            method=method,
+            log_dir=tmp_path,
+            log_segment_size=32,
+            commit_every=2,
+            group_commit=4,
+            checkpoint_every=13,
+        )
+        db.run(generate_kv_workload(11, MIXED))
+        warm, cold = cold_restart_states(db, tmp_path, log_segment_size=32)
+        assert warm == cold
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_cold_state_identical_without_checkpoints(self, tmp_path, method):
+        db = KVDatabase(
+            method=method,
+            log_dir=tmp_path,
+            log_segment_size=32,
+            commit_every=3,
+            checkpoint_every=None,
+        )
+        db.run(generate_kv_workload(23, MIXED))
+        warm, cold = cold_restart_states(db, tmp_path, log_segment_size=32)
+        assert warm == cold
+
+    def test_cold_state_identical_after_truncation(self, tmp_path):
+        """Truncated (archived) segments are gone from the live log but
+        still part of its accounting — a cold start must agree."""
+        db = KVDatabase(
+            method="logical",
+            log_dir=tmp_path,
+            log_segment_size=8,
+            checkpoint_every=10,
+            truncate_on_checkpoint=True,
+        )
+        db.run(generate_kv_workload(7, MIXED))
+        assert db.method.machine.log.store.segments_archived > 0
+        warm, cold = cold_restart_states(db, tmp_path, log_segment_size=8)
+        assert warm == cold
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_unsynced_crash_recovers_durable_prefix(self, tmp_path, method):
+        """Crash with a group-commit batch still in flight (no sync):
+        the recovered state must equal the oracle over exactly the
+        stable prefix.  Regression: the logical method's checkpoint
+        used a plain force before the root swing, so the installed
+        root could run ahead of the stable log."""
+        stream = generate_kv_workload(11, MIXED)
+        db = KVDatabase(
+            method=method,
+            log_dir=tmp_path,
+            log_segment_size=16,
+            commit_every=2,
+            group_commit=4,
+            checkpoint_every=23,
+            truncate_on_checkpoint=(method == "logical"),
+        )
+        db.run(stream)
+        db.crash_and_recover()
+        assert db.verify_against(stream) == db.durable_count() > 0
+
+    def test_cold_start_verifies_against_oracle(self, tmp_path):
+        stream = generate_kv_workload(31, MIXED)
+        db = KVDatabase(
+            method="physiological", log_dir=tmp_path, checkpoint_every=None
+        )
+        db.run(stream)
+        db.sync()
+        db.crash()
+        cold = KVDatabase.cold_start(tmp_path, method="physiological")
+        assert cold.verify_against(stream) == len(
+            [c for c in stream if c[0] != "get"]
+        )
+
+    def test_durable_metrics_flow_through_report(self, tmp_path):
+        db = KVDatabase(method="physiological", log_dir=tmp_path)
+        db.run(generate_kv_workload(3, KVWorkloadSpec(n_operations=20)))
+        report = db.report()
+        assert report["durable_appends"] > 0
+        assert report["durable_fsyncs"] > 0
+        assert report["durable_bytes_written"] > 0
+        in_memory = KVDatabase(method="physiological")
+        assert "durable_fsyncs" not in in_memory.report()
+
+
+# ----------------------------------------------------------------------
+# The real thing: kill -9 a child process, recover from its files.
+# ----------------------------------------------------------------------
+
+CHILD_SOURCE = """\
+import json, sys
+from repro.engine import KVDatabase
+from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+log_dir, method, seed, spec_json = sys.argv[1:5]
+stream = generate_kv_workload(int(seed), KVWorkloadSpec(**json.loads(spec_json)))
+db = KVDatabase(
+    method=method,
+    log_dir=log_dir,
+    commit_every=1,
+    group_commit=2,
+    checkpoint_every=None,
+)
+for index, command in enumerate(stream):
+    db.execute(command)
+    print(index, flush=True)
+db.sync()
+print("END", flush=True)
+"""
+
+CHILD_SEED = 29
+CHILD_SPEC = KVWorkloadSpec(
+    n_operations=200,
+    n_keys=10,
+    put_ratio=0.5,
+    add_ratio=0.3,
+    delete_ratio=0.05,
+)
+KILL_AFTER = 40  # SIGKILL once the child reports this many operations
+
+
+def mutation_count(stream, durable):
+    """Index into ``stream`` just past its ``durable``-th mutation."""
+    seen = 0
+    for index, command in enumerate(stream):
+        if command[0] != "get":
+            seen += 1
+        if seen == durable:
+            return index + 1
+    return len(stream)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+class TestProcessKill:
+    @pytest.mark.parametrize("method", ["physiological", "logical"])
+    def test_sigkill_then_cold_recovery(self, tmp_path, method):
+        """Kill a real child mid-run; the parent recovers cold from the
+        segment files alone (the in-memory Disk died with the child, so
+        ``checkpoint_every=None`` and full replay is the contract) and
+        the state must equal a clean replay of the durable prefix."""
+        script = tmp_path / "child.py"
+        script.write_text(CHILD_SOURCE)
+        log_dir = tmp_path / "wal"
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        spec_json = json.dumps(CHILD_SPEC.__dict__)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                str(script),
+                str(log_dir),
+                method,
+                str(CHILD_SEED),
+                spec_json,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            progress = -1
+            while progress < KILL_AFTER:
+                assert time.monotonic() < deadline, "child too slow"
+                line = proc.stdout.readline()
+                assert line, f"child exited early at op {progress}"
+                if line.strip().isdigit():
+                    progress = int(line)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.stdout.close()
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        stream = generate_kv_workload(CHILD_SEED, CHILD_SPEC)
+        db = KVDatabase.cold_start(log_dir, method=method)
+        durable = db.verify_against(stream)
+        assert durable > 0  # the kill happened mid-run, after real commits
+
+        # The recovered incarnation is a working database: finish the
+        # workload from just past the durable prefix and verify again.
+        mutations = [c for c in stream if c[0] != "get"]
+        db.applied = mutations[:durable]
+        db.run(stream[mutation_count(stream, durable):])
+        db.sync()
+        assert db.verify_against() == len(mutations)

@@ -1,0 +1,302 @@
+"""Tests for the file-backed durable log tier.
+
+Covers the :class:`~repro.logmgr.filelog.FileLogStore` write path
+(stage → write → fsync), group-commit batching arithmetic, the crash
+model (staged and written-but-unsynced bytes vanish), torn-tail cleanup
+on cold start, segment eviction, and the archive rename.
+"""
+
+import pytest
+
+from repro.logmgr import (
+    CheckpointRecord,
+    CodecError,
+    FileLogStore,
+    LogManager,
+    LogicalRedo,
+    PhysicalRedo,
+)
+from repro.logmgr.codec import FILE_HEADER_SIZE, encode_record
+from repro.logmgr.filelog import (
+    ARCHIVE_SUFFIX,
+    SEGMENT_SUFFIX,
+    iter_file_records,
+    segment_filename,
+)
+from repro.logmgr.records import LogRecord
+
+
+def durable_log(tmp_path, **kwargs):
+    """A LogManager over a FileLogStore in ``tmp_path``."""
+    store = FileLogStore(tmp_path, fsync=kwargs.pop("fsync", True))
+    return LogManager(store=store, **kwargs)
+
+
+class TestFileLogStore:
+    def test_begin_segment_writes_header(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        path = tmp_path / segment_filename(0)
+        assert path.exists()
+        assert path.stat().st_size == FILE_HEADER_SIZE
+
+    def test_staged_frames_hit_disk_only_after_write(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        frame = encode_record(LogRecord(lsn=0, payload=LogicalRedo(("a",))))
+        store.stage(0, frame)
+        path = tmp_path / segment_filename(0)
+        assert path.stat().st_size == FILE_HEADER_SIZE  # still staged
+        store.write_up_to(0)
+        assert path.stat().st_size == FILE_HEADER_SIZE + len(frame)
+
+    def test_stage_before_begin_raises(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        with pytest.raises(CodecError, match="begin_segment"):
+            store.stage(0, b"xx")
+
+    def test_crash_loses_staged_and_unsynced_bytes(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        frames = [
+            encode_record(LogRecord(lsn=lsn, payload=LogicalRedo((lsn,))))
+            for lsn in range(3)
+        ]
+        store.stage(0, frames[0])
+        store.write_up_to(0)
+        store.sync()  # lsn 0 durable
+        store.stage(1, frames[1])
+        store.write_up_to(1)  # lsn 1 written, NOT synced
+        store.stage(2, frames[2])  # lsn 2 only staged
+        store.crash()
+        path = tmp_path / segment_filename(0)
+        assert path.stat().st_size == FILE_HEADER_SIZE + len(frames[0])
+        survivors = list(iter_file_records(path))
+        assert [r.lsn for r in survivors] == [0]
+
+    def test_crash_deletes_file_with_no_synced_records(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        store.crash()
+        assert not (tmp_path / segment_filename(0)).exists()
+        assert store.is_empty()
+
+    def test_attach_reopens_existing_files(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        frame = encode_record(LogRecord(lsn=0, payload=LogicalRedo(("a",))))
+        store.stage(0, frame)
+        store.write_up_to(0)
+        store.sync()
+        store.close()
+        reopened = FileLogStore.attach(tmp_path)
+        assert reopened.segment_base_lsns() == [0]
+        assert [r.lsn for r in reopened.scan_segment(0)] == [0]
+
+    def test_archive_renames_and_keeps_format(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        frame = encode_record(LogRecord(lsn=0, payload=LogicalRedo(("a",))))
+        store.stage(0, frame)
+        store.write_up_to(0)
+        store.sync()
+        target = store.archive_segment(0)
+        assert target.suffix == ARCHIVE_SUFFIX
+        assert not (tmp_path / segment_filename(0)).exists()
+        assert store.archived_paths() == [target]
+        # The archive is the same binary format: same decoder reads it.
+        assert [r.lsn for r in iter_file_records(target)] == [0]
+
+
+class TestGroupCommit:
+    def test_batched_forces_share_one_fsync(self, tmp_path):
+        log = durable_log(tmp_path, group_commit=4)
+        base_fsyncs = log.store.fsyncs
+        for i in range(8):
+            log.append(LogicalRedo((i,)))
+            log.flush()
+        # 8 forces at group_commit=4 → 2 fsync points.  Each sync pays
+        # one file fsync; the first also pays the directory fsync for
+        # the segment file's creation.
+        assert log.store.syncs == 2
+        assert log.store.fsyncs - base_fsyncs == 3
+        assert log.stable_lsn == 7
+
+    def test_stable_lsn_advances_only_at_fsync(self, tmp_path):
+        log = durable_log(tmp_path, group_commit=3)
+        for i in range(2):
+            log.append(LogicalRedo((i,)))
+            log.flush()
+        assert log.stable_lsn == -1  # batch not full: still volatile
+        log.append(LogicalRedo((2,)))
+        log.flush()
+        assert log.stable_lsn == 2  # third force fills the batch
+
+    def test_barrier_flush_cannot_wait_for_batch(self, tmp_path):
+        log = durable_log(tmp_path, group_commit=100)
+        entry = log.append(LogicalRedo(("a",)))
+        log.ensure_stable(entry.lsn)
+        assert log.stable_lsn == entry.lsn
+        assert log.store.syncs == 1
+
+    def test_pending_forces_vanish_on_crash(self, tmp_path):
+        log = durable_log(tmp_path, group_commit=4)
+        log.append(LogicalRedo(("a",)))
+        log.flush()  # 1 pending force, no fsync yet
+        log.crash()
+        assert log.stable_lsn == -1
+        assert len(log) == 0
+        # The recovered incarnation can append and force normally.
+        log.append(LogicalRedo(("b",)))
+        log.flush(barrier=True)
+        assert log.stable_lsn == 0
+
+    def test_group_commit_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="group_commit"):
+            durable_log(tmp_path, group_commit=0)
+
+
+class TestEviction:
+    def test_sealed_synced_segments_are_evicted(self, tmp_path):
+        log = durable_log(tmp_path, segment_size=4)
+        for i in range(10):
+            log.append(LogicalRedo((i,)))
+        log.flush(barrier=True)
+        segments = log.segments()
+        assert [s.evicted for s in segments] == [True, True, False]
+
+    def test_evicted_segments_restream_from_files(self, tmp_path):
+        log = durable_log(tmp_path, segment_size=4)
+        for i in range(10):
+            log.append(LogicalRedo((i,)))
+        log.flush(barrier=True)
+        assert [r.payload.description[0] for r in log.records_from(0)] == list(
+            range(10)
+        )
+        assert log.entry(2).lsn == 2  # random access re-streams too
+
+    def test_evicted_accounting_matches_resident(self, tmp_path):
+        log = durable_log(tmp_path, segment_size=4)
+        reference = LogManager(segment_size=4)
+        for i in range(10):
+            log.append(PhysicalRedo(f"p{i % 3}", {"k": i}))
+            reference.append(PhysicalRedo(f"p{i % 3}", {"k": i}))
+        log.flush(barrier=True)
+        reference.flush()
+        assert len(log) == len(reference)
+        assert log.stable_count_of(PhysicalRedo) == reference.stable_count_of(
+            PhysicalRedo
+        )
+        assert log.stable_bytes() == reference.stable_bytes()
+        assert log.total_bytes() == reference.total_bytes()
+
+
+class TestColdStart:
+    def test_empty_directory_yields_fresh_manager(self, tmp_path):
+        log = LogManager.open(tmp_path)
+        assert len(log) == 0
+        assert log.stable_lsn == -1
+        entry = log.append(LogicalRedo(("first",)))
+        log.flush(barrier=True)
+        assert log.stable_lsn == entry.lsn
+
+    def test_cold_start_recovers_synced_records(self, tmp_path):
+        warm = durable_log(tmp_path, segment_size=4)
+        for i in range(9):
+            warm.append(LogicalRedo((i,)))
+        warm.flush(barrier=True)
+        warm.append(LogicalRedo(("volatile",)))  # never forced
+        warm.store.close()
+        cold = LogManager.open(tmp_path, segment_size=4)
+        assert cold.stable_lsn == 8
+        assert cold.next_lsn == 9
+        assert [r.payload.description[0] for r in cold.stable_records_from(0)] == list(
+            range(9)
+        )
+
+    def test_cold_start_appends_continue_the_lsn_sequence(self, tmp_path):
+        warm = durable_log(tmp_path)
+        warm.append(LogicalRedo(("a",)))
+        warm.flush(barrier=True)
+        warm.store.close()
+        cold = LogManager.open(tmp_path)
+        entry = cold.append(LogicalRedo(("b",)))
+        assert entry.lsn == 1
+        cold.flush(barrier=True)
+        assert cold.stable_lsn == 1
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        warm = durable_log(tmp_path)
+        for i in range(3):
+            warm.append(LogicalRedo((i,)))
+        warm.flush(barrier=True)
+        warm.store.close()
+        path = tmp_path / segment_filename(0)
+        clean = path.read_bytes()
+        path.write_bytes(clean[:-2])  # tear mid-frame, as a crash would
+        cold = LogManager.open(tmp_path)
+        assert cold.stable_lsn == 1  # record 2 was torn
+        assert path.stat().st_size < len(clean) - 2  # file cut at the tear
+        assert cold.store.torn_tails == 1
+        # The log is appendable right where the tear was.
+        entry = cold.append(LogicalRedo(("again",)))
+        assert entry.lsn == 2
+        cold.flush(barrier=True)
+        assert cold.stable_lsn == 2
+
+    def test_segments_after_a_tear_are_deleted(self, tmp_path):
+        warm = durable_log(tmp_path, segment_size=2)
+        for i in range(6):
+            warm.append(LogicalRedo((i,)))
+        warm.flush(barrier=True)
+        warm.store.close()
+        middle = tmp_path / segment_filename(2)
+        middle.write_bytes(middle.read_bytes()[:-1])
+        cold = LogManager.open(tmp_path, segment_size=2)
+        assert cold.stable_lsn == 2  # lsn 3 torn; 4,5 beyond the hole
+        assert not (tmp_path / segment_filename(4)).exists()
+
+    def test_checkpoints_survive_cold_start(self, tmp_path):
+        warm = durable_log(tmp_path)
+        warm.append(LogicalRedo(("a",)))
+        warm.append(CheckpointRecord(("logical", 0)))
+        warm.flush(barrier=True)
+        warm.store.close()
+        cold = LogManager.open(tmp_path)
+        assert cold.last_stable_checkpoint_lsn == 1
+
+    def test_archived_files_fold_into_accounting(self, tmp_path):
+        warm = durable_log(tmp_path, segment_size=2)
+        for i in range(6):
+            warm.append(LogicalRedo((i,)))
+        warm.flush(barrier=True)
+        warm.truncate_until(4)  # retires segments [0..1] and [2..3]
+        assert len(list(tmp_path.glob(f"*{ARCHIVE_SUFFIX}"))) == 2
+        warm_len, warm_bytes = len(warm), warm.stable_bytes()
+        warm_count = warm.stable_count_of(LogicalRedo)
+        warm.store.close()
+        cold = LogManager.open(tmp_path, segment_size=2)
+        assert len(cold) == warm_len
+        assert cold.stable_bytes() == warm_bytes
+        assert cold.stable_count_of(LogicalRedo) == warm_count
+        assert cold.head_lsn == 4
+
+    def test_non_dense_segment_files_rejected(self, tmp_path):
+        warm = durable_log(tmp_path, segment_size=2)
+        for i in range(6):
+            warm.append(LogicalRedo((i,)))
+        warm.flush(barrier=True)
+        warm.store.close()
+        (tmp_path / segment_filename(2)).unlink()  # punch a hole
+        with pytest.raises(CodecError, match="not dense"):
+            LogManager.open(tmp_path, segment_size=2)
+
+    def test_fsync_disabled_keeps_the_format(self, tmp_path):
+        log = durable_log(tmp_path, fsync=False)
+        log.append(LogicalRedo(("a",)))
+        log.flush(barrier=True)
+        assert log.store.fsyncs == 0
+        assert log.stable_lsn == 0
+        paths = list(tmp_path.glob(f"*{SEGMENT_SUFFIX}"))
+        assert len(paths) == 1
+        assert [r.lsn for r in iter_file_records(paths[0])] == [0]

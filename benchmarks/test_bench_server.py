@@ -1,0 +1,204 @@
+"""E19: commit throughput under client fan-in — pipelined group commit
+vs per-session forcing.
+
+Every client commit is a durability barrier, so the fsync is the scarce
+resource.  Per-session forcing pays one log force per commit and
+flatlines at the disk's fsync rate no matter how many clients pile on.
+The cross-session pipeline coalesces every commit that arrives during
+the in-flight fsync into the next window — the batch size *emerges*
+from the disk's own latency — so commits/s rises with fan-in.  This is
+the server front-end's whole performance story, measured:
+
+- fan-in tiers (100 / 1k / 10k simulated clients) through the pipeline;
+- pipelined vs per-session forcing head-to-head at the 1k tier
+  (asserted >= 3x);
+- crash equivalence under concurrent load: after a crash, warm
+  recovery and a cold start from the segment files land byte-identical
+  for all four §6 methods (Corollary 4 does not care how many threads
+  wrote the log).
+
+Results go to E19.txt and ``BENCH_server.json``.  Set ``E19_TIERS``,
+``E19_OPS``, ``E19_WORKERS``, and ``E19_TRIALS`` to shrink the run for
+CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+
+from repro.engine import KVDatabase
+from repro.server import run_simulated_clients
+from repro.sim.crash import cold_restart_states
+
+from benchmarks.conftest import RESULTS_DIR, emit, table
+
+TIERS = [
+    int(t) for t in os.environ.get("E19_TIERS", "100,1000,10000").split(",")
+]
+OPS_PER_CLIENT = int(os.environ.get("E19_OPS", 4))
+# Workers bound true thread fan-in — and with it the largest possible
+# commit window — so this is the experiment's main axis of scale.
+WORKERS = int(os.environ.get("E19_WORKERS", 64))
+COMPARE_TIER = TIERS[min(1, len(TIERS) - 1)]  # the 1k tier by default
+TRIALS = int(os.environ.get("E19_TRIALS", 3))  # best-of-N head-to-head
+MIN_SPEEDUP = 3.0
+METHODS = ("physical", "logical", "physiological", "generalized")
+
+
+def run_tier(log_dir, n_clients: int, pipelined: bool):
+    """One load run on a fresh durable database; returns (LoadResult, report)."""
+    db = KVDatabase(
+        method="physiological",
+        cache_capacity=64,
+        log_dir=log_dir,
+        commit_pipeline=pipelined,
+    )
+    # commit_every=1 is the synchronous-commit workload: every op ends
+    # in a durability barrier, so the fsync share of the baseline's cost
+    # is maximal and the head-to-head measures exactly what the pipeline
+    # amortizes.
+    result = run_simulated_clients(
+        db,
+        n_clients=n_clients,
+        ops_per_client=OPS_PER_CLIENT,
+        commit_every=1,
+        workers=WORKERS,
+    )
+    db.verify_against()
+    pipeline_stats = db.pipeline.stats() if db.pipeline is not None else {}
+    fsyncs = db.method.machine.log.store.fsyncs
+    db.close()
+    return result, pipeline_stats, fsyncs
+
+
+def test_e19_server_commit_throughput():
+    rows = []
+    series = []
+    for tier in TIERS:
+        tmp = tempfile.mkdtemp(prefix="e19-tier-")
+        try:
+            result, pstats, fsyncs = run_tier(tmp, tier, pipelined=True)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        rows.append(
+            [
+                tier,
+                result.commits,
+                f"{result.commits_per_sec:.0f}",
+                fsyncs,
+                pstats.get("windows", 0),
+                pstats.get("max_coalesced", 0),
+                f"{result.latency_ms(0.50):.2f}",
+                f"{result.latency_ms(0.99):.2f}",
+            ]
+        )
+        series.append(
+            {
+                "clients": tier,
+                **result.as_dict(),
+                "fsyncs": fsyncs,
+                "pipeline": pstats,
+            }
+        )
+
+    # Head-to-head at the comparison tier: pipeline vs per-session
+    # force.  Best of TRIALS runs per mode — thread-scheduler noise
+    # moves single-run throughput by tens of percent, and best-of-N is
+    # the standard way to measure the mechanism rather than the jitter.
+    def best_of(pipelined: bool):
+        best = None
+        for _ in range(TRIALS):
+            tmp = tempfile.mkdtemp(prefix="e19-hh-")
+            try:
+                run = run_tier(tmp, COMPARE_TIER, pipelined=pipelined)
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+            if best is None or run[0].commits_per_sec > best[0].commits_per_sec:
+                best = run
+        return best
+
+    piped, _, piped_fsyncs = best_of(True)
+    forced, _, forced_fsyncs = best_of(False)
+    speedup = (
+        piped.commits_per_sec / forced.commits_per_sec
+        if forced.commits_per_sec
+        else float("inf")
+    )
+
+    # Crash equivalence under concurrent load, all four methods.
+    equivalence = {}
+    for method in METHODS:
+        tmp = tempfile.mkdtemp(prefix=f"e19-crash-{method}-")
+        try:
+            db = KVDatabase(
+                method=method,
+                cache_capacity=64,
+                log_dir=tmp,
+                commit_pipeline=True,
+            )
+            run_simulated_clients(
+                db, n_clients=50, ops_per_client=4, commit_every=2, workers=8
+            )
+            db.close()  # drain the pipeline before simulating the crash
+            warm, cold = cold_restart_states(db, tmp)
+            assert warm == cold, f"{method}: cold start diverged from warm"
+            equivalence[method] = {
+                "durable": warm["durable"],
+                "stable_lsn": warm["stable_lsn"],
+                "identical": True,
+            }
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    lines = table(
+        rows,
+        headers=[
+            "clients",
+            "commits",
+            "commits/s",
+            "fsyncs",
+            "windows",
+            "max_coalesced",
+            "p50_ms",
+            "p99_ms",
+        ],
+    )
+    lines += [
+        "",
+        f"pipelined vs per-session forcing at {COMPARE_TIER} clients "
+        f"(best of {TRIALS}): "
+        f"{piped.commits_per_sec:.0f} vs {forced.commits_per_sec:.0f} "
+        f"commits/s ({speedup:.1f}x, fsyncs {piped_fsyncs} vs {forced_fsyncs})",
+        "",
+        "crash equivalence under concurrent load (warm == cold start):",
+    ]
+    lines += [
+        f"  {method:15s} durable={info['durable']:<6d} "
+        f"stable_lsn={info['stable_lsn']:<6d} byte-identical"
+        for method, info in equivalence.items()
+    ]
+    emit("E19", "server fan-in: pipelined group commit", lines)
+    (RESULTS_DIR / "BENCH_server.json").write_text(
+        json.dumps(
+            {
+                "tiers": series,
+                "comparison": {
+                    "clients": COMPARE_TIER,
+                    "pipelined": piped.as_dict(),
+                    "per_session": forced.as_dict(),
+                    "pipelined_fsyncs": piped_fsyncs,
+                    "per_session_fsyncs": forced_fsyncs,
+                    "speedup": round(speedup, 2),
+                },
+                "crash_equivalence": equivalence,
+            },
+            indent=1,
+        )
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"pipelined group commit must beat per-session forcing by "
+        f">= {MIN_SPEEDUP}x at {COMPARE_TIER} clients; got {speedup:.2f}x"
+    )

@@ -28,7 +28,15 @@ Commands
     Pretty-print binary log segment files (``.wal``) and archives
     (``.arch``): one line per record with LSN, payload type, page,
     encoded size, and CRC status; a torn tail is reported with its byte
-    offset and reason.  ``demo --log-dir DIR`` produces such files.
+    offset and reason, and the exit status is 1 so scripts can gate on
+    a clean log (2 = structural error: bad header, missing files).
+    ``demo --log-dir DIR`` produces such files.
+``serve [--port N] [--log-dir DIR] [method]``
+    Run the threaded KV server: one engine, a session per connection,
+    line-delimited JSON protocol, commits coalesced by the
+    cross-session group-commit pipeline (``--per-session-force``
+    disables the pipeline, for comparison).  Prints
+    ``listening on HOST:PORT`` once the socket is bound.
 """
 
 from __future__ import annotations
@@ -287,6 +295,41 @@ def cmd_logdump(args) -> int:
             total += 1
     tail = f", {torn} torn tail(s)" if torn else ""
     print(f"{total} records in {len(paths)} file(s){tail}")
+    # A torn/corrupt tail is expected after a crash but is something a
+    # caller gating on log health must see: report it in the exit code.
+    return 1 if torn else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the threaded KV server until interrupted."""
+    from repro.engine import KVDatabase
+    from repro.server import KVServer
+
+    if args.log_dir:
+        db = KVDatabase.cold_start(
+            args.log_dir,
+            method=args.method,
+            commit_pipeline=not args.per_session_force,
+            fsync=not args.no_fsync,
+        )
+    else:
+        db = KVDatabase(
+            method=args.method, commit_pipeline=not args.per_session_force
+        )
+    server = KVServer(
+        db,
+        host=args.host,
+        port=args.port,
+        session_commit_every=args.commit_every,
+    )
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -384,6 +427,51 @@ def main(argv: list[str] | None = None) -> int:
     logdump.add_argument(
         "path", help="a segment directory, or one .wal/.arch file"
     )
+    serve = sub.add_parser(
+        "serve", help="run the threaded KV server (line-delimited JSON)"
+    )
+    serve.add_argument(
+        "method",
+        nargs="?",
+        default="physiological",
+        choices=["logical", "physical", "physiological", "generalized"],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = pick a free one, printed on start)",
+    )
+    serve.add_argument(
+        "--log-dir",
+        dest="log_dir",
+        default=None,
+        metavar="DIR",
+        help="durable log segment directory (cold-starts from it; "
+        "omit for an in-memory log)",
+    )
+    serve.add_argument(
+        "--commit-every",
+        dest="commit_every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-session auto-commit cadence (default: 1)",
+    )
+    serve.add_argument(
+        "--per-session-force",
+        dest="per_session_force",
+        action="store_true",
+        help="disable the cross-session commit pipeline (each commit "
+        "forces the log itself) — the E19 comparison baseline",
+    )
+    serve.add_argument(
+        "--no-fsync",
+        dest="no_fsync",
+        action="store_true",
+        help="skip fsync on the durable log (benchmarks only)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "scenarios": cmd_scenarios,
@@ -392,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "trace": cmd_trace,
         "logdump": cmd_logdump,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

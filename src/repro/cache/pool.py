@@ -24,10 +24,18 @@ one uninstalled node per dirty page:
   all), then minimal uninstalled nodes (installable without prerequisite
   IO).  ``install_policy="legacy"`` keeps the historical recency-only
   choice, as the ablation baseline the E16 experiment measures against.
+
+**Concurrency contract.**  Every public method runs under the pool's
+re-entrant :attr:`mutex`, held across whole check-then-act sequences
+(victim selection through flush, elision check through remove-write), so
+concurrent ``execute()`` callers never see a frame between states.  Lock
+order is pool -> scheduler -> log manager; the log manager never calls
+back into the pool, so the order is acyclic.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterator, Literal
 
 from repro.cache.scheduler import InstallScheduler, SchedulerCycleError
@@ -109,6 +117,10 @@ class BufferPool:
         self.install_policy = install_policy
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.scheduler = InstallScheduler(tracer=self.tracer)
+        # Guards the frame map and every flush/eviction decision;
+        # re-entrant because flush_all -> _flush_with_prerequisites ->
+        # flush_page all re-enter.
+        self.mutex = threading.RLock()
         self._frames: dict[str, _Frame] = {}  # insertion order = LRU order
         self._clock_hand = 0
         self.hits = 0
@@ -131,20 +143,21 @@ class BufferPool:
         the pool's own copy: mutate it, then call :meth:`mark_dirty`, or
         use :meth:`update` which does both.
         """
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.hits += 1
-            self._touch(page_id, frame)
-            return frame.page
-        self.misses += 1
-        if self.disk.has_page(page_id):
-            page = self.disk.read_page(page_id)
-        elif create:
-            page = Page(page_id)
-        else:
-            raise KeyError(f"page {page_id!r} neither cached nor on disk")
-        self._admit(page)
-        return self._frames[page_id].page
+        with self.mutex:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.hits += 1
+                self._touch(page_id, frame)
+                return frame.page
+            self.misses += 1
+            if self.disk.has_page(page_id):
+                page = self.disk.read_page(page_id)
+            elif create:
+                page = Page(page_id)
+            else:
+                raise KeyError(f"page {page_id!r} neither cached nor on disk")
+            self._admit(page)
+            return self._frames[page_id].page
 
     def update(self, page_id: str, mutate: Callable[[Page], None], create: bool = False) -> Page:
         """Fetch, mutate, and mark dirty in one step.
@@ -153,14 +166,15 @@ class BufferPool:
         reads other pages (a split-move does) can trigger evictions, and
         the page under mutation must not be the victim.
         """
-        page = self.get_page(page_id, create=create)
-        self.pin(page_id)
-        try:
-            mutate(page)
-            self.mark_dirty(page_id)
-        finally:
-            self.unpin(page_id)
-        return page
+        with self.mutex:
+            page = self.get_page(page_id, create=create)
+            self.pin(page_id)
+            try:
+                mutate(page)
+                self.mark_dirty(page_id)
+            finally:
+                self.unpin(page_id)
+            return page
 
     def mark_dirty(self, page_id: str) -> None:
         """Record that the cached copy of ``page_id`` differs from disk.
@@ -169,33 +183,41 @@ class BufferPool:
         page's live write-graph node (created on the first update of a
         generation), carrying the page's LSN tag as recLSN/lastLSN.
         """
-        frame = self._frames[page_id]
-        frame.dirty = True
-        self.scheduler.collapse(page_id, frame.page.lsn)
+        with self.mutex:
+            frame = self._frames[page_id]
+            frame.dirty = True
+            self.scheduler.collapse(page_id, frame.page.lsn)
 
     def is_dirty(self, page_id: str) -> bool:
         """Is ``page_id`` cached with unflushed changes?"""
-        frame = self._frames.get(page_id)
-        return frame is not None and frame.dirty
+        with self.mutex:
+            frame = self._frames.get(page_id)
+            return frame is not None and frame.dirty
 
     def is_cached(self, page_id: str) -> bool:
         """Is ``page_id`` resident in the pool?"""
-        return page_id in self._frames
+        with self.mutex:
+            return page_id in self._frames
 
     def dirty_page_ids(self) -> list[str]:
         """Sorted ids of every dirty cached page."""
-        return sorted(pid for pid, frame in self._frames.items() if frame.dirty)
+        with self.mutex:
+            return sorted(
+                pid for pid, frame in self._frames.items() if frame.dirty
+            )
 
     def pin(self, page_id: str) -> None:
         """Forbid eviction of ``page_id`` until unpinned (counted)."""
-        self._frames[page_id].pinned += 1
+        with self.mutex:
+            self._frames[page_id].pinned += 1
 
     def unpin(self, page_id: str) -> None:
         """Release one pin on ``page_id``."""
-        frame = self._frames[page_id]
-        if frame.pinned == 0:
-            raise CachePolicyError(f"page {page_id!r} is not pinned")
-        frame.pinned -= 1
+        with self.mutex:
+            frame = self._frames[page_id]
+            if frame.pinned == 0:
+                raise CachePolicyError(f"page {page_id!r} is not pinned")
+            frame.pinned -= 1
 
     # ------------------------------------------------------------------
     # Flush ordering constraints (= write-graph add-edge)
@@ -213,12 +235,13 @@ class BufferPool:
         prerequisites), so the obligation is already met and no edge is
         needed — the acyclicity side condition, operationalized.
         """
-        try:
-            edge = self.scheduler.add_edge(first_page, then_page)
-        except SchedulerCycleError:
-            self._flush_with_prerequisites(first_page)
-            return FlushConstraint(first_page, then_page)
-        return FlushConstraint(first_page, then_page, self.scheduler, edge)
+        with self.mutex:
+            try:
+                edge = self.scheduler.add_edge(first_page, then_page)
+            except SchedulerCycleError:
+                self._flush_with_prerequisites(first_page)
+                return FlushConstraint(first_page, then_page)
+            return FlushConstraint(first_page, then_page, self.scheduler, edge)
 
     def blocked_by(self, page_id: str) -> list[FlushConstraint]:
         """Pending constraints forbidding a flush of ``page_id``."""
@@ -260,62 +283,64 @@ class BufferPool:
         demonstrate recovery breaking when careful write ordering is
         violated.
         """
-        frame = self._frames.get(page_id)
-        if frame is None or not frame.dirty:
-            return
-        if not force:
-            blockers = self.scheduler.blockers(page_id)
-            if blockers:
+        with self.mutex:
+            frame = self._frames.get(page_id)
+            if frame is None or not frame.dirty:
+                return
+            if not force:
+                blockers = self.scheduler.blockers(page_id)
+                if blockers:
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "cache.flush_blocked", page=page_id, blockers=blockers
+                        )
+                    raise CachePolicyError(
+                        f"flush of {page_id!r} blocked until {blockers} flushed "
+                        f"(careful write ordering)"
+                    )
+            if (
+                self.install_policy == "graph"
+                and not force
+                and self.disk.has_page(page_id)
+                and frame.page.same_contents(self.disk.read_page(page_id))
+            ):
+                # Remove-write: content already stable; no IO needed.
+                node = self.scheduler.remove_write(page_id)
+                frame.dirty = False
                 if self.tracer.enabled:
                     self.tracer.event(
-                        "cache.flush_blocked", page=page_id, blockers=blockers
+                        "cache.elide",
+                        page=page_id,
+                        node=node.node_id if node is not None else None,
+                        reason="content_equals_disk",
                     )
-                raise CachePolicyError(
-                    f"flush of {page_id!r} blocked until {blockers} flushed "
-                    f"(careful write ordering)"
-                )
-        if (
-            self.install_policy == "graph"
-            and not force
-            and self.disk.has_page(page_id)
-            and frame.page.same_contents(self.disk.read_page(page_id))
-        ):
-            # Remove-write: content already stable; no IO needed.
-            node = self.scheduler.remove_write(page_id)
+                if self.on_flush is not None:
+                    self.on_flush(page_id)
+                return
+            if self.log_manager is not None and frame.page.lsn >= 0:
+                self.wal_check(frame.page.lsn)
+            self.disk.write_page(frame.page)
             frame.dirty = False
+            self.flushes += 1
+            node = self.scheduler.install(page_id, force=True)
             if self.tracer.enabled:
                 self.tracer.event(
-                    "cache.elide",
+                    "cache.flush",
                     page=page_id,
+                    lsn=frame.page.lsn,
                     node=node.node_id if node is not None else None,
-                    reason="content_equals_disk",
+                    writes=node.writes if node is not None else 0,
+                    forced=force,
                 )
             if self.on_flush is not None:
                 self.on_flush(page_id)
-            return
-        if self.log_manager is not None and frame.page.lsn >= 0:
-            self.wal_check(frame.page.lsn)
-        self.disk.write_page(frame.page)
-        frame.dirty = False
-        self.flushes += 1
-        node = self.scheduler.install(page_id, force=True)
-        if self.tracer.enabled:
-            self.tracer.event(
-                "cache.flush",
-                page=page_id,
-                lsn=frame.page.lsn,
-                node=node.node_id if node is not None else None,
-                writes=node.writes if node is not None else 0,
-                forced=force,
-            )
-        if self.on_flush is not None:
-            self.on_flush(page_id)
 
     def flush_all(self) -> None:
         """Flush every dirty page, in a constraint-respecting order."""
-        for page_id in self.dirty_page_ids():
-            if self.is_dirty(page_id):  # may have been flushed as a prereq
-                self._flush_with_prerequisites(page_id)
+        with self.mutex:
+            for page_id in self.dirty_page_ids():
+                if self.is_dirty(page_id):  # may have been flushed as a prereq
+                    self._flush_with_prerequisites(page_id)
 
     # ------------------------------------------------------------------
     # Eviction
@@ -421,12 +446,14 @@ class BufferPool:
 
     def crash(self) -> None:
         """Lose every cached page and the whole write graph (volatile)."""
-        self._frames.clear()
-        self.scheduler.reset()
+        with self.mutex:
+            self._frames.clear()
+            self.scheduler.reset()
 
     def cached_page_ids(self) -> list[str]:
         """Sorted ids of every resident page."""
-        return sorted(self._frames)
+        with self.mutex:
+            return sorted(self._frames)
 
     def __iter__(self) -> Iterator[Page]:
         for page_id in self.cached_page_ids():

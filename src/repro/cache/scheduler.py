@@ -34,10 +34,20 @@ cannot be installed — no page write backs it — so the obligation
 discharges only when the page is dirtied again and that new content
 reaches disk.  A flush that happened *before* the edge was registered
 never satisfies it.
+
+**Concurrency contract.**  Every mutation (the four §5 transformations)
+and every compound query runs under the scheduler's re-entrant mutex,
+so concurrent ``execute()`` callers see the graph transition atomically
+from one legal state to the next — a half-added edge or a half-retired
+node is never observable.  The mutex is exposed as :attr:`mutex` so the
+buffer pool can hold it across its own check-then-act sequences (victim
+selection, elision checks) instead of re-deriving them from stale
+answers.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -116,6 +126,9 @@ class InstallScheduler:
         self._next_id = 0
         self.stats = SchedulerStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Guards every mutation and compound query; re-entrant so the
+        # pool can hold it across its own check-then-act sequences.
+        self.mutex = threading.RLock()
 
     # ------------------------------------------------------------------
     # The four §5 transformations
@@ -130,17 +143,18 @@ class InstallScheduler:
         as the §5 collapse of the update's singleton node into the
         page's node.
         """
-        node = self._live.get(page_id)
-        if node is None:
-            node = self._new_node(page_id)
-        else:
-            self.stats.collapses += 1
-        node.writes += 1
-        if lsn >= 0:
-            if node.rec_lsn < 0:
-                node.rec_lsn = lsn
-            node.last_lsn = max(node.last_lsn, lsn)
-        return node
+        with self.mutex:
+            node = self._live.get(page_id)
+            if node is None:
+                node = self._new_node(page_id)
+            else:
+                self.stats.collapses += 1
+            node.writes += 1
+            if lsn >= 0:
+                if node.rec_lsn < 0:
+                    node.rec_lsn = lsn
+                node.last_lsn = max(node.last_lsn, lsn)
+            return node
 
     def add_edge(self, first_page: str, then_page: str) -> tuple[int, int]:
         """*Add an edge*: ``first_page``'s current node must install
@@ -161,32 +175,33 @@ class InstallScheduler:
             raise SchedulerCycleError(
                 f"self-ordering of {first_page!r} would be a cycle"
             )
-        first = self._live.get(first_page) or self._new_node(first_page)
-        then = self._live.get(then_page) or self._new_node(then_page)
-        if first.node_id in self._succs and self._reaches(
-            then.node_id, first.node_id
-        ):
-            self.stats.cycles_refused += 1
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "scheduler.cycle_refused", first=first_page, then=then_page
+        with self.mutex:
+            first = self._live.get(first_page) or self._new_node(first_page)
+            then = self._live.get(then_page) or self._new_node(then_page)
+            if first.node_id in self._succs and self._reaches(
+                then.node_id, first.node_id
+            ):
+                self.stats.cycles_refused += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "scheduler.cycle_refused", first=first_page, then=then_page
+                    )
+                raise SchedulerCycleError(
+                    f"edge {first_page!r} -> {then_page!r} would close a cycle"
                 )
-            raise SchedulerCycleError(
-                f"edge {first_page!r} -> {then_page!r} would close a cycle"
-            )
-        if then.node_id not in self._succs[first.node_id]:
-            self._succs[first.node_id].add(then.node_id)
-            self._preds[then.node_id].add(first.node_id)
-            self.stats.edges_added += 1
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "scheduler.add_edge",
-                    first=first_page,
-                    then=then_page,
-                    first_node=first.node_id,
-                    then_node=then.node_id,
-                )
-        return (first.node_id, then.node_id)
+            if then.node_id not in self._succs[first.node_id]:
+                self._succs[first.node_id].add(then.node_id)
+                self._preds[then.node_id].add(first.node_id)
+                self.stats.edges_added += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "scheduler.add_edge",
+                        first=first_page,
+                        then=then_page,
+                        first_node=first.node_id,
+                        then_node=then.node_id,
+                    )
+            return (first.node_id, then.node_id)
 
     def install(self, page_id: str, force: bool = False) -> PageNode | None:
         """*Install*: the page write happened; retire the node.
@@ -199,35 +214,36 @@ class InstallScheduler:
         the node's outgoing edges.  Returns the retired node (None if
         the page had no live node: a clean-page flush is a no-op).
         """
-        node = self._live.get(page_id)
-        if node is None:
-            return None
-        if node.writes == 0:
-            raise SchedulerError(
-                f"page {page_id!r} has only an empty ordering obligation; "
-                f"no page write exists to install it"
-            )
-        if not force:
-            blocking = self._preds[node.node_id]
-            if blocking:
-                pages = sorted(self._nodes[b].page_id for b in blocking)
+        with self.mutex:
+            node = self._live.get(page_id)
+            if node is None:
+                return None
+            if node.writes == 0:
                 raise SchedulerError(
-                    f"cannot install {page_id!r}: predecessors {pages} are live"
+                    f"page {page_id!r} has only an empty ordering obligation; "
+                    f"no page write exists to install it"
                 )
-        self._retire(node)
-        node.installed = True
-        self.stats.installs += 1
-        if self.tracer.enabled:
-            self.tracer.event(
-                "scheduler.install",
-                page=page_id,
-                node=node.node_id,
-                writes=node.writes,
-                rec_lsn=node.rec_lsn,
-                last_lsn=node.last_lsn,
-                forced=force,
-            )
-        return node
+            if not force:
+                blocking = self._preds[node.node_id]
+                if blocking:
+                    pages = sorted(self._nodes[b].page_id for b in blocking)
+                    raise SchedulerError(
+                        f"cannot install {page_id!r}: predecessors {pages} are live"
+                    )
+            self._retire(node)
+            node.installed = True
+            self.stats.installs += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "scheduler.install",
+                    page=page_id,
+                    node=node.node_id,
+                    writes=node.writes,
+                    rec_lsn=node.rec_lsn,
+                    last_lsn=node.last_lsn,
+                    forced=force,
+                )
+            return node
 
     def remove_write(self, page_id: str) -> PageNode | None:
         """*Remove a write*: elide the flush of ``page_id`` entirely.
@@ -241,27 +257,28 @@ class InstallScheduler:
         Requires the same no-live-predecessor condition as install (an
         ordered-before obligation is not dischargeable by skipping).
         """
-        node = self._live.get(page_id)
-        if node is None:
-            return None
-        blocking = self._preds[node.node_id]
-        if blocking:
-            pages = sorted(self._nodes[b].page_id for b in blocking)
-            raise SchedulerError(
-                f"cannot elide {page_id!r}: predecessors {pages} are live"
-            )
-        self._retire(node)
-        node.installed = True
-        self.stats.elisions += 1
-        if self.tracer.enabled:
-            self.tracer.event(
-                "scheduler.remove_write",
-                page=page_id,
-                node=node.node_id,
-                writes=node.writes,
-                rec_lsn=node.rec_lsn,
-            )
-        return node
+        with self.mutex:
+            node = self._live.get(page_id)
+            if node is None:
+                return None
+            blocking = self._preds[node.node_id]
+            if blocking:
+                pages = sorted(self._nodes[b].page_id for b in blocking)
+                raise SchedulerError(
+                    f"cannot elide {page_id!r}: predecessors {pages} are live"
+                )
+            self._retire(node)
+            node.installed = True
+            self.stats.elisions += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "scheduler.remove_write",
+                    page=page_id,
+                    node=node.node_id,
+                    writes=node.writes,
+                    rec_lsn=node.rec_lsn,
+                )
+            return node
 
     # ------------------------------------------------------------------
     # Queries (what the pool and the methods consult)
@@ -269,34 +286,40 @@ class InstallScheduler:
 
     def live_node(self, page_id: str) -> PageNode | None:
         """The page's current uninstalled node, if any."""
-        return self._live.get(page_id)
+        with self.mutex:
+            return self._live.get(page_id)
 
     def blockers(self, page_id: str) -> list[str]:
         """Pages whose live nodes must install before ``page_id`` may —
         sorted, empty when the page is flushable now."""
-        node = self._live.get(page_id)
-        if node is None:
-            return []
-        return sorted(self._nodes[b].page_id for b in self._preds[node.node_id])
+        with self.mutex:
+            node = self._live.get(page_id)
+            if node is None:
+                return []
+            return sorted(
+                self._nodes[b].page_id for b in self._preds[node.node_id]
+            )
 
     def has_edge_ids(self, first_node_id: int, then_node_id: int) -> bool:
         """Does the edge between these node generations still exist?
         (False once discharged by install/elision or lost to a crash.)"""
-        return then_node_id in self._succs.get(first_node_id, ())
+        with self.mutex:
+            return then_node_id in self._succs.get(first_node_id, ())
 
     def pending_edges(self) -> list[tuple[str, str, tuple[int, int]]]:
         """Every live ordering edge as (first_page, then_page, edge key)."""
-        result = []
-        for source_id, targets in self._succs.items():
-            for target_id in targets:
-                result.append(
-                    (
-                        self._nodes[source_id].page_id,
-                        self._nodes[target_id].page_id,
-                        (source_id, target_id),
+        with self.mutex:
+            result = []
+            for source_id, targets in self._succs.items():
+                for target_id in targets:
+                    result.append(
+                        (
+                            self._nodes[source_id].page_id,
+                            self._nodes[target_id].page_id,
+                            (source_id, target_id),
+                        )
                     )
-                )
-        return result
+            return result
 
     def rec_lsns(self) -> dict[str, int]:
         """The dirty page table (page -> recLSN), read off the graph.
@@ -304,32 +327,36 @@ class InstallScheduler:
         Obligation nodes and untagged updates carry no recLSN and are
         not the analysis pass's business, so they are omitted.
         """
-        return {
-            page_id: node.rec_lsn
-            for page_id, node in self._live.items()
-            if node.writes > 0 and node.rec_lsn >= 0
-        }
+        with self.mutex:
+            return {
+                page_id: node.rec_lsn
+                for page_id, node in self._live.items()
+                if node.writes > 0 and node.rec_lsn >= 0
+            }
 
     def set_rec_lsn(self, page_id: str, lsn: int) -> None:
         """Correct a live node's recLSN (partitioned redo adopts rebuilt
         pages wholesale, where the first-replayed LSN — not the final
         page LSN the adopting update stamps — is the true recLSN)."""
-        node = self._live.get(page_id)
-        if node is not None and lsn >= 0:
-            node.rec_lsn = lsn
-            node.last_lsn = max(node.last_lsn, lsn)
+        with self.mutex:
+            node = self._live.get(page_id)
+            if node is not None and lsn >= 0:
+                node.rec_lsn = lsn
+                node.last_lsn = max(node.last_lsn, lsn)
 
     def minimal_pages(self) -> list[str]:
         """Pages whose nodes have no live predecessors — the §5 minimal
         uninstalled nodes, i.e. everything installable right now."""
-        return sorted(
-            page_id
-            for page_id, node in self._live.items()
-            if not self._preds[node.node_id]
-        )
+        with self.mutex:
+            return sorted(
+                page_id
+                for page_id, node in self._live.items()
+                if not self._preds[node.node_id]
+            )
 
     def __len__(self) -> int:
-        return len(self._live)
+        with self.mutex:
+            return len(self._live)
 
     # ------------------------------------------------------------------
     # Integrity
@@ -337,25 +364,30 @@ class InstallScheduler:
 
     def self_check(self) -> list[str]:
         """Structural invariants; returns problems (empty = healthy)."""
-        problems: list[str] = []
-        for page_id, node in self._live.items():
-            if node.page_id != page_id:
-                problems.append(f"node #{node.node_id} filed under {page_id!r}")
-            if node.installed:
-                problems.append(f"installed node #{node.node_id} still live")
-            if node.writes > 0 and 0 <= node.last_lsn < node.rec_lsn:
-                problems.append(f"node #{node.node_id} recLSN after lastLSN")
-        if len(self._nodes) != len(self._live):
-            problems.append("node index and live-page index disagree")
-        for source_id, targets in self._succs.items():
-            for target_id in targets:
-                if target_id not in self._nodes:
-                    problems.append(f"edge to retired node #{target_id}")
-                elif source_id not in self._preds[target_id]:
-                    problems.append(f"asymmetric edge #{source_id}->#{target_id}")
-        if self._has_cycle():
-            problems.append("ordering edges contain a cycle")
-        return problems
+        with self.mutex:
+            problems: list[str] = []
+            for page_id, node in self._live.items():
+                if node.page_id != page_id:
+                    problems.append(
+                        f"node #{node.node_id} filed under {page_id!r}"
+                    )
+                if node.installed:
+                    problems.append(f"installed node #{node.node_id} still live")
+                if node.writes > 0 and 0 <= node.last_lsn < node.rec_lsn:
+                    problems.append(f"node #{node.node_id} recLSN after lastLSN")
+            if len(self._nodes) != len(self._live):
+                problems.append("node index and live-page index disagree")
+            for source_id, targets in self._succs.items():
+                for target_id in targets:
+                    if target_id not in self._nodes:
+                        problems.append(f"edge to retired node #{target_id}")
+                    elif source_id not in self._preds[target_id]:
+                        problems.append(
+                            f"asymmetric edge #{source_id}->#{target_id}"
+                        )
+            if self._has_cycle():
+                problems.append("ordering edges contain a cycle")
+            return problems
 
     # ------------------------------------------------------------------
     # Failure model
@@ -363,10 +395,11 @@ class InstallScheduler:
 
     def reset(self) -> None:
         """A crash: every node and edge is volatile and lost."""
-        self._live.clear()
-        self._nodes.clear()
-        self._preds.clear()
-        self._succs.clear()
+        with self.mutex:
+            self._live.clear()
+            self._nodes.clear()
+            self._preds.clear()
+            self._succs.clear()
 
     # ------------------------------------------------------------------
     # Internals

@@ -26,12 +26,27 @@
 The durability contract is checked by :meth:`verify_against`: after a
 crash and recovery, the visible state must equal the oracle applied to
 exactly the first ``durable_count()`` operations of the stream.
+
+**Concurrency contract.**  One ``KVDatabase`` serves many threads.
+Command execution is serialized under the engine's re-entrant mutex —
+applying a command is fast, in-memory work — but *commit waits are not*:
+with ``commit_pipeline=True`` a session's commit parks outside the
+engine lock on the cross-session group-commit pipeline
+(:class:`~repro.logmgr.pipeline.GroupCommitPipeline`), so while one
+window's fsync is on the disk, other sessions keep executing and their
+commits fold into the next window.  ``applied`` is appended under the
+engine mutex in log order, which keeps the durable-prefix oracle of
+:meth:`verify_against` valid under any interleaving.  Per-client streams
+go through :class:`Session` (from :meth:`KVDatabase.session`), which
+carries its own commit cadence and last-LSN watermark.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Sequence
 
+from repro.logmgr.pipeline import GroupCommitPipeline
 from repro.methods import METHODS, Machine, RecoveryMethodKV
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -62,6 +77,7 @@ class KVDatabase:
         log_dir=None,
         group_commit: int = 1,
         fsync: bool = True,
+        commit_pipeline: bool = False,
         machine: Machine | None = None,
     ):
         if method not in METHODS:
@@ -96,6 +112,16 @@ class KVDatabase:
         self._since_commit = 0
         self._since_checkpoint = 0
         self.applied: list[KVOp] = []
+        # Serializes command application and all cadence bookkeeping;
+        # re-entrant because checkpoint/commit re-enter from execute().
+        self.mutex = threading.RLock()
+        self._commit_pipeline_enabled = commit_pipeline
+        self._next_session_id = 0
+        self.pipeline: GroupCommitPipeline | None = (
+            GroupCommitPipeline(self.method.machine.log)
+            if commit_pipeline
+            else None
+        )
 
     @classmethod
     def cold_start(
@@ -115,6 +141,7 @@ class KVDatabase:
         truncate_on_checkpoint: bool = False,
         group_commit: int = 1,
         fsync: bool = True,
+        commit_pipeline: bool = False,
         recover: bool = True,
         tracer: Tracer | None = None,
     ) -> "KVDatabase":
@@ -159,6 +186,7 @@ class KVDatabase:
             method_options=method_options,
             truncate_on_checkpoint=truncate_on_checkpoint,
             tracer=tracer_obj,
+            commit_pipeline=commit_pipeline,
             machine=machine,
         )
         if recover:
@@ -212,6 +240,12 @@ class KVDatabase:
                 else {}
             ),
         )
+        registry.register_collector(
+            "pipeline",
+            lambda m=self: (
+                m.pipeline.stats() if m.pipeline is not None else {}
+            ),
+        )
         return registry
 
     # ------------------------------------------------------------------
@@ -219,24 +253,38 @@ class KVDatabase:
     # ------------------------------------------------------------------
 
     def execute(self, command: KVOp) -> Any:
-        """Run one command, honoring the commit/checkpoint cadence."""
-        kind = command[0]
-        if self.tracer.enabled:
-            self.tracer.event("engine.command", kind=kind, key=command[1])
-        result = self.method.apply(command)
-        if kind in ("put", "add", "copyadd", "delete"):
-            self.applied.append(command)
-            self._since_commit += 1
-            self._since_checkpoint += 1
-            if self._since_commit >= self.commit_every:
-                self.commit()
-            if (
-                self.checkpoint_every is not None
-                and self._since_checkpoint >= self.checkpoint_every
-            ):
-                self.checkpoint()
-            if self.track_theory:
-                self.theory_tracker().sync()
+        """Run one command, honoring the commit/checkpoint cadence.
+
+        Application and bookkeeping run under the engine mutex; when the
+        commit cadence fires on a pipelined database, the durability
+        *wait* happens after the lock is released, so other threads keep
+        executing while this one's window is on the disk.
+        """
+        wait_lsn: int | None = None
+        with self.mutex:
+            kind = command[0]
+            if self.tracer.enabled:
+                self.tracer.event("engine.command", kind=kind, key=command[1])
+            result = self.method.apply(command)
+            if kind in ("put", "add", "copyadd", "delete"):
+                self.applied.append(command)
+                self._since_commit += 1
+                self._since_checkpoint += 1
+                if self._since_commit >= self.commit_every:
+                    if self.pipeline is not None:
+                        wait_lsn = self.method.machine.log.next_lsn - 1
+                        self._since_commit = 0
+                    else:
+                        self.commit()
+                if (
+                    self.checkpoint_every is not None
+                    and self._since_checkpoint >= self.checkpoint_every
+                ):
+                    self.checkpoint()
+                if self.track_theory:
+                    self.theory_tracker().sync()
+        if wait_lsn is not None:
+            self.pipeline.commit(wait_lsn)
         return result
 
     def run(self, stream: Sequence[KVOp]) -> None:
@@ -244,35 +292,67 @@ class KVDatabase:
         for command in stream:
             self.execute(command)
 
+    def session(self, commit_every: int | None = None) -> "Session":
+        """A per-client command stream over this shared database.
+
+        ``commit_every`` is the session's own commit cadence (default:
+        the database's).  Sessions are cheap — a server creates one per
+        connection — and any number may execute concurrently.
+        """
+        with self.mutex:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+        return Session(
+            self,
+            session_id,
+            commit_every=(
+                commit_every if commit_every is not None else self.commit_every
+            ),
+        )
+
     def commit(self) -> None:
         """Force the log; resets the operation-batching counter.
 
         On a durable log with ``group_commit=N``, a commit *requests* a
         force but only every Nth request pays the fsync — operations of
         a not-yet-synced batch are still volatile (``durable_count``
-        says so).  Use :meth:`sync` for a hard durability point.
+        says so).  With ``commit_pipeline=True`` the request instead
+        joins the cross-session window and blocks until its records are
+        stable.  Use :meth:`sync` for a hard durability point.
         """
-        self.method.commit()
-        self._since_commit = 0
+        if self.pipeline is not None:
+            with self.mutex:
+                lsn = self.method.machine.log.next_lsn - 1
+                self._since_commit = 0
+            self.pipeline.commit(lsn)
+            return
+        with self.mutex:
+            self.method.commit()
+            self._since_commit = 0
 
     def sync(self) -> None:
         """Commit with a barrier: everything issued so far is durable on
-        return, regardless of the group-commit batch state.  On an
-        in-memory log this is identical to :meth:`commit`."""
+        return, regardless of the group-commit batch state or any
+        in-flight pipeline window (barriers serialize on the log's force
+        lock and advance the same stable watermark).  On an in-memory
+        log this is identical to :meth:`commit`."""
+        with self.mutex:
+            self._since_commit = 0
         self.method.machine.log.flush(barrier=True)
-        self._since_commit = 0
 
     def checkpoint(self) -> None:
         """Take a method checkpoint; resets the cadence counter."""
-        span = self.tracer.span("checkpoint", method=self.method_name)
-        self.method.checkpoint()
-        retired = 0
-        if self.truncate_on_checkpoint:
-            retired = self.method.truncate_log()
-        self._since_checkpoint = 0
-        span.end(
-            stable_lsn=self.method.machine.log.stable_lsn, records_retired=retired
-        )
+        with self.mutex:
+            span = self.tracer.span("checkpoint", method=self.method_name)
+            self.method.checkpoint()
+            retired = 0
+            if self.truncate_on_checkpoint:
+                retired = self.method.truncate_log()
+            self._since_checkpoint = 0
+            span.end(
+                stable_lsn=self.method.machine.log.stable_lsn,
+                records_retired=retired,
+            )
 
     def get(self, key: str) -> Any:
         """Read ``key`` through the method's cache."""
@@ -301,20 +381,39 @@ class KVDatabase:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Lose the cache and the unforced log tail."""
-        if self.tracer.enabled:
-            self.tracer.event(
-                "engine.crash",
-                stable_lsn=self.method.machine.log.stable_lsn,
-                lost_tail=self.method.machine.log.next_lsn
-                - 1
-                - self.method.machine.log.stable_lsn,
-            )
-        self.method.crash()
+        """Lose the cache and the unforced log tail.
+
+        An active commit pipeline is *aborted*, not drained — the crash
+        must lose the volatile tail, not flush it on the way down.
+        """
+        if self.pipeline is not None:
+            self.pipeline.close(abort=True)
+            self.pipeline = None
+        with self.mutex:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "engine.crash",
+                    stable_lsn=self.method.machine.log.stable_lsn,
+                    lost_tail=self.method.machine.log.next_lsn
+                    - 1
+                    - self.method.machine.log.stable_lsn,
+                )
+            self.method.crash()
 
     def recover(self) -> None:
-        """Run the method's recovery procedure."""
-        self.method.recover()
+        """Run the method's recovery procedure (and restart the commit
+        pipeline, if this database was configured with one)."""
+        with self.mutex:
+            self.method.recover()
+            if self._commit_pipeline_enabled and self.pipeline is None:
+                self.pipeline = GroupCommitPipeline(self.method.machine.log)
+
+    def close(self) -> None:
+        """Shut down cleanly: drain the commit pipeline (one last window
+        covers every appended record) and stop its committer thread."""
+        if self.pipeline is not None:
+            self.pipeline.close()
+            self.pipeline = None
 
     def crash_and_recover(self) -> None:
         """Crash, then recover — one full fault cycle."""
@@ -380,3 +479,97 @@ class KVDatabase:
             assert label not in stats, f"report key collision on {label!r}"
             stats[label] = value
         return stats
+
+
+class Session:
+    """One client's command stream against a shared :class:`KVDatabase`.
+
+    A session owns nothing but cadence state: a commit counter and the
+    LSN of its last mutation.  Application is serialized by the engine
+    mutex; :meth:`commit` waits for durability of *this session's*
+    records — through the cross-session pipeline when the database has
+    one (many sessions, one fsync per window), otherwise by forcing the
+    log itself (the per-session-forcing baseline the E19 benchmark
+    measures against).  Mutation order in ``db.applied`` is the engine
+    mutex's acquisition order, which is also log order, so the
+    durable-prefix oracle remains exact under any interleaving.
+    """
+
+    def __init__(self, db: KVDatabase, session_id: int, commit_every: int = 1):
+        self.db = db
+        self.session_id = session_id
+        self.commit_every = max(1, commit_every)
+        self.ops = 0
+        self.commits = 0
+        self.last_lsn = -1
+        self._since_commit = 0
+
+    def execute(self, command: KVOp) -> Any:
+        """Apply one command; auto-commits on this session's cadence."""
+        db = self.db
+        with db.mutex:
+            kind = command[0]
+            if db.tracer.enabled:
+                db.tracer.event(
+                    "engine.command",
+                    kind=kind,
+                    key=command[1],
+                    session=self.session_id,
+                )
+            result = db.method.apply(command)
+            if kind in ("put", "add", "copyadd", "delete"):
+                db.applied.append(command)
+                self.last_lsn = db.method.machine.log.next_lsn - 1
+                self.ops += 1
+                self._since_commit += 1
+                db._since_checkpoint += 1
+                if (
+                    db.checkpoint_every is not None
+                    and db._since_checkpoint >= db.checkpoint_every
+                ):
+                    db.checkpoint()
+                if db.track_theory:
+                    db.theory_tracker().sync()
+        if self._since_commit >= self.commit_every:
+            self.commit()
+        return result
+
+    def run(self, stream: Sequence[KVOp]) -> None:
+        """Execute every command of ``stream`` in order."""
+        for command in stream:
+            self.execute(command)
+
+    def commit(self) -> int:
+        """Block until this session's records are stable; returns the
+        stable LSN observed on return (>= this session's last LSN)."""
+        self._since_commit = 0
+        self.commits += 1
+        db = self.db
+        if self.last_lsn < 0:
+            return db.method.machine.log.stable_lsn
+        if db.pipeline is not None:
+            return db.pipeline.commit(self.last_lsn)
+        # Per-session forcing: this session pays its own force (and,
+        # modulo the manager's group_commit counter, its own fsync).
+        with db.mutex:
+            db.method.commit()
+        return db.method.machine.log.stable_lsn
+
+    def sync(self) -> int:
+        """Hard barrier: everything appended so far — all sessions' —
+        is durable on return."""
+        self._since_commit = 0
+        db = self.db
+        db.method.machine.log.flush(barrier=True)
+        return db.method.machine.log.stable_lsn
+
+    def get(self, key: str) -> Any:
+        """Read ``key`` through the shared method cache."""
+        with self.db.mutex:
+            return self.db.method.get(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(#{self.session_id} ops={self.ops} "
+            f"commits={self.commits} last_lsn={self.last_lsn})"
+        )

@@ -34,16 +34,19 @@ from repro.logmgr.manager import (
     LogSegment,
     WalViolation,
 )
+from repro.logmgr.pipeline import GroupCommitPipeline, PipelineClosed
 
 __all__ = [
     "CheckpointRecord",
     "CodecError",
     "DEFAULT_SEGMENT_SIZE",
     "FileLogStore",
+    "GroupCommitPipeline",
     "LogEntry",
     "LogManager",
     "LogRecord",
     "LogSegment",
+    "PipelineClosed",
     "LogicalRedo",
     "MultiPageRedo",
     "PageAction",

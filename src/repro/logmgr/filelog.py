@@ -31,11 +31,21 @@ cleans up whatever partial frame the page cache happened to flush.
 Sealed segment files double as the **archive**: :meth:`archive_segment`
 renames a truncated segment to ``.arch`` instead of deleting it, so log
 truncation and media-recovery archiving are the same binary format.
+
+**Concurrency contract.**  The store is safe under the manager's
+locking discipline: any number of threads may :meth:`stage` (they hold
+the manager mutex), while the flush path (:meth:`write_up_to` +
+:meth:`sync`) is serialized by the manager's force lock.  The store's
+own lock guards the staged-frame buffer and the handle list, so a
+segment rotation (``begin_segment``, called by an appender) never races
+the flusher's iteration — and the ``fsync`` syscall itself runs with no
+lock held, so staging continues while the disk works.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 from repro.logmgr.codec import (
@@ -92,6 +102,7 @@ class FileLogStore:
         # ``fsync=False`` keeps the file layout but skips the syscall —
         # for tests and benches that want the format without the wait.
         self.fsync_enabled = fsync
+        self._lock = threading.RLock()
         self._handles: list[_SegmentHandle] = []
         self._staged: list[tuple[int, int, bytes]] = []  # (lsn, base, frame)
         self._dir_dirty = False  # a file was created since the last sync
@@ -132,7 +143,8 @@ class FileLogStore:
 
     def segment_base_lsns(self) -> list[int]:
         """Base LSNs of the (non-archived) segment files, oldest first."""
-        return [handle.base_lsn for handle in self._handles]
+        with self._lock:
+            return [handle.base_lsn for handle in self._handles]
 
     def is_empty(self) -> bool:
         """True when the store has no segment files yet."""
@@ -148,57 +160,84 @@ class FileLogStore:
         fh = path.open("ab", buffering=0)
         header = encode_file_header(base_lsn)
         fh.write(header)
-        self._handles.append(
-            _SegmentHandle(path, base_lsn, fh, len(header), 0)
-        )
-        self.segments_created += 1
-        self._dir_dirty = True
+        with self._lock:
+            self._handles.append(
+                _SegmentHandle(path, base_lsn, fh, len(header), 0)
+            )
+            self.segments_created += 1
+            self._dir_dirty = True
 
     def stage(self, lsn: int, frame: bytes) -> None:
         """Buffer one encoded frame for the current (newest) segment."""
-        if not self._handles:
-            raise CodecError("stage() before begin_segment()")
-        self._staged.append((lsn, self._handles[-1].base_lsn, frame))
-        self.appends += 1
-        self.staged_bytes += len(frame)
+        with self._lock:
+            if not self._handles:
+                raise CodecError("stage() before begin_segment()")
+            self._staged.append((lsn, self._handles[-1].base_lsn, frame))
+            self.appends += 1
+            self.staged_bytes += len(frame)
 
     def write_up_to(self, lsn: int) -> None:
         """Hand staged frames with LSN <= ``lsn`` to the OS, in order,
         one ``write`` per touched segment file.  Written bytes are still
-        volatile until :meth:`sync`."""
-        if not self._staged or self._staged[0][0] > lsn:
-            return
-        cut = 0
-        while cut < len(self._staged) and self._staged[cut][0] <= lsn:
-            cut += 1
-        batch, self._staged = self._staged[:cut], self._staged[cut:]
-        by_base = {handle.base_lsn: handle for handle in self._handles}
-        index = 0
-        while index < cut:
-            base = batch[index][1]
-            chunk = []
-            while index < cut and batch[index][1] == base:
-                chunk.append(batch[index][2])
-                index += 1
-            handle = by_base[base]
-            blob = b"".join(chunk)
-            handle.fh.write(blob)
-            handle.size += len(blob)
-            self.frames_written += len(chunk)
-            self.bytes_written += len(blob)
-            self.staged_bytes -= len(blob)
+        volatile until :meth:`sync`.  Callers serialize on the manager's
+        force lock; the store lock covers the staged-buffer cut so
+        concurrent :meth:`stage` calls never lose frames."""
+        with self._lock:
+            if not self._staged or self._staged[0][0] > lsn:
+                return
+            cut = 0
+            while cut < len(self._staged) and self._staged[cut][0] <= lsn:
+                cut += 1
+            batch, self._staged = self._staged[:cut], self._staged[cut:]
+            by_base = {handle.base_lsn: handle for handle in self._handles}
+            index = 0
+            while index < cut:
+                base = batch[index][1]
+                chunk = []
+                while index < cut and batch[index][1] == base:
+                    chunk.append(batch[index][2])
+                    index += 1
+                handle = by_base[base]
+                if handle.fh is None:
+                    # Belt and braces for the stage-then-rotate race: if
+                    # a sealed handle was closed with frames still bound
+                    # for it, reopen rather than lose the write.
+                    handle.fh = handle.path.open("ab", buffering=0)
+                blob = b"".join(chunk)
+                handle.fh.write(blob)
+                handle.size += len(blob)
+                self.frames_written += len(chunk)
+                self.bytes_written += len(blob)
+                self.staged_bytes -= len(blob)
 
     def sync(self) -> None:
         """The durability point: ``fsync`` every file with unsynced
         bytes (and the directory when files were created), then close
-        sealed files that will never be written again."""
-        for handle in self._handles:
-            if handle.size > handle.synced_size:
-                if self.fsync_enabled and handle.fh is not None:
-                    os.fsync(handle.fh.fileno())
-                    self.fsyncs += 1
-                handle.synced_size = handle.size
-        if self._dir_dirty:
+        sealed files that will never be written again.
+
+        The syscalls run with the store lock *released*: only the
+        dirty-set snapshot and the watermark updates are locked, so
+        appenders can keep staging (and rotating segments) while the
+        disk is busy.  ``synced_size`` advances only to each file's size
+        as captured *before* its fsync — bytes written mid-sync stay
+        volatile until the next one, which is exactly the crash rule.
+        """
+        with self._lock:
+            dirty = [
+                (handle, handle.size)
+                for handle in self._handles
+                if handle.size > handle.synced_size
+            ]
+            dir_dirty = self._dir_dirty
+            self._dir_dirty = False
+        for handle, size_at_sync in dirty:
+            if self.fsync_enabled and handle.fh is not None:
+                os.fsync(handle.fh.fileno())
+                self.fsyncs += 1
+            with self._lock:
+                if size_at_sync > handle.synced_size:
+                    handle.synced_size = size_at_sync
+        if dir_dirty:
             if self.fsync_enabled:
                 dir_fd = os.open(self.directory, os.O_RDONLY)
                 try:
@@ -206,12 +245,23 @@ class FileLogStore:
                 finally:
                     os.close(dir_fd)
                 self.fsyncs += 1
-            self._dir_dirty = False
-        for handle in self._handles[:-1]:
-            if handle.fh is not None and handle.size == handle.synced_size:
-                handle.fh.close()
-                handle.fh = None
-        self.syncs += 1
+        with self._lock:
+            # A sealed segment may still be the target of staged frames:
+            # an append can stage into segment A and rotate to B before
+            # any flush covers A's tail, so "fully synced" alone is not
+            # "done being written".  Closing such a handle would break
+            # the next write_up_to (the window's target LSN can trail
+            # the staging front by a whole rotation).
+            staged_bases = {base for _, base, _ in self._staged}
+            for handle in self._handles[:-1]:
+                if (
+                    handle.fh is not None
+                    and handle.size == handle.synced_size
+                    and handle.base_lsn not in staged_bases
+                ):
+                    handle.fh.close()
+                    handle.fh = None
+            self.syncs += 1
 
     # ------------------------------------------------------------------
     # Failure model
@@ -219,7 +269,13 @@ class FileLogStore:
 
     def crash(self) -> None:
         """Lose everything volatile: staged frames and written-but-
-        unsynced file tails (files with nothing synced disappear)."""
+        unsynced file tails (files with nothing synced disappear).
+        Callers quiesce the write path first (the manager's crash takes
+        the force lock), so no fsync is in flight here."""
+        with self._lock:
+            self._crash_locked()
+
+    def _crash_locked(self) -> None:
         self._staged.clear()
         self.staged_bytes = 0
         survivors: list[_SegmentHandle] = []
@@ -333,16 +389,19 @@ class FileLogStore:
     def archive_segment(self, base_lsn: int) -> Path:
         """Retire a segment file by renaming it ``.arch`` — the archive
         sink and the log share one binary format, so media recovery can
-        scan archived segments with the same decoder."""
-        handle = self._handle_for(base_lsn)
-        if handle.fh is not None:
-            handle.fh.close()
-            handle.fh = None
-        target = handle.path.with_suffix(ARCHIVE_SUFFIX)
-        handle.path.rename(target)
-        self._handles.remove(handle)
-        self.segments_archived += 1
-        return target
+        scan archived segments with the same decoder.  Only legal for a
+        fully-synced segment (the manager checks), so this never races
+        an in-flight fsync of the same file."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+            if handle.fh is not None:
+                handle.fh.close()
+                handle.fh = None
+            target = handle.path.with_suffix(ARCHIVE_SUFFIX)
+            handle.path.rename(target)
+            self._handles.remove(handle)
+            self.segments_archived += 1
+            return target
 
     def archived_paths(self) -> list[Path]:
         """Archived segment files, oldest first."""
@@ -368,10 +427,11 @@ class FileLogStore:
 
     def close(self) -> None:
         """Close every open file handle (idempotent)."""
-        for handle in self._handles:
-            if handle.fh is not None:
-                handle.fh.close()
-                handle.fh = None
+        with self._lock:
+            for handle in self._handles:
+                if handle.fh is not None:
+                    handle.fh.close()
+                    handle.fh = None
 
     def __repr__(self) -> str:
         return (

@@ -33,10 +33,23 @@ re-streamed from their files on demand, so long-log memory stays
 O(segment); :meth:`LogManager.open` rebuilds a manager from the segment
 files alone (cold start), applying the codec's torn-tail rule to
 whatever a crash left behind.
+
+**Concurrency contract.**  The manager is re-entrant: any number of
+threads may append, force, and read concurrently.  Two locks carry the
+contract — the *manager mutex* guards LSN assignment, segment mutation,
+and every watermark, so "one LSN authority" survives concurrent
+appenders; the *force lock* serializes the write+fsync path, so exactly
+one force is in flight at a time while appends keep flowing (the
+``fsync`` itself runs outside the manager mutex).  ``stable_lsn`` is
+monotone under any interleaving — a force only ever advances it — and
+:meth:`wait_stable` blocks a caller until the watermark covers an LSN,
+which is the primitive the cross-session commit pipeline
+(:mod:`repro.logmgr.pipeline`) wakes waiters with.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from typing import Any, Callable, Iterator
 
@@ -135,6 +148,15 @@ class LogManager:
         self.group_commit = group_commit
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._store = store
+        # The manager mutex: LSN assignment, segment mutation, watermark
+        # updates, checkpoint/truncation bookkeeping.  RLock because the
+        # write path re-enters (ensure_stable -> flush, append -> seal).
+        self._mutex = threading.RLock()
+        # Waiters parked on a target LSN (commit pipeline, sync barriers)
+        # are woken whenever the stable watermark advances.
+        self._stable_cv = threading.Condition(self._mutex)
+        # One force in flight at a time; appends proceed during the fsync.
+        self._force_lock = threading.RLock()
         self._segments: list[LogSegment] = [LogSegment(0)]
         self._next_lsn = 0
         self._stable_lsn = -1
@@ -263,22 +285,25 @@ class LogManager:
         This is the one place in the whole system where an LSN is born.
         On a durable log the record is also encoded to its wire frame
         and staged (volatile until the next force reaches an fsync).
+        Thread-safe: concurrent appenders serialize on the manager
+        mutex, so LSNs stay dense and monotone under any interleaving.
         """
-        tail = self._segments[-1]
-        if len(tail) >= self.segment_size:
-            tail = LogSegment(self._next_lsn)
-            self._segments.append(tail)
+        with self._mutex:
+            tail = self._segments[-1]
+            if len(tail) >= self.segment_size:
+                tail = LogSegment(self._next_lsn)
+                self._segments.append(tail)
+                if self._store is not None:
+                    self._store.begin_segment(self._next_lsn)
+            record = LogRecord(lsn=self._next_lsn, payload=payload, labels=labels)
             if self._store is not None:
-                self._store.begin_segment(self._next_lsn)
-        record = LogRecord(lsn=self._next_lsn, payload=payload, labels=labels)
-        if self._store is not None:
-            frame = encode_record(record)
-            object.__setattr__(record, "_encoded_size", len(frame))
-            self._store.stage(record.lsn, frame)
-        tail.records.append(record)
-        self._next_lsn += 1
-        if isinstance(payload, CheckpointRecord):
-            self._checkpoint_lsns.append(record.lsn)
+                frame = encode_record(record)
+                object.__setattr__(record, "_encoded_size", len(frame))
+                self._store.stage(record.lsn, frame)
+            tail.records.append(record)
+            self._next_lsn += 1
+            if isinstance(payload, CheckpointRecord):
+                self._checkpoint_lsns.append(record.lsn)
         if self.tracer.enabled:
             self.tracer.event(
                 "log.append", lsn=record.lsn, payload=type(payload).__name__
@@ -293,42 +318,78 @@ class LogManager:
         commit: only every ``group_commit``-th force (or a
         ``barrier=True`` force, used by the write-ahead rule) pays the
         fsync and advances the stable watermark — N commits, one fsync.
+
+        Thread-safe: concurrent forces serialize on the force lock
+        (exactly one write+fsync in flight), the watermark advance is
+        monotone (a slower force can never drag ``stable_lsn``
+        backwards), and the ``fsync`` itself runs outside the manager
+        mutex so appends keep flowing while it waits on the disk.
         """
-        target = self._next_lsn - 1 if up_to_lsn is None else min(up_to_lsn, self._next_lsn - 1)
-        if self._store is None:
-            if target > self._stable_lsn:
+        with self._mutex:
+            target = (
+                self._next_lsn - 1
+                if up_to_lsn is None
+                else min(up_to_lsn, self._next_lsn - 1)
+            )
+            if self._store is None:
+                if target > self._stable_lsn:
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "log.force", from_lsn=self._stable_lsn, stable_lsn=target
+                        )
+                    self._stable_lsn = target
+                    self.forced_flushes += 1
+                    self._stable_cv.notify_all()
+                return
+        with self._force_lock:
+            with self._mutex:
+                if target > self._written_lsn:
+                    self._store.write_up_to(target)
+                    self._written_lsn = target
+                if self._written_lsn <= self._stable_lsn:
+                    return
+                self._pending_forces += 1
+                if not (barrier or self._pending_forces >= self.group_commit):
+                    return
+                coalesced = self._pending_forces
+                sync_target = self._written_lsn
+                from_lsn = self._stable_lsn
+            # The durability point: no manager mutex held, so appenders
+            # stage new frames while the disk does its work.  The force
+            # lock keeps any second flusher out until we finish.
+            self._store.sync()
+            with self._mutex:
+                self._pending_forces = 0
                 if self.tracer.enabled:
                     self.tracer.event(
-                        "log.force", from_lsn=self._stable_lsn, stable_lsn=target
+                        "log.force", from_lsn=from_lsn, stable_lsn=sync_target
                     )
-                self._stable_lsn = target
+                    self.tracer.event(
+                        "log.fsync",
+                        stable_lsn=sync_target,
+                        coalesced=coalesced,
+                        barrier=barrier,
+                    )
+                if sync_target > self._stable_lsn:
+                    self._stable_lsn = sync_target
                 self.forced_flushes += 1
-            return
-        if target > self._written_lsn:
-            self._store.write_up_to(target)
-            self._written_lsn = target
-        if self._written_lsn <= self._stable_lsn:
-            return
-        self._pending_forces += 1
-        if barrier or self._pending_forces >= self.group_commit:
-            coalesced = self._pending_forces
-            self._store.sync()
-            self._pending_forces = 0
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "log.force",
-                    from_lsn=self._stable_lsn,
-                    stable_lsn=self._written_lsn,
-                )
-                self.tracer.event(
-                    "log.fsync",
-                    stable_lsn=self._written_lsn,
-                    coalesced=coalesced,
-                    barrier=barrier,
-                )
-            self._stable_lsn = self._written_lsn
-            self.forced_flushes += 1
-            self._evict_synced()
+                self._evict_synced()
+                self._stable_cv.notify_all()
+
+    def wait_stable(self, lsn: int, timeout: float | None = None) -> bool:
+        """Block until the stable watermark covers ``lsn``.
+
+        The waiter half of cross-session group commit: a session parks
+        here after handing its force to the committer, and is woken when
+        some force (anyone's) advances ``stable_lsn`` past its records.
+        Returns False on timeout — the caller decides whether that is a
+        protocol error or a retry.  Never wakes early: the predicate is
+        re-checked under the manager mutex after every notification.
+        """
+        with self._stable_cv:
+            return self._stable_cv.wait_for(
+                lambda: self._stable_lsn >= lsn, timeout=timeout
+            )
 
     def _evict_synced(self) -> None:
         """Drop decoded records of sealed, fully-stable segments — their
@@ -361,7 +422,8 @@ class LogManager:
 
     def segments(self) -> list[LogSegment]:
         """The retained segments, oldest first (a read-only view)."""
-        return list(self._segments)
+        with self._mutex:
+            return list(self._segments)
 
     def segment_containing(self, lsn: int) -> LogSegment:
         """The retained segment holding ``lsn`` (KeyError if truncated or
@@ -372,10 +434,11 @@ class LogManager:
         return self._segments[index]
 
     def _segment_index(self, lsn: int) -> int | None:
-        if lsn < self.head_lsn or lsn >= self._next_lsn:
-            return None
-        bases = [segment.base_lsn for segment in self._segments]
-        return bisect_right(bases, lsn) - 1
+        with self._mutex:
+            if lsn < self.head_lsn or lsn >= self._next_lsn:
+                return None
+            bases = [segment.base_lsn for segment in self._segments]
+            return bisect_right(bases, lsn) - 1
 
     def segment_stable_boundary(self, lsn: int) -> int:
         """The highest stable LSN within the segment holding ``lsn``.
@@ -386,13 +449,14 @@ class LogManager:
         boundary is what :meth:`repro.cache.BufferPool.flush_page`
         consults for the write-ahead rule.
         """
-        if lsn < self.head_lsn:
-            return lsn
-        if lsn >= self._next_lsn:
-            # Beyond the tail: nothing there can ever be stable yet.
-            return self._stable_lsn
-        segment = self.segment_containing(lsn)
-        return min(segment.end_lsn, self._stable_lsn)
+        with self._mutex:
+            if lsn < self.head_lsn:
+                return lsn
+            if lsn >= self._next_lsn:
+                # Beyond the tail: nothing there can ever be stable yet.
+                return self._stable_lsn
+            segment = self.segment_containing(lsn)
+            return min(segment.end_lsn, self._stable_lsn)
 
     def wal_check(self, page_lsn: int) -> None:
         """Raise :class:`WalViolation` unless every record up to
@@ -434,8 +498,9 @@ class LogManager:
         Recovery starts its analysis scan here: everything a crash
         survivor needs lies in the checkpoint suffix.
         """
-        index = bisect_right(self._checkpoint_lsns, self._stable_lsn)
-        return self._checkpoint_lsns[index - 1] if index else -1
+        with self._mutex:
+            index = bisect_right(self._checkpoint_lsns, self._stable_lsn)
+            return self._checkpoint_lsns[index - 1] if index else -1
 
     def set_archive_sink(self, sink: Callable[[LogSegment], None] | None) -> None:
         """Install a callable receiving each truncated segment (an
@@ -456,6 +521,10 @@ class LogManager:
         rather than deleted — truncation and archiving share one binary
         format.  Returns the number of records retired.
         """
+        with self._mutex:
+            return self._truncate_until_locked(lsn)
+
+    def _truncate_until_locked(self, lsn: int) -> int:
         retired = 0
         cutoff = min(lsn - 1, self._stable_lsn)
         while len(self._segments) > 1 and self._segments[0].end_lsn <= cutoff:
@@ -504,8 +573,11 @@ class LogManager:
         """Stream one segment's records from index ``offset`` — straight
         from memory when resident, re-decoded from the segment file in
         O(segment) memory when evicted."""
-        if segment.records is not None:
-            yield from segment.records[offset:]
+        # Snapshot the records reference: a concurrent force may evict
+        # the segment (records -> None) between the check and the slice.
+        records = segment.records
+        if records is not None:
+            yield from records[offset:]
         else:
             yield from self._store.scan_segment(
                 segment.base_lsn, start_lsn=segment.base_lsn + offset
@@ -553,8 +625,9 @@ class LogManager:
     def entry(self, lsn: int) -> LogRecord:
         """The record with exactly this LSN (must be retained)."""
         segment = self.segment_containing(lsn)
-        if segment.records is not None:
-            return segment.records[lsn - segment.base_lsn]
+        records = segment.records
+        if records is not None:
+            return records[lsn - segment.base_lsn]
         for record in self._store.scan_segment(segment.base_lsn, start_lsn=lsn):
             return record
         raise KeyError(f"LSN {lsn} missing from segment file {segment.base_lsn}")
@@ -565,6 +638,10 @@ class LogManager:
         primitive every method shares.  Evicted segments answer from
         their cached per-type counts (they are fully stable by
         construction), so this never touches a file."""
+        with self._mutex:
+            return self._stable_count_of_locked(*payload_types)
+
+    def _stable_count_of_locked(self, *payload_types: type) -> int:
         count = sum(
             n
             for kind, n in self._archived_type_counts.items()
@@ -589,6 +666,10 @@ class LogManager:
 
     def stable_bytes(self) -> int:
         """Bytes in the stable prefix (truncated segments included)."""
+        with self._mutex:
+            return self._stable_bytes_locked()
+
+    def _stable_bytes_locked(self) -> int:
         total = self._archived_bytes
         for segment in self._segments:
             if segment.base_lsn > self._stable_lsn:
@@ -605,13 +686,14 @@ class LogManager:
     def total_bytes(self) -> int:
         """Bytes in the whole log, volatile tail and truncated segments
         included."""
-        total = self._archived_bytes
-        for segment in self._segments:
-            if segment.records is None:
-                total += segment.stat_bytes
-            else:
-                total += sum(record.size_bytes() for record in segment.records)
-        return total
+        with self._mutex:
+            total = self._archived_bytes
+            for segment in self._segments:
+                if segment.records is None:
+                    total += segment.stat_bytes
+                else:
+                    total += sum(record.size_bytes() for record in segment.records)
+            return total
 
     # ------------------------------------------------------------------
     # Failure model
@@ -623,7 +705,14 @@ class LogManager:
         On a durable log this also discards staged frames and truncates
         each segment file back to its last-synced length — exactly what
         the kernel does to the page cache when the process dies.
+        Quiesces the write path: the force lock is taken first, so an
+        in-flight fsync completes (or its batch dies) before the tail is
+        dropped.
         """
+        with self._force_lock, self._mutex:
+            self._crash_locked()
+
+    def _crash_locked(self) -> None:
         while self._segments and self._segments[-1].base_lsn > self._stable_lsn:
             if len(self._segments) == 1:
                 self._segments[-1].records.clear()
@@ -649,7 +738,8 @@ class LogManager:
 
     def __len__(self) -> int:
         """Records the log accounts for (truncated segments included)."""
-        return self._archived_records + sum(len(s) for s in self._segments)
+        with self._mutex:
+            return self._archived_records + sum(len(s) for s in self._segments)
 
     def __repr__(self) -> str:
         return (

@@ -25,6 +25,7 @@ collisions.  The :class:`MetricsRegistry` unifies them:
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Callable, Mapping
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
@@ -45,19 +46,21 @@ def _check_name(name: str) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (increments are atomic)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0: counters only go up)."""
         if amount < 0:
             raise MetricsError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}={self.value})"
@@ -97,7 +100,7 @@ class Histogram:
     ``<name>.min``, ``<name>.max``.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -105,13 +108,17 @@ class Histogram:
         self.total = 0
         self.min: Any = None
         self.max: Any = None
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
-        """Record one observation."""
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        """Record one observation (atomic: the four summary fields move
+        together, so a concurrent snapshot never sees a half-applied
+        observation)."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     def mean(self) -> float:
         """The mean observation (0.0 when empty)."""

@@ -24,6 +24,7 @@ benchmark measures exactly this.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from typing import Any, Iterable, Iterator
 
@@ -174,9 +175,13 @@ class Tracer:
 
     One tracer is threaded through a whole machine (engine, log manager,
     buffer pool, scheduler, methods) so all their records interleave in
-    one totally ordered stream.  Not thread-safe by design — the traced
-    paths are the sequential ones; concurrent harnesses (partitioned
-    redo) emit summary events from the coordinating thread only.
+    one totally ordered stream.  Emission is atomic under an internal
+    lock — ``seq`` assignment and the sink write happen together, so
+    concurrent sessions produce a gap-free, duplicate-free sequence (the
+    stream's *order* across threads is whatever the lock ordained, which
+    is the only total order there is).  The lock is on the enabled path
+    only; the ``if tracer.enabled:`` guard still reduces a disabled site
+    to one attribute load plus a branch.
     """
 
     enabled = True
@@ -185,55 +190,60 @@ class Tracer:
         self.sink = sink if sink is not None else RingBufferSink()
         self._seq = 0
         self._stack: list[int] = []
+        self._lock = threading.Lock()
         self.records_emitted = 0
 
     # -- emission ------------------------------------------------------
 
     def event(self, name: str, **fields: Any) -> None:
         """Emit a point event attached to the innermost open span."""
-        self._emit(
-            {
-                "seq": self._seq,
-                "type": "event",
-                "name": name,
-                "span": self._stack[-1] if self._stack else None,
-                "fields": fields,
-            }
-        )
+        with self._lock:
+            self._emit(
+                {
+                    "seq": self._seq,
+                    "type": "event",
+                    "name": name,
+                    "span": self._stack[-1] if self._stack else None,
+                    "fields": fields,
+                }
+            )
 
     def span(self, name: str, **fields: Any) -> Span:
         """Open a span (child of the innermost open span) and return it."""
-        span_id = self._seq
-        self._emit(
-            {
-                "seq": self._seq,
-                "type": "span_start",
-                "name": name,
-                "id": span_id,
-                "parent": self._stack[-1] if self._stack else None,
-                "fields": fields,
-            }
-        )
-        self._stack.append(span_id)
+        with self._lock:
+            span_id = self._seq
+            self._emit(
+                {
+                    "seq": self._seq,
+                    "type": "span_start",
+                    "name": name,
+                    "id": span_id,
+                    "parent": self._stack[-1] if self._stack else None,
+                    "fields": fields,
+                }
+            )
+            self._stack.append(span_id)
         return Span(self, span_id, name)
 
     def _end_span(self, span: Span, fields: dict) -> None:
         # Out-of-order ends are tolerated (remove wherever it sits): an
         # exception unwinding through nested context managers may close
         # an outer span while an inner one was abandoned by a crash.
-        if span.span_id in self._stack:
-            self._stack.remove(span.span_id)
-        self._emit(
-            {
-                "seq": self._seq,
-                "type": "span_end",
-                "name": span.name,
-                "id": span.span_id,
-                "fields": fields,
-            }
-        )
+        with self._lock:
+            if span.span_id in self._stack:
+                self._stack.remove(span.span_id)
+            self._emit(
+                {
+                    "seq": self._seq,
+                    "type": "span_end",
+                    "name": span.name,
+                    "id": span.span_id,
+                    "fields": fields,
+                }
+            )
 
     def _emit(self, record: dict) -> None:
+        # Caller holds self._lock: seq advance and sink write are atomic.
         self._seq += 1
         self.records_emitted += 1
         self.sink.emit(record)

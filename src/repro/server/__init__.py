@@ -1,0 +1,23 @@
+"""A threaded network front-end over one shared :class:`KVDatabase`.
+
+The server (:mod:`repro.server.server`) multiplexes many client
+connections onto one engine: each connection gets its own
+:class:`~repro.engine.kv.Session`, command application serializes on the
+engine mutex, and commits fan into the cross-session group-commit
+pipeline — which is where the throughput comes from (one fsync per
+window, not per client).  The protocol is line-delimited JSON, small
+enough to drive with ``nc`` and exact enough for the crash tests: a
+``commit`` reply is a durability promise the post-``kill -9`` oracle
+holds the server to.
+
+:mod:`repro.server.client` is the matching blocking client;
+:mod:`repro.server.harness` drives thousands of *simulated* clients
+(sessions multiplexed over a bounded worker pool, in-process or over
+sockets) and measures commit throughput — the E19 experiment.
+"""
+
+from repro.server.client import KVClient
+from repro.server.harness import LoadResult, run_simulated_clients
+from repro.server.server import KVServer
+
+__all__ = ["KVClient", "KVServer", "LoadResult", "run_simulated_clients"]

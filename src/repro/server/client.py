@@ -1,0 +1,89 @@
+"""A small blocking client for the line-delimited JSON KV protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+
+class ServerError(RuntimeError):
+    """The server replied ``{"ok": false, ...}``."""
+
+
+class KVClient:
+    """One connection to a :class:`~repro.server.server.KVServer`.
+
+    Blocking, one request in flight at a time — which is exactly a
+    *session*: the server binds this connection to one engine session,
+    so :meth:`commit` is a durability barrier for this client's own
+    mutations.  Not thread-safe; give each thread its own client.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def request(self, **payload: Any) -> dict[str, Any]:
+        """Send one request object; return the reply, raising on error."""
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok"):
+            raise ServerError(reply.get("error", "unknown server error"))
+        return reply
+
+    # Convenience verbs -------------------------------------------------
+
+    def put(self, key: str, value: int) -> int:
+        """Write ``key``; returns the LSN of the logged mutation."""
+        return self.request(op="put", key=key, value=value)["lsn"]
+
+    def add(self, key: str, value: int) -> int:
+        """Read-modify-write increment; returns the mutation's LSN."""
+        return self.request(op="add", key=key, value=value)["lsn"]
+
+    def copyadd(self, key: str, src: str, value: int) -> int:
+        """Cross-key read-then-write (logical/physical methods only)."""
+        return self.request(op="copyadd", key=key, src=src, value=value)["lsn"]
+
+    def delete(self, key: str) -> int:
+        """Delete ``key``; returns the mutation's LSN."""
+        return self.request(op="delete", key=key)["lsn"]
+
+    def get(self, key: str) -> Any:
+        """Read ``key`` (``None`` when absent)."""
+        return self.request(op="get", key=key)["value"]
+
+    def commit(self) -> int:
+        """Block until this session's mutations are durable."""
+        return self.request(op="commit")["stable_lsn"]
+
+    def sync(self) -> int:
+        """Hard barrier over every session's mutations."""
+        return self.request(op="sync")["stable_lsn"]
+
+    def stats(self) -> dict[str, Any]:
+        """Server + engine counters (sessions, pipeline, method stats)."""
+        return self.request(op="stats")["stats"]
+
+    def ping(self) -> bool:
+        """Liveness check; True when the server answers."""
+        return bool(self.request(op="ping").get("pong"))
+
+    def close(self) -> None:
+        """Say goodbye (best effort) and close the socket."""
+        try:
+            self._sock.sendall(b'{"op": "quit"}\n')
+        except OSError:
+            pass
+        self._rfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "KVClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

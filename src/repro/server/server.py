@@ -1,0 +1,155 @@
+"""The KV server: one engine, many connections, one commit pipeline.
+
+Protocol: one JSON object per line, UTF-8, ``\\n``-terminated.
+
+Requests::
+
+    {"op": "put", "key": "a", "value": 1}
+    {"op": "get", "key": "a"}
+    {"op": "add", "key": "a", "value": 5}
+    {"op": "delete", "key": "a"}
+    {"op": "copyadd", "key": "a", "src": "b", "value": 5}
+    {"op": "commit"}          # this session's records durable on reply
+    {"op": "sync"}            # hard barrier over every session's records
+    {"op": "stats"}           # engine + pipeline counters
+    {"op": "ping"}
+
+Replies are ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``;
+a malformed line gets an error reply rather than a dropped connection.
+
+**Concurrency contract.**  Each connection runs on its own thread
+(:class:`socketserver.ThreadingTCPServer`) and owns one engine
+:class:`~repro.engine.kv.Session`; every engine interaction goes
+through the session, whose contract (engine-mutex application, commit
+waits outside the lock) makes the handler safe without any locking of
+its own.  ``commit`` replies only after the session's last LSN is
+stable — under the pipeline, that is one shared fsync per window, so a
+thousand clients committing concurrently cost a handful of fsyncs.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any
+
+from repro.engine.kv import KVDatabase
+
+# Mutations a connection may issue; everything else is a control op.
+MUTATIONS = ("put", "add", "copyadd", "delete")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        """One connection's loop: bind a session, answer line by line."""
+        server: KVServer = self.server  # type: ignore[assignment]
+        session = server.db.session(commit_every=server.session_commit_every)
+        with server.track(session):
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    reply = self._dispatch(session, json.loads(line))
+                except Exception as exc:  # noqa: BLE001 — reply, don't die
+                    reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                self.wfile.write(json.dumps(reply).encode() + b"\n")
+                self.wfile.flush()
+                if reply.get("bye"):
+                    return
+
+    def _dispatch(self, session, request: dict) -> dict[str, Any]:
+        op = request.get("op")
+        key = request.get("key")
+        if op in MUTATIONS:
+            if op == "copyadd":
+                value = (request["src"], request["value"])
+            elif op == "delete":
+                value = None
+            else:
+                value = request["value"]
+            session.execute((op, key, value))
+            return {"ok": True, "lsn": session.last_lsn}
+        if op == "get":
+            return {"ok": True, "value": session.get(key)}
+        if op == "commit":
+            return {"ok": True, "stable_lsn": session.commit()}
+        if op == "sync":
+            return {"ok": True, "stable_lsn": session.sync()}
+        if op == "stats":
+            server: KVServer = self.server  # type: ignore[assignment]
+            return {"ok": True, "stats": server.stats()}
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "quit":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class KVServer(socketserver.ThreadingTCPServer):
+    """A thread-per-connection front-end over one :class:`KVDatabase`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        db: KVDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        session_commit_every: int = 1,
+    ):
+        self.db = db
+        self.session_commit_every = session_commit_every
+        self._sessions_lock = threading.Lock()
+        self.sessions_served = 0
+        self.sessions_active = 0
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port is real even when 0 was asked."""
+        return self.socket.getsockname()[:2]
+
+    def track(self, session):
+        """Context manager counting one connection's session lifetime."""
+        server = self
+
+        class _Track:
+            def __enter__(self):
+                with server._sessions_lock:
+                    server.sessions_served += 1
+                    server.sessions_active += 1
+                return session
+
+            def __exit__(self, *exc):
+                with server._sessions_lock:
+                    server.sessions_active -= 1
+                return False
+
+        return _Track()
+
+    def stats(self) -> dict[str, Any]:
+        """Server-level counters plus the engine's full report."""
+        with self._sessions_lock:
+            stats: dict[str, Any] = {
+                "sessions_served": self.sessions_served,
+                "sessions_active": self.sessions_active,
+            }
+        stats.update(self.db.report())
+        return stats
+
+    def serve_background(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread; returns it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="kv-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop accepting, close the socket, drain the commit pipeline."""
+        self.shutdown()
+        self.server_close()
+        self.db.close()

@@ -50,6 +50,34 @@ class TestFileLogStore:
         store.write_up_to(0)
         assert path.stat().st_size == FILE_HEADER_SIZE + len(frame)
 
+    def test_sync_keeps_handle_open_while_frames_staged(self, tmp_path):
+        """Regression: an append can stage into a segment and rotate
+        before any flush covers that tail, so a sealed fully-synced
+        segment may still owe staged bytes.  sync() must not close its
+        handle out from under the next write_up_to (the group-commit
+        committer hit exactly this under fan-in: the window's target
+        LSN trailed the staging front by a rotation)."""
+        store = FileLogStore(tmp_path)
+        store.begin_segment(0)
+        frames = [
+            encode_record(LogRecord(lsn=lsn, payload=LogicalRedo(("a",))))
+            for lsn in range(2)
+        ]
+        store.stage(0, frames[0])
+        store.stage(1, frames[1])
+        store.begin_segment(2)  # rotate with LSN 1 still staged for seg 0
+        store.write_up_to(0)
+        store.sync()  # seg 0 is sealed and fully synced — but still owed
+        handle = store._handle_for(0)
+        assert handle.fh is not None  # not closed: staged frames remain
+        store.write_up_to(1)  # raised AttributeError before the fix
+        store.sync()
+        assert [r.lsn for r in iter_file_records(tmp_path / segment_filename(0))] == [
+            0,
+            1,
+        ]
+        store.close()
+
     def test_stage_before_begin_raises(self, tmp_path):
         store = FileLogStore(tmp_path)
         with pytest.raises(CodecError, match="begin_segment"):

@@ -405,3 +405,67 @@ class TestInstrumentCounters:
         assert "log.forces" in repr(Counter("log.forces"))
         assert "g.x" in repr(Gauge("g.x"))
         assert "h.y" in repr(Histogram("h.y"))
+
+
+class TestThreadSafety:
+    """Satellite of the concurrency PR: tracer seq assignment and
+    instrument increments are atomic under concurrent emitters."""
+
+    def test_tracer_seq_gap_free_across_threads(self):
+        import threading
+
+        tracer = Tracer(RingBufferSink(capacity=100_000))
+        n_threads, per_thread = 8, 500
+
+        def emitter(i):
+            for j in range(per_thread):
+                tracer.event("t.event", thread=i, j=j)
+
+        threads = [
+            threading.Thread(target=emitter, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert tracer.records_emitted == total
+        seqs = sorted(r["seq"] for r in tracer.sink)
+        assert seqs == list(range(total))  # dense: no gaps, no duplicates
+
+    def test_counter_increments_do_not_race(self):
+        import threading
+
+        counter = Counter("x.y")
+        n_threads, per_thread = 8, 2000
+
+        def bump():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_histogram_observations_do_not_race(self):
+        import threading
+
+        hist = Histogram("x.y")
+        n_threads, per_thread = 8, 1000
+
+        def observe():
+            for v in range(per_thread):
+                hist.observe(v)
+
+        threads = [threading.Thread(target=observe) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == n_threads * per_thread
+        assert hist.total == n_threads * sum(range(per_thread))
+        assert hist.min == 0
+        assert hist.max == per_thread - 1

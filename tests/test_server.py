@@ -1,0 +1,164 @@
+"""Tests for the threaded server front-end, its client, and the
+simulated-client harness (the E19 load path)."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.engine import KVDatabase
+from repro.server import KVClient, KVServer, run_simulated_clients
+from repro.server.client import ServerError
+from repro.server.harness import client_key
+
+
+@pytest.fixture()
+def served_db(tmp_path):
+    db = KVDatabase(
+        method="physiological", log_dir=tmp_path / "wal", commit_pipeline=True
+    )
+    server = KVServer(db)
+    server.serve_background()
+    yield db, server
+    server.close()
+
+
+class TestProtocol:
+    def test_put_commit_get_roundtrip(self, served_db):
+        _, server = served_db
+        with KVClient(*server.address) as client:
+            assert client.ping()
+            client.put("a", 1)
+            client.add("a", 5)
+            stable = client.commit()
+            assert stable >= 0
+            assert client.get("a") == 6
+            client.delete("a")
+            client.commit()
+            assert client.get("a") is None
+
+    def test_copyadd_and_sync(self, tmp_path):
+        # copyadd is cross-key, which physiological refuses; serve the
+        # logical method for this one.
+        db = KVDatabase(
+            method="logical", log_dir=tmp_path, commit_pipeline=True
+        )
+        server = KVServer(db)
+        server.serve_background()
+        try:
+            with KVClient(*server.address) as client:
+                client.put("src", 10)
+                client.copyadd("dst", "src", 7)
+                client.sync()
+                assert client.get("dst") == 17
+        finally:
+            server.close()
+
+    def test_unknown_op_is_error_reply_not_disconnect(self, served_db):
+        _, server = served_db
+        with KVClient(*server.address) as client:
+            with pytest.raises(ServerError, match="unknown op"):
+                client.request(op="frobnicate")
+            assert client.ping()  # connection survived
+
+    def test_malformed_json_is_error_reply(self, served_db):
+        _, server = served_db
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+        assert reply["ok"] is False
+
+    def test_stats_expose_sessions_and_pipeline(self, served_db):
+        _, server = served_db
+        with KVClient(*server.address) as client:
+            client.put("a", 1)
+            client.commit()
+            stats = client.stats()
+        assert stats["sessions_served"] >= 1
+        assert stats["pipeline_commits"] >= 1
+        assert stats["method"] == "physiological"
+
+
+class TestConcurrentClients:
+    def test_disjoint_keyspaces_commit_concurrently(self, served_db):
+        db, server = served_db
+        n_clients, errors = 8, []
+
+        def one_client(i):
+            try:
+                with KVClient(*server.address) as client:
+                    for j in range(4):
+                        client.put(client_key(i, j), 100 * i + j)
+                    client.commit()
+                    for j in range(4):
+                        assert client.get(client_key(i, j)) == 100 * i + j
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one_client, args=(i,))
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert server.sessions_served >= n_clients
+        db.verify_against()  # applied order == log order under concurrency
+
+    def test_committed_data_survives_cold_start(self, tmp_path):
+        wal = tmp_path / "wal"
+        db = KVDatabase(
+            method="physiological", log_dir=wal, commit_pipeline=True
+        )
+        server = KVServer(db)
+        server.serve_background()
+        with KVClient(*server.address) as client:
+            client.put("durable", 42)
+            client.commit()
+        server.close()
+        reborn = KVDatabase.cold_start(wal, method="physiological")
+        assert reborn.get("durable") == 42
+
+
+class TestHarness:
+    def test_simulated_clients_all_durable(self, tmp_path):
+        db = KVDatabase(
+            method="physiological", log_dir=tmp_path, commit_pipeline=True
+        )
+        result = run_simulated_clients(
+            db, n_clients=25, ops_per_client=4, workers=8
+        )
+        assert result.clients == 25
+        assert result.ops == 100
+        assert result.commits == 50  # commit_every=2 + final commit folds in
+        assert result.commits_per_sec > 0
+        assert db.durable_count() == 100  # every client committed at the end
+        db.verify_against()
+        db.close()
+
+    def test_harness_works_without_pipeline(self, tmp_path):
+        """The per-session-forcing baseline path the E19 bench compares
+        against."""
+        db = KVDatabase(
+            method="physiological", log_dir=tmp_path, commit_pipeline=False
+        )
+        result = run_simulated_clients(
+            db, n_clients=10, ops_per_client=2, workers=4
+        )
+        assert result.commits == 10
+        assert db.durable_count() == 20
+        db.verify_against()
+        db.close()
+
+    def test_pipeline_coalesces_under_harness_load(self, tmp_path):
+        db = KVDatabase(
+            method="physiological", log_dir=tmp_path, commit_pipeline=True
+        )
+        run_simulated_clients(db, n_clients=40, ops_per_client=2, workers=16)
+        stats = db.pipeline.stats()
+        assert stats["windows"] + stats["fast_path"] < stats["commits"]
+        db.close()

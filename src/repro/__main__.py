@@ -237,17 +237,30 @@ def _payload_pages(payload) -> str:
 
 
 def cmd_logdump(args) -> int:
-    """Pretty-print binary segment files, torn tails included."""
+    """Pretty-print binary segment files, torn tails included.
+
+    Streams each file through the shared zero-copy frame walker (the
+    same scanner recovery uses): the file is mmapped, sealed segments
+    are verified with one sidecar-seal CRC pass, and records decode
+    lazily one at a time — a multi-gigabyte segment dumps in O(record)
+    memory.
+    """
     from pathlib import Path
 
     from repro.logmgr.codec import (
-        FILE_HEADER_SIZE,
         CodecError,
+        LazyRecord,
         TornTail,
         decode_file_header,
-        decode_frame,
+        iter_record_views,
+        verify_seal,
     )
-    from repro.logmgr.filelog import ARCHIVE_SUFFIX, SEGMENT_SUFFIX
+    from repro.logmgr.filelog import (
+        ARCHIVE_SUFFIX,
+        SEGMENT_SUFFIX,
+        _map_buffer,
+        read_seal,
+    )
 
     target = Path(args.path)
     if target.is_dir():
@@ -265,18 +278,33 @@ def cmd_logdump(args) -> int:
         return 2
     total = torn = 0
     for path in paths:
-        buf = path.read_bytes()
+        buf, close = _map_buffer(path)
         try:
-            base_lsn = decode_file_header(buf)
-        except CodecError as exc:
-            print(f"{path.name}: bad header ({exc})", file=sys.stderr)
-            return 2
-        kind = "archive" if path.suffix == ARCHIVE_SUFFIX else "segment"
-        print(f"== {path.name} ({kind}, base_lsn={base_lsn}, {len(buf)}B) ==")
-        offset = FILE_HEADER_SIZE
-        while offset < len(buf):
             try:
-                record, next_offset = decode_frame(buf, offset)
+                base_lsn = decode_file_header(buf)
+            except CodecError as exc:
+                print(f"{path.name}: bad header ({exc})", file=sys.stderr)
+                return 2
+            kind = "archive" if path.suffix == ARCHIVE_SUFFIX else "segment"
+            sealed = verify_seal(buf, read_seal(path))
+            seal = ", sealed" if sealed is not None else ""
+            print(
+                f"== {path.name} ({kind}, base_lsn={base_lsn}, {len(buf)}B{seal}) =="
+            )
+            if sealed is not None:
+                views = iter_record_views(buf, end=sealed[0], verify_crc=False)
+            else:
+                views = iter_record_views(buf)
+            try:
+                for lsn, lo, hi in views:
+                    record = LazyRecord(lsn, bytes(buf[lo:hi]))
+                    print(
+                        f"  lsn={record.lsn:<6d} "
+                        f"type={type(record.payload).__name__:<18s} "
+                        f"page={_payload_pages(record.payload):<12s} "
+                        f"size={record.size_bytes()}B crc=ok"
+                    )
+                    total += 1
             except TornTail as tear:
                 print(
                     f"  torn tail at byte {tear.offset}: {tear.reason} "
@@ -284,15 +312,8 @@ def cmd_logdump(args) -> int:
                     f"part of the log)"
                 )
                 torn += 1
-                break
-            print(
-                f"  lsn={record.lsn:<6d} "
-                f"type={type(record.payload).__name__:<18s} "
-                f"page={_payload_pages(record.payload):<12s} "
-                f"size={next_offset - offset}B crc=ok"
-            )
-            offset = next_offset
-            total += 1
+        finally:
+            close()
     tail = f", {torn} torn tail(s)" if torn else ""
     print(f"{total} records in {len(paths)} file(s){tail}")
     # A torn/corrupt tail is expected after a crash but is something a

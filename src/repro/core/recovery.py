@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.conflict import ConflictGraph
 from repro.core.model import Operation, State
+from repro.logmgr.codec import LazyRecord
 from repro.logmgr.manager import LogManager
 from repro.logmgr.records import LogRecord
 
@@ -82,7 +83,7 @@ class Log:
         self._installation: Any = None
         self._graphed_through = start_lsn
         for item in records:
-            if isinstance(item, LogRecord):
+            if isinstance(item, (LogRecord, LazyRecord)):
                 self._manager.append(item.payload, **item.labels)
             else:
                 self._manager.append(item)

@@ -22,10 +22,13 @@ from repro.logmgr.records import (
 )
 from repro.logmgr.codec import (
     CodecError,
+    LazyRecord,
     TornTail,
     decode_frame,
     encode_record,
+    encode_window,
     iter_frames,
+    iter_record_views,
 )
 from repro.logmgr.filelog import FileLogStore
 from repro.logmgr.manager import (
@@ -42,6 +45,7 @@ __all__ = [
     "DEFAULT_SEGMENT_SIZE",
     "FileLogStore",
     "GroupCommitPipeline",
+    "LazyRecord",
     "LogEntry",
     "LogManager",
     "LogRecord",
@@ -56,5 +60,7 @@ __all__ = [
     "WalViolation",
     "decode_frame",
     "encode_record",
+    "encode_window",
     "iter_frames",
+    "iter_record_views",
 ]

@@ -13,6 +13,29 @@ to a segment file)::
 
     body = u8 format_version | u64 lsn | tagged payload | tagged labels
 
+One frame per record, one CRC per record — the per-frame CRC is what
+gives the torn-tail rule *record* granularity, so the batched append
+path (:func:`encode_window`) keeps it: it packs a whole group-commit
+window of frames into one pre-grown ``bytearray`` for one downstream
+``write``, byte-identical to concatenated :func:`encode_record`
+frames.  What it batches away is everything that made per-record
+encoding slow in Python — per-record ``bytes`` allocations, repeated
+string/tag encoding (memoized), and per-record syscalls.
+
+A finished segment may be **sealed** by a 20-byte sidecar file
+(``<segment>.seal``)::
+
+    "RSEA" | u32 crc32(frame region) | u64 region_length | u32 records
+
+letting the happy-path reader verify one checksum for the whole segment
+(a single C-speed ``crc32`` pass) and then walk frames trusting their
+length fields.  The seal lives *next to* the segment, never inside it,
+so segment bytes — and therefore torn-tail semantics — are identical
+with or without one.  A missing, stale (wrong region length), or
+damaged seal degrades to the per-frame CRC walk: same records, same
+tears, just slower.  That is also the whole v1-compatibility story —
+pre-seal segment directories simply have no sidecars.
+
 The **torn-tail rule**: a frame whose length field runs past the end of
 the file, or whose body fails the CRC check, ends the stable log — the
 decoder reports the tear and refuses to look further, because bytes
@@ -58,6 +81,23 @@ FRAME_PREFIX_SIZE = _FRAME_PREFIX.size
 
 _BODY_PREFIX = struct.Struct("<BQ")
 
+# Both prefixes at once — the scan hot loop reads a frame's length,
+# CRC, format version, and LSN with a single 17-byte unpack.
+_FRAME_AND_BODY_PREFIX = struct.Struct("<IIBQ")
+
+# Segment seal (sidecar ``.seal`` file contents): magic, CRC32 of the
+# frame region, region length, record count.
+SEAL_MAGIC = b"RSEA"
+_SEAL = struct.Struct("<4sIQI")
+SEGMENT_SEAL_SIZE = _SEAL.size
+
+# Per-record framing overhead around the ``payload | labels`` region:
+# the 8-byte frame prefix plus the 9-byte ``version | lsn`` body prefix.
+# All byte accounting (``LogRecord.size_bytes``, ``stable_bytes``) is
+# ``region + RECORD_OVERHEAD`` — exactly the frame size — so warm and
+# cold starts agree without re-encoding anything.
+RECORD_OVERHEAD = FRAME_PREFIX_SIZE + _BODY_PREFIX.size  # 17
+
 # ----------------------------------------------------------------------
 # Tags
 # ----------------------------------------------------------------------
@@ -88,6 +128,14 @@ PAYLOAD_NAMES = {
     PAYLOAD_LOGICAL: "LogicalRedo",
     PAYLOAD_MULTIPAGE: "MultiPageRedo",
     PAYLOAD_CHECKPOINT: "CheckpointRecord",
+}
+
+PAYLOAD_CLASSES = {
+    PAYLOAD_PHYSICAL: PhysicalRedo,
+    PAYLOAD_PHYSIOLOGICAL: PhysiologicalRedo,
+    PAYLOAD_LOGICAL: LogicalRedo,
+    PAYLOAD_MULTIPAGE: MultiPageRedo,
+    PAYLOAD_CHECKPOINT: CheckpointRecord,
 }
 
 _I64_MIN = -(1 << 63)
@@ -345,9 +393,68 @@ def encode_record(record: LogRecord) -> bytes:
     return _FRAME_PREFIX.pack(len(body), zlib.crc32(body)) + bytes(body)
 
 
+def _value_size(value: Any) -> int:
+    """The exact byte count :func:`encode_value` would append — computed
+    arithmetically, without materializing anything.  Branch order mirrors
+    :func:`encode_value` so subclasses take the same path."""
+    if value is None or value is True or value is False:
+        return 1
+    if isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            return 9
+        return 5 + (value.bit_length() + 8) // 8
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, str):
+        return 5 + len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return 5 + len(value)
+    if isinstance(value, (tuple, list)):
+        return 5 + sum(_value_size(item) for item in value)
+    if isinstance(value, dict):
+        return 5 + sum(
+            _value_size(key) + _value_size(item) for key, item in value.items()
+        )
+    raise CodecError(f"value of type {type(value).__name__!r} has no wire encoding")
+
+
+def _payload_size(payload: Any) -> int:
+    """The exact byte count of ``u8 tag`` plus the payload body."""
+    tag = payload_tag(payload)
+    if tag == PAYLOAD_PHYSICAL:
+        return (
+            1
+            + _value_size(payload.page_id)
+            + _value_size(payload.cells)
+            + _value_size(payload.whole_page)
+        )
+    if tag == PAYLOAD_PHYSIOLOGICAL:
+        return (
+            1
+            + _value_size(payload.page_id)
+            + _value_size(payload.action.kind)
+            + _value_size(payload.action.args)
+        )
+    if tag == PAYLOAD_LOGICAL:
+        return 1 + _value_size(payload.description)
+    if tag == PAYLOAD_MULTIPAGE:
+        total = 1 + _value_size(payload.read_page_ids) + 4
+        for page_id, actions in payload.writes.items():
+            total += _value_size(page_id) + 4
+            for action in actions:
+                total += _value_size(action.kind) + _value_size(action.args)
+        return total
+    return 1 + _value_size(payload.data)  # PAYLOAD_CHECKPOINT
+
+
 def encoded_size(record: LogRecord) -> int:
-    """The exact on-wire byte count of ``record``'s frame."""
-    return len(encode_record(record))
+    """The exact on-wire byte count of ``record``'s v1 frame.
+
+    Computed analytically (no encoding, no CRC) — the batch encoder's
+    pre-sizing and the log's byte accounting both lean on this being
+    exactly ``len(encode_record(record))``, which a property test pins.
+    """
+    return RECORD_OVERHEAD + _payload_size(record.payload) + _value_size(record.labels)
 
 
 def is_encodable(payload: Any) -> bool:
@@ -439,3 +546,375 @@ def iter_frames(buf: bytes, offset: int = 0) -> Iterator[LogRecord]:
         except TornTail:
             return
         yield record
+
+
+# ----------------------------------------------------------------------
+# Batched window encoding (the append hot path)
+# ----------------------------------------------------------------------
+
+# The window encoder is the append hot path: one pass, one pre-sized
+# bytearray, one crc32 for the whole window.  Repeated strings (page
+# ids, action kinds, keys) dominate real record streams, so their tagged
+# encodings are memoized; the caches are bounded and shared process-wide
+# (they hold pure functions of their keys, so sharing is safe).
+_STR_CACHE: dict[str, bytes] = {}
+_PHYSIO_PREFIX_CACHE: dict[str, bytes] = {}
+_STR_CACHE_LIMIT = 4096
+_CACHED_STR_MAX = 128
+_TUPLE_HEADERS = [_U8.pack(_V_TUPLE) + _U32.pack(n) for n in range(9)]
+_EMPTY_DICT = _U8.pack(_V_DICT) + _U32.pack(0)
+_INT_TAG = _U8.pack(_V_INT)
+_PHYSIO_TAG = _U8.pack(PAYLOAD_PHYSIOLOGICAL)
+_PHYSICAL_TAG = _U8.pack(PAYLOAD_PHYSICAL)
+_LOGICAL_TAG = _U8.pack(PAYLOAD_LOGICAL)
+
+
+def _cached_str(value: str, cache: dict, prefix: bytes = b"") -> bytes:
+    """Memoized ``prefix + tagged-string`` encoding (bounded cache)."""
+    raw = value.encode("utf-8")
+    encoded = prefix + _U8.pack(_V_STR) + _U32.pack(len(raw)) + raw
+    if len(raw) <= _CACHED_STR_MAX:
+        if len(cache) >= _STR_CACHE_LIMIT:
+            cache.clear()
+        cache[value] = encoded
+    return encoded
+
+
+_FRAME_PAD = bytes(FRAME_PREFIX_SIZE)
+
+
+def encode_window(records) -> bytearray:
+    """Encode a dense LSN window of records as one packed byte blob.
+
+    The append hot path: every frame in the window lands in one
+    pre-grown ``bytearray`` (one allocation curve, one downstream
+    ``write``) instead of one ``bytes`` object per record.  Each record
+    still gets its own v1 frame with its own CRC — per-frame CRCs are
+    what give the torn-tail rule *record* granularity (a tear inside a
+    window must only lose the frames at and after the tear, and the
+    surviving prefix must stay appendable without rewriting any frame
+    header) — but the framing, tagging, and string encoding are batched
+    and memoized, which is where the per-record Python cost actually
+    lived.  Output bytes are identical to concatenated
+    :func:`encode_record` frames.
+
+    Raises :class:`CodecError` for an unencodable payload or a
+    non-dense window (the manager hands over contiguous slices of its
+    pending tail, so density is an invariant worth asserting cheaply).
+    """
+    n = len(records)
+    if n == 0:
+        raise CodecError("cannot encode an empty window")
+    base_lsn = records[0].lsn
+    if records[-1].lsn - base_lsn != n - 1:
+        raise CodecError(
+            f"window is not LSN-dense: [{base_lsn}..{records[-1].lsn}] "
+            f"for {n} records"
+        )
+    out = bytearray()
+    ln = len
+    sc, pc = _STR_CACHE, _PHYSIO_PREFIX_CACHE
+    i64 = _I64.pack
+    tuple_headers = _TUPLE_HEADERS
+    body_prefix = _BODY_PREFIX.pack
+    frame_fixup = _FRAME_PREFIX.pack_into
+    crc32 = zlib.crc32
+    setter = object.__setattr__
+    for record in records:
+        frame_start = ln(out)
+        out += _FRAME_PAD
+        out += body_prefix(FORMAT_VERSION, record.lsn)
+        payload = record.payload
+        kind_of = type(payload)
+        if kind_of is PhysiologicalRedo:
+            # tag + page_id, then action kind, then the args tuple —
+            # each piece memoized or packed straight into ``out``.
+            pid = payload.page_id
+            try:
+                out += pc[pid]
+            except (KeyError, TypeError):
+                if type(pid) is str:
+                    out += _cached_str(pid, pc, _PHYSIO_TAG)
+                else:
+                    out += _PHYSIO_TAG
+                    encode_value(pid, out)
+            action = payload.action
+            kind = action.kind
+            try:
+                out += sc[kind]
+            except (KeyError, TypeError):
+                if type(kind) is str:
+                    out += _cached_str(kind, sc)
+                else:
+                    encode_value(kind, out)
+            args = action.args
+            n_args = ln(args)
+            if n_args < 9:
+                out += tuple_headers[n_args]
+            else:
+                out += _U8.pack(_V_TUPLE) + _U32.pack(n_args)
+            for item in args:
+                t = type(item)
+                if t is int:
+                    try:
+                        out += _INT_TAG
+                        out += i64(item)
+                    except struct.error:
+                        del out[-1:]
+                        encode_value(item, out)
+                elif t is str:
+                    try:
+                        out += sc[item]
+                    except KeyError:
+                        out += _cached_str(item, sc)
+                else:
+                    encode_value(item, out)
+        elif kind_of is PhysicalRedo:
+            out += _PHYSICAL_TAG
+            pid = payload.page_id
+            if type(pid) is str:
+                try:
+                    out += sc[pid]
+                except KeyError:
+                    out += _cached_str(pid, sc)
+            else:
+                encode_value(pid, out)
+            encode_value(payload.cells, out)
+            encode_value(payload.whole_page, out)
+        elif kind_of is LogicalRedo:
+            out += _LOGICAL_TAG
+            encode_value(payload.description, out)
+        else:
+            encode_payload(payload, out)
+        labels = record.labels
+        if labels:
+            encode_value(labels, out)
+        else:
+            out += _EMPTY_DICT
+        body_start = frame_start + FRAME_PREFIX_SIZE
+        body_len = ln(out) - body_start
+        frame_fixup(
+            out, frame_start, body_len, crc32(memoryview(out)[body_start:])
+        )
+        # Cache the record's exact frame size while we have it for
+        # free — eviction and byte accounting read it without
+        # re-measuring.
+        setter(record, "_encoded_size", body_len + FRAME_PREFIX_SIZE)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Segment seals (sidecar checksum files)
+# ----------------------------------------------------------------------
+
+def encode_seal(region_crc: int, region_len: int, count: int) -> bytes:
+    """The 20-byte seal of a finished segment file (sidecar contents)."""
+    return _SEAL.pack(SEAL_MAGIC, region_crc, region_len, count)
+
+
+def parse_seal(blob: bytes | None) -> tuple[int, int, int] | None:
+    """Parse exactly the 20 seal bytes: ``(crc, region_len, count)``,
+    or None when they are absent, missized, or missing the magic."""
+    if blob is None or len(blob) != SEGMENT_SEAL_SIZE or blob[:4] != SEAL_MAGIC:
+        return None
+    _magic, crc, region_len, count = _SEAL.unpack(blob)
+    return crc, region_len, count
+
+
+def verify_seal(buf, blob: bytes | None) -> tuple[int, int] | None:
+    """Check a segment buffer against its sidecar seal in one C-speed
+    ``crc32`` pass: returns ``(region_end, count)`` when the seal is
+    present, covers exactly this buffer, and its CRC matches, else None
+    (no seal, a stale one — the file grew or shrank since sealing — or
+    a damaged one; the caller falls back to the per-frame CRC walk)."""
+    parsed = parse_seal(blob)
+    if parsed is None:
+        return None
+    crc, region_len, count = parsed
+    end = FILE_HEADER_SIZE + region_len
+    if end != len(buf):
+        return None
+    if zlib.crc32(memoryview(buf)[FILE_HEADER_SIZE:end]) != crc:
+        return None
+    return end, count
+
+
+# ----------------------------------------------------------------------
+# The zero-copy frame walker (the one shared scanner)
+# ----------------------------------------------------------------------
+
+def _raise_tear(buf, offset: int, end: int, verify_crc: bool):
+    """Diagnose a frame too short for the combined 17-byte prefix unpack
+    (only possible in the last few bytes of a region), raising the same
+    :class:`TornTail` the check-by-check walk would have."""
+    if end - offset < FRAME_PREFIX_SIZE:
+        raise TornTail(offset, "truncated frame prefix")
+    length, crc = _FRAME_PREFIX.unpack_from(buf, offset)
+    body_start = offset + FRAME_PREFIX_SIZE
+    if end - body_start < length:
+        raise TornTail(
+            offset, f"frame body truncated ({end - body_start}/{length} bytes)"
+        )
+    if (
+        verify_crc
+        and zlib.crc32(memoryview(buf)[body_start : body_start + length]) != crc
+    ):
+        raise TornTail(offset, "crc mismatch")
+    # The combined unpack failed with >= 8 bytes of frame present, so the
+    # body stops short of a full record header.
+    raise TornTail(offset, "frame body truncated (no record header)")
+
+
+def walk_frames(buf, offset: int = FILE_HEADER_SIZE, end: int | None = None,
+                verify_crc: bool = True):
+    """Walk wire frames structurally: yields ``(lsn, body_lo, body_hi)``
+    per frame, where ``buf[body_lo:body_hi]`` is the record's
+    ``payload | labels`` region (after the frame and body prefixes).
+    No record bytes are copied or decoded — the caller slices lazily.
+
+    Raises :class:`TornTail` at a damaged or truncated frame and
+    :class:`CodecError` for well-checksummed garbage.  With
+    ``verify_crc=False`` (a caller already verified the segment footer)
+    the walk trusts length fields and touches only the 17 prefix bytes
+    per record.
+    """
+    mv = memoryview(buf)
+    if end is None:
+        end = len(buf)
+    crc32 = zlib.crc32
+    unpack_frame = _FRAME_AND_BODY_PREFIX.unpack_from
+    body_prefix_size = _BODY_PREFIX.size
+    while offset < end:
+        # One 17-byte unpack covers both prefixes (frame + record header).
+        # It may read garbage past ``end`` or a short frame — the checks
+        # below validate before any of the values are trusted.
+        try:
+            length, crc, version, lsn = unpack_frame(buf, offset)
+        except struct.error:
+            _raise_tear(buf, offset, end, verify_crc)
+        if end - offset < FRAME_PREFIX_SIZE:
+            raise TornTail(offset, "truncated frame prefix")
+        body_start = offset + FRAME_PREFIX_SIZE
+        if end - body_start < length:
+            raise TornTail(
+                offset, f"frame body truncated ({end - body_start}/{length} bytes)"
+            )
+        if verify_crc and crc32(mv[body_start : body_start + length]) != crc:
+            raise TornTail(offset, "crc mismatch")
+        if length < body_prefix_size:
+            raise TornTail(offset, "frame body truncated (no record header)")
+        if version != FORMAT_VERSION:
+            raise CodecError(
+                f"unsupported format version {version} at byte {offset}"
+            )
+        yield lsn, body_start + body_prefix_size, body_start + length
+        offset = body_start + length
+
+
+def iter_record_views(buf, offset: int = FILE_HEADER_SIZE, end: int | None = None,
+                      verify_crc: bool = True, start_lsn: int = 0):
+    """The LSN-filtered view of :func:`walk_frames`: yields
+    ``(lsn, lo, hi)`` per record at or above ``start_lsn``, where
+    ``buf[lo:hi]`` is its ``payload | labels`` encoding."""
+    if start_lsn <= 0:
+        yield from walk_frames(buf, offset, end, verify_crc)
+        return
+    for lsn, lo, hi in walk_frames(buf, offset, end, verify_crc):
+        if lsn >= start_lsn:
+            yield lsn, lo, hi
+
+
+def decode_record_body(lsn: int, body: bytes) -> LogRecord:
+    """Materialize a full :class:`LogRecord` from one record's
+    ``payload | labels`` bytes (as yielded by :func:`iter_record_views`)."""
+    payload, pos = decode_payload(body, 0)
+    labels, pos = decode_value(body, pos)
+    if pos != len(body):
+        raise CodecError(
+            f"record LSN {lsn} has {len(body) - pos} trailing bytes after decode"
+        )
+    record = LogRecord(lsn=lsn, payload=payload, labels=labels)
+    object.__setattr__(record, "_encoded_size", len(body) + RECORD_OVERHEAD)
+    return record
+
+
+_UNSET = object()
+
+
+class LazyRecord:
+    """A log record that defers payload decoding until someone asks.
+
+    Scans that only count, filter by LSN, or peek at the payload *type*
+    never pay the tagged-value decode; consumers that do touch
+    ``payload``/``labels`` get them decoded once and cached.  The body
+    bytes are copied out of the scan buffer at construction, so a
+    record outlives the mmap it was read from.
+
+    Equality and hashing match :class:`LogRecord` — ``(lsn, payload)``,
+    labels excluded — so mixed comparisons work in either direction
+    (``LogRecord.__eq__`` returns NotImplemented for foreign classes,
+    which hands control to this one).
+    """
+
+    __slots__ = ("lsn", "_body", "_payload", "_labels")
+
+    def __init__(self, lsn: int, body: bytes):
+        self.lsn = lsn
+        self._body = body
+        self._payload = _UNSET
+        self._labels = _UNSET
+
+    def _decode(self) -> None:
+        body = self._body
+        payload, pos = decode_payload(body, 0)
+        labels, pos = decode_value(body, pos)
+        if pos != len(body):
+            raise CodecError(
+                f"record LSN {self.lsn} has {len(body) - pos} trailing "
+                f"bytes after decode"
+            )
+        self._payload = payload
+        self._labels = labels
+
+    @property
+    def payload(self) -> Any:
+        if self._payload is _UNSET:
+            self._decode()
+        return self._payload
+
+    @property
+    def labels(self) -> dict:
+        if self._labels is _UNSET:
+            self._decode()
+        return self._labels
+
+    @property
+    def operation(self) -> Any:
+        """The payload under its theory-core name (mirrors LogRecord)."""
+        return self.payload
+
+    @property
+    def payload_tag(self) -> int:
+        """The wire tag of the payload — readable without decoding."""
+        return self._body[0]
+
+    def size_bytes(self) -> int:
+        """V1-equivalent frame length (same accounting as LogRecord)."""
+        return len(self._body) + RECORD_OVERHEAD
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        try:
+            return self.lsn == other.lsn and self.payload == other.payload
+        except AttributeError:
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.lsn, self.payload))
+
+    def __str__(self) -> str:
+        return f"[{self.lsn}] {self.payload}"
+
+    def __repr__(self) -> str:
+        return f"LazyRecord(lsn={self.lsn}, {len(self._body)}B)"

@@ -8,11 +8,12 @@ durability half of the :class:`~repro.logmgr.manager.LogManager`: the
 manager stays the LSN authority and the in-memory read path, while the
 store turns ``flush()`` into ``write``/``fsync`` against these files.
 
-The write path is staged:
+The write path is staged and **batch-granular**:
 
-- :meth:`stage` buffers an encoded frame in memory (an append is cheap
-  and *volatile*);
-- :meth:`write_up_to` hands staged frames to the OS in one ``write``
+- :meth:`stage_many` buffers one encoded blob covering a whole window of
+  records (an append is cheap and *volatile*); :meth:`stage` is the
+  single-frame special case;
+- :meth:`write_up_to` hands staged blobs to the OS in one ``write``
   per segment file (written but unsynced bytes live in the page cache —
   still volatile under the failure model);
 - :meth:`sync` is the only durability point: one ``fsync`` per dirty
@@ -22,7 +23,19 @@ Group commit lives one level up: the manager counts pending force
 requests and calls :meth:`sync` once per batch, so N commits share one
 ``fsync`` — the classic group-commit trade measured by benchmark E18.
 
-:meth:`crash` simulates the kernel's view of a power cut: staged frames
+A segment that will never be written again can be **sealed** with
+:meth:`seal_segment`: a 20-byte sidecar file (``<segment>.seal``)
+carrying one CRC over the whole frame region.  The scan path checks it
+first — one C-speed ``crc32`` pass verifies the entire file, after
+which the frame walk trusts length fields and skips every per-frame
+checksum.  The seal is a pure accelerator kept *outside* the segment,
+so segment bytes and torn-tail semantics are byte-identical with or
+without it; a missing, stale, or damaged seal silently degrades to the
+per-frame CRC walk, which is also how every pre-seal segment directory
+remains readable.  Seals are written without an fsync — losing one in
+a crash costs a slow scan, never a record.
+
+:meth:`crash` simulates the kernel's view of a power cut: staged blobs
 vanish, and every file is truncated back to its last synced length.
 The cross-process kill test does the same thing for real — ``kill -9``
 discards the staging buffer with the process, and the torn-tail rule
@@ -35,32 +48,42 @@ truncation and media-recovery archiving are the same binary format.
 **Concurrency contract.**  The store is safe under the manager's
 locking discipline: any number of threads may :meth:`stage` (they hold
 the manager mutex), while the flush path (:meth:`write_up_to` +
-:meth:`sync`) is serialized by the manager's force lock.  The store's
-own lock guards the staged-frame buffer and the handle list, so a
-segment rotation (``begin_segment``, called by an appender) never races
-the flusher's iteration — and the ``fsync`` syscall itself runs with no
-lock held, so staging continues while the disk works.
+:meth:`sync` + :meth:`seal_segment`) is serialized by the manager's
+force lock.  The store's own lock guards the staged buffer and the
+handle list, so a segment rotation (``begin_segment``, called by an
+appender) never races the flusher's iteration — and the ``fsync``
+syscall itself runs with no lock held, so staging continues while the
+disk works.  Scans ``mmap`` sealed files; the active (newest) segment
+is read with an ordinary ``read`` because it is the only file whose
+tail can still be truncated by a crash (a shrunk mapping would fault).
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import threading
+import zlib
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.logmgr.codec import (
     FILE_HEADER_SIZE,
+    RECORD_OVERHEAD,
+    _UNSET,
     CodecError,
+    LazyRecord,
     TornTail,
     decode_file_header,
-    decode_frame,
     encode_file_header,
-    iter_frames,
+    encode_seal,
+    iter_record_views,
+    verify_seal,
 )
-from repro.logmgr.records import LogRecord
 
 SEGMENT_SUFFIX = ".wal"
 ARCHIVE_SUFFIX = ".arch"
+SEAL_SUFFIX = ".seal"
 
 
 def segment_filename(base_lsn: int) -> str:
@@ -68,22 +91,164 @@ def segment_filename(base_lsn: int) -> str:
     return f"segment-{base_lsn:016d}{SEGMENT_SUFFIX}"
 
 
+def seal_path(path: Path) -> Path:
+    """The sidecar seal file for a segment/archive path (may not exist)."""
+    return path.with_name(path.name + SEAL_SUFFIX)
+
+
+def read_seal(path: Path) -> bytes | None:
+    """The raw sidecar seal bytes for a segment/archive path, or None.
+    No validation here — :func:`~repro.logmgr.codec.verify_seal` treats
+    any damaged or stale seal exactly like a missing one."""
+    try:
+        return seal_path(path).read_bytes()
+    except OSError:
+        return None
+
+
+def _map_buffer(path: Path, allow_mmap: bool = True):
+    """Open ``path`` for scanning: ``(buffer, close)``.
+
+    Prefers a read-only ``mmap`` (zero-copy: the walker slices views of
+    the page cache directly); falls back to ``read()`` for empty files
+    or filesystems without mmap support.  The returned ``close`` must be
+    called when the scan is done (a ``finally`` in every caller).
+    """
+    fh = path.open("rb")
+    if allow_mmap:
+        try:
+            buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            pass
+        else:
+
+            def close(buf=buf, fh=fh):
+                buf.close()
+                fh.close()
+
+            return buf, close
+    data = fh.read()
+    fh.close()
+    return data, lambda: None
+
+
+class SegmentStats(NamedTuple):
+    """One segment file summarized without materializing its records."""
+
+    count: int
+    bytes: int  # v1-equivalent frame bytes (matches LogRecord.size_bytes)
+    tag_counts: dict  # payload wire tag -> record count
+    checkpoint_lsns: list
+    tear_offset: int | None
+    tear_reason: str | None
+
+
+def _stats_walk(buf, expected_base: int | None, seal: bytes | None = None) -> SegmentStats:
+    """Walk a segment buffer collecting accounting statistics.
+
+    Touches one byte per record (the payload tag) — no value decoding.
+    A verified sidecar ``seal`` replaces every per-frame CRC with one
+    whole-region pass.  With ``expected_base`` the walk also enforces
+    LSN density, raising :class:`CodecError` on a hole (same contract
+    the record-loading path has always had).  A tear ends the walk and
+    is reported.
+    """
+    from repro.logmgr.codec import PAYLOAD_CHECKPOINT
+
+    count = 0
+    nbytes = 0
+    tag_counts: dict = {}
+    checkpoints: list = []
+    tear_offset: int | None = None
+    tear_reason: str | None = None
+    sealed = verify_seal(buf, seal)
+    if sealed is not None:
+        views = iter_record_views(buf, end=sealed[0], verify_crc=False)
+    else:
+        views = iter_record_views(buf)
+    checkpoint_tag = PAYLOAD_CHECKPOINT
+    get_count = tag_counts.get
+    try:
+        for lsn, lo, hi in views:
+            if expected_base is not None and lsn != expected_base + count:
+                raise CodecError(
+                    f"segment {expected_base} holds LSN {lsn} "
+                    f"at position {count}"
+                )
+            tag = buf[lo]
+            tag_counts[tag] = get_count(tag, 0) + 1
+            if tag == checkpoint_tag:
+                checkpoints.append(lsn)
+            if sealed is None:
+                nbytes += (hi - lo) + RECORD_OVERHEAD
+            count += 1
+    except TornTail as tear:
+        tear_offset, tear_reason = tear.offset, tear.reason
+    if sealed is not None:
+        # A verified seal covers exactly the frame region, so the byte
+        # total is the region length — no per-record accumulation.
+        nbytes = sealed[0] - FILE_HEADER_SIZE
+    return SegmentStats(count, nbytes, tag_counts, checkpoints, tear_offset, tear_reason)
+
+
+def file_stats(path) -> SegmentStats:
+    """Accounting statistics for one segment or archive file.
+
+    The cold-start path folds ``.arch`` files back into the log's
+    byte/type accounting; this does it without decoding a single value.
+    A torn tail simply ends the walk (archives are sealed history — a
+    tear here means post-hoc damage the scan tolerates, as
+    :func:`iter_file_records` always has).
+    """
+    path = Path(path)
+    buf, close = _map_buffer(path)
+    try:
+        decode_file_header(buf)
+        return _stats_walk(buf, expected_base=None, seal=read_seal(path))
+    finally:
+        close()
+
+
 def iter_file_records(path):
     """Decode every record of one segment or archive file, in order.
 
     Stands alone from any store — ``logdump`` and the cold-start path
-    use it on bare paths.  A torn tail simply ends the stream (use
-    :func:`~repro.logmgr.codec.decode_frame` directly to see the tear).
+    use it on bare paths.  Records come back as
+    :class:`~repro.logmgr.codec.LazyRecord` (payloads decode on first
+    touch), streamed straight off an ``mmap`` of the file.  A torn tail
+    simply ends the stream (scan the views yourself to see the tear).
     """
-    buf = Path(path).read_bytes()
-    decode_file_header(buf)
-    yield from iter_frames(buf, FILE_HEADER_SIZE)
+    path = Path(path)
+    buf, close = _map_buffer(path)
+    try:
+        decode_file_header(buf)
+        sealed = verify_seal(buf, read_seal(path))
+        if sealed is not None:
+            for lsn, lo, hi in iter_record_views(buf, end=sealed[0], verify_crc=False):
+                yield LazyRecord(lsn, buf[lo:hi])
+            return
+        try:
+            for lsn, lo, hi in iter_record_views(buf):
+                yield LazyRecord(lsn, buf[lo:hi])
+        except TornTail:
+            return
+    finally:
+        close()
 
 
 class _SegmentHandle:
     """Bookkeeping for one segment file (internal to the store)."""
 
-    __slots__ = ("path", "base_lsn", "fh", "size", "synced_size")
+    __slots__ = (
+        "path",
+        "base_lsn",
+        "fh",
+        "size",
+        "synced_size",
+        "sealed",
+        "region_crc",
+        "record_count",
+    )
 
     def __init__(self, path: Path, base_lsn: int, fh, size: int, synced_size: int):
         self.path = path
@@ -91,6 +256,15 @@ class _SegmentHandle:
         self.fh = fh  # raw (unbuffered) append handle, or None once closed
         self.size = size
         self.synced_size = synced_size
+        # Sealing state.  ``region_crc``/``record_count`` are a running
+        # summary of the frame region as this incarnation wrote it, so
+        # sealing a segment costs zero reads; ``None`` means unknown
+        # (an attached pre-existing file) and sealing falls back to one
+        # read of the file.  ``sealed`` marks a sidecar written by this
+        # incarnation.
+        self.sealed = False
+        self.region_crc: int | None = None
+        self.record_count: int | None = None
 
 
 class FileLogStore:
@@ -104,12 +278,15 @@ class FileLogStore:
         self.fsync_enabled = fsync
         self._lock = threading.RLock()
         self._handles: list[_SegmentHandle] = []
-        self._staged: list[tuple[int, int, bytes]] = []  # (lsn, base, frame)
+        # Staged blobs: (last_lsn, segment base, blob, record count).
+        # A blob is one frame or a whole packed window of frames.
+        self._staged: list[tuple[int, int, bytes, int]] = []
         self._dir_dirty = False  # a file was created since the last sync
         # Counters surfaced through the engine metrics registry.
         self.appends = 0
         self.staged_bytes = 0
         self.frames_written = 0
+        self.records_written = 0
         self.bytes_written = 0
         self.fsyncs = 0
         self.syncs = 0
@@ -117,6 +294,7 @@ class FileLogStore:
         self.torn_tails = 0
         self.segments_created = 0
         self.segments_archived = 0
+        self.seals_written = 0
 
     # ------------------------------------------------------------------
     # Attach (cold start)
@@ -129,6 +307,9 @@ class FileLogStore:
         Every ``.wal`` file becomes a handle; the newest one is reopened
         for appending.  Bytes on disk at attach time are, by definition,
         the crash survivors, so ``synced_size`` starts at the file size.
+        The newest file's sidecar seal (if any) is dropped: the file is
+        about to take appends again, which would leave the seal stale
+        anyway — it gets re-sealed at its next rotation.
         """
         store = cls(directory, fsync=fsync)
         paths = sorted(store.directory.glob(f"segment-*{SEGMENT_SUFFIX}"))
@@ -137,7 +318,10 @@ class FileLogStore:
             with path.open("rb") as fh:
                 header = fh.read(FILE_HEADER_SIZE)
             base_lsn = decode_file_header(header)
-            fh = path.open("ab", buffering=0) if index == len(paths) - 1 else None
+            active = index == len(paths) - 1
+            if active:
+                seal_path(path).unlink(missing_ok=True)
+            fh = path.open("ab", buffering=0) if active else None
             store._handles.append(_SegmentHandle(path, base_lsn, fh, size, size))
         return store
 
@@ -161,9 +345,10 @@ class FileLogStore:
         header = encode_file_header(base_lsn)
         fh.write(header)
         with self._lock:
-            self._handles.append(
-                _SegmentHandle(path, base_lsn, fh, len(header), 0)
-            )
+            handle = _SegmentHandle(path, base_lsn, fh, len(header), 0)
+            handle.region_crc = 0
+            handle.record_count = 0
+            self._handles.append(handle)
             self.segments_created += 1
             self._dir_dirty = True
 
@@ -172,16 +357,28 @@ class FileLogStore:
         with self._lock:
             if not self._handles:
                 raise CodecError("stage() before begin_segment()")
-            self._staged.append((lsn, self._handles[-1].base_lsn, frame))
+            self._staged.append((lsn, self._handles[-1].base_lsn, frame, 1))
             self.appends += 1
             self.staged_bytes += len(frame)
 
+    def stage_many(self, last_lsn: int, base_lsn: int, blob, count: int) -> None:
+        """Buffer one encoded batch window (``count`` records ending at
+        ``last_lsn``) bound for the segment at ``base_lsn``.  The blob is
+        a single wire frame; the whole window hits the file in one
+        ``write`` with one CRC."""
+        with self._lock:
+            if not self._handles:
+                raise CodecError("stage() before begin_segment()")
+            self._staged.append((last_lsn, base_lsn, blob, count))
+            self.appends += count
+            self.staged_bytes += len(blob)
+
     def write_up_to(self, lsn: int) -> None:
-        """Hand staged frames with LSN <= ``lsn`` to the OS, in order,
-        one ``write`` per touched segment file.  Written bytes are still
-        volatile until :meth:`sync`.  Callers serialize on the manager's
-        force lock; the store lock covers the staged-buffer cut so
-        concurrent :meth:`stage` calls never lose frames."""
+        """Hand staged blobs whose last LSN <= ``lsn`` to the OS, in
+        order, one ``write`` per touched segment file.  Written bytes
+        are still volatile until :meth:`sync`.  Callers serialize on the
+        manager's force lock; the store lock covers the staged-buffer
+        cut so concurrent :meth:`stage` calls never lose frames."""
         with self._lock:
             if not self._staged or self._staged[0][0] > lsn:
                 return
@@ -194,8 +391,10 @@ class FileLogStore:
             while index < cut:
                 base = batch[index][1]
                 chunk = []
+                records = 0
                 while index < cut and batch[index][1] == base:
                     chunk.append(batch[index][2])
+                    records += batch[index][3]
                     index += 1
                 handle = by_base[base]
                 if handle.fh is None:
@@ -206,9 +405,62 @@ class FileLogStore:
                 blob = b"".join(chunk)
                 handle.fh.write(blob)
                 handle.size += len(blob)
+                if handle.region_crc is not None:
+                    handle.region_crc = zlib.crc32(blob, handle.region_crc)
+                if handle.record_count is not None:
+                    handle.record_count += records
                 self.frames_written += len(chunk)
+                self.records_written += records
                 self.bytes_written += len(blob)
                 self.staged_bytes -= len(blob)
+
+    def seal_segment(self, base_lsn: int) -> bool:
+        """Seal the segment at ``base_lsn``: write its sidecar seal.
+
+        Meant for a segment that will never take another frame (the
+        manager calls this when the in-memory segment has rotated and
+        every one of its records has been written) — though if more
+        frames do land, the seal merely goes stale and readers ignore
+        it.  For a segment this incarnation wrote, the region CRC and
+        count are running state — sealing costs zero reads of the
+        segment.  For an attached pre-existing file they are rebuilt
+        with one read.  The sidecar is written without an fsync: losing
+        it in a crash costs a slow scan, never a record.  Returns True
+        when a seal was written; False when the segment is already
+        sealed, unknown (archived), or still has staged frames
+        outstanding (its final bytes aren't in the file yet).
+        """
+        with self._lock:
+            try:
+                handle = self._handle_for(base_lsn)
+            except KeyError:
+                return False
+            if handle.sealed:
+                return False
+            if any(base == base_lsn for _, base, _, _ in self._staged):
+                return False
+            crc = handle.region_crc
+            count = handle.record_count
+            region_len = handle.size - FILE_HEADER_SIZE
+        if crc is None or count is None:
+            buf, close = _map_buffer(handle.path)
+            try:
+                decode_file_header(buf)
+                crc = zlib.crc32(memoryview(buf)[FILE_HEADER_SIZE:])
+                # Frames were CRC-verified when this file was attached
+                # (cold start walks every segment), so a length-only
+                # walk is enough to count records.
+                count = sum(1 for _ in iter_record_views(buf, verify_crc=False))
+            finally:
+                close()
+        blob = encode_seal(crc, region_len, count)
+        with self._lock:
+            seal_path(handle.path).write_bytes(blob)
+            handle.sealed = True
+            handle.region_crc = crc
+            handle.record_count = count
+            self.seals_written += 1
+        return True
 
     def sync(self) -> None:
         """The durability point: ``fsync`` every file with unsynced
@@ -252,7 +504,7 @@ class FileLogStore:
             # "done being written".  Closing such a handle would break
             # the next write_up_to (the window's target LSN can trail
             # the staging front by a whole rotation).
-            staged_bases = {base for _, base, _ in self._staged}
+            staged_bases = {base for _, base, _, _ in self._staged}
             for handle in self._handles[:-1]:
                 if (
                     handle.fh is not None
@@ -287,6 +539,7 @@ class FileLogStore:
                 if handle.fh is not None:
                     handle.fh.close()
                 handle.path.unlink(missing_ok=True)
+                seal_path(handle.path).unlink(missing_ok=True)
                 continue
             if handle.size > handle.synced_size:
                 if handle.fh is not None:
@@ -295,6 +548,13 @@ class FileLogStore:
                     fh.truncate(handle.synced_size)
                 handle.size = handle.synced_size
                 handle.fh = None
+                # The truncation cut a frame tail, so the running seal
+                # state no longer describes the file; a sidecar written
+                # for the longer file is stale and must go too.
+                seal_path(handle.path).unlink(missing_ok=True)
+                handle.sealed = False
+                handle.region_crc = None
+                handle.record_count = None
             survivors.append(handle)
         self._handles = survivors
         # Reopen the newest survivor for the recovered incarnation.
@@ -309,6 +569,10 @@ class FileLogStore:
         with handle.path.open("rb+") as fh:
             fh.truncate(byte_offset)
         handle.size = handle.synced_size = byte_offset
+        seal_path(handle.path).unlink(missing_ok=True)
+        handle.sealed = False
+        handle.region_crc = None
+        handle.record_count = None
         self.torn_tails += 1
         self._reopen_active()
 
@@ -323,6 +587,7 @@ class FileLogStore:
             if handle.fh is not None:
                 handle.fh.close()
             handle.path.unlink(missing_ok=True)
+            seal_path(handle.path).unlink(missing_ok=True)
         self._handles = keep
         self._reopen_active()
         return len(drop)
@@ -346,41 +611,115 @@ class FileLogStore:
         """The segment file's current on-disk bytes (header included)."""
         return self._handle_for(base_lsn).path.read_bytes()
 
+    def _map_segment(self, base_lsn: int):
+        """Open one segment for scanning.  Only non-active files are
+        mmapped: the active file's tail can still be truncated (crash),
+        and reading a shrunk mapping faults, while a sealed file is
+        immutable (rename and unlink both leave a live mapping valid).
+        """
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+            active = self._handles and handle is self._handles[-1]
+        return _map_buffer(handle.path, allow_mmap=not active)
+
     def scan_segment(self, base_lsn: int, start_lsn: int = 0):
-        """Stream decoded records of one segment file, skipping records
-        below ``start_lsn``.  Stops cleanly at a torn tail (the manager
-        only scans fully synced segments, so a tear here would mean the
-        file was corrupted after the fact)."""
-        buf = self.read_segment_bytes(base_lsn)
-        decode_file_header(buf)
-        offset = FILE_HEADER_SIZE
-        while True:
+        """Stream one segment's records as lazily-decoded
+        :class:`~repro.logmgr.codec.LazyRecord`, skipping records below
+        ``start_lsn``.  A sealed segment is verified with one
+        seal CRC pass and walked trusting lengths; otherwise every
+        frame pays its own CRC check.  Stops cleanly at a torn tail
+        (the manager only scans fully synced segments, so a tear here
+        would mean the file was corrupted after the fact)."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+        if start_lsn <= base_lsn:
+            start_lsn = 0  # the whole segment qualifies — skip the filter
+        buf, close = self._map_segment(base_lsn)
+        count = 0
+        # Hot loop: records are built by direct slot assignment (no
+        # __init__ frame) and slicing ``buf`` already copies the body out
+        # of the mmap, so nothing here pins the unmapped buffer.
+        new = LazyRecord.__new__
+        unset = _UNSET
+        try:
+            sealed = verify_seal(buf, read_seal(handle.path))
+            if sealed is not None:
+                for lsn, lo, hi in iter_record_views(
+                    buf, end=sealed[0], verify_crc=False, start_lsn=start_lsn
+                ):
+                    record = new(LazyRecord)
+                    record.lsn = lsn
+                    record._body = buf[lo:hi]
+                    record._payload = unset
+                    record._labels = unset
+                    count += 1
+                    yield record
+                return
             try:
-                record, offset = decode_frame(buf, offset)
+                for lsn, lo, hi in iter_record_views(buf, start_lsn=start_lsn):
+                    record = new(LazyRecord)
+                    record.lsn = lsn
+                    record._body = buf[lo:hi]
+                    record._payload = unset
+                    record._labels = unset
+                    count += 1
+                    yield record
             except TornTail:
                 return
-            self.records_decoded += 1
-            if record.lsn >= start_lsn:
-                yield record
+        finally:
+            self.records_decoded += count
+            close()
 
     def load_segment(
         self, base_lsn: int
-    ) -> tuple[list[LogRecord], int | None, str | None]:
-        """Decode one whole segment file into memory (the cold-start
-        path).  Returns ``(records, tear_offset, tear_reason)`` where a
-        ``None`` tear offset means the file decoded cleanly to its end."""
-        buf = self.read_segment_bytes(base_lsn)
-        decode_file_header(buf)
-        offset = FILE_HEADER_SIZE
-        records: list[LogRecord] = []
-        while offset < len(buf):
+    ) -> tuple[list[LazyRecord], int | None, str | None]:
+        """Read one whole segment file into memory (the cold-start path
+        for the tail segment).  Returns ``(records, tear_offset,
+        tear_reason)`` where a ``None`` tear offset means the file
+        decoded cleanly to its end.  Records come back lazy — frames are
+        CRC-checked (or seal-covered) here, but payload bytes decode
+        only when a consumer touches them.
+        """
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+        buf, close = self._map_segment(base_lsn)
+        records: list[LazyRecord] = []
+        append = records.append
+        new = LazyRecord.__new__
+        unset = _UNSET
+        try:
+            sealed = verify_seal(buf, read_seal(handle.path))
+            views = (
+                iter_record_views(buf, end=sealed[0], verify_crc=False)
+                if sealed is not None
+                else iter_record_views(buf)
+            )
             try:
-                record, offset = decode_frame(buf, offset)
+                for lsn, lo, hi in views:
+                    record = new(LazyRecord)
+                    record.lsn = lsn
+                    record._body = buf[lo:hi]
+                    record._payload = unset
+                    record._labels = unset
+                    append(record)
             except TornTail as tear:
                 return records, tear.offset, tear.reason
-            records.append(record)
-            self.records_decoded += 1
-        return records, None, None
+            return records, None, None
+        finally:
+            self.records_decoded += len(records)
+            close()
+
+    def segment_stats(self, base_lsn: int) -> SegmentStats:
+        """Summarize one segment without materializing records — the
+        cold-start fast path for sealed segments (they are rebuilt as
+        evicted in-memory segments straight from these numbers)."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+        buf, close = self._map_segment(base_lsn)
+        try:
+            return _stats_walk(buf, expected_base=base_lsn, seal=read_seal(handle.path))
+        finally:
+            close()
 
     # ------------------------------------------------------------------
     # Archive
@@ -399,6 +738,10 @@ class FileLogStore:
                 handle.fh = None
             target = handle.path.with_suffix(ARCHIVE_SUFFIX)
             handle.path.rename(target)
+            # The sidecar seal follows its segment into the archive.
+            old_seal = seal_path(handle.path)
+            if old_seal.exists():
+                old_seal.rename(seal_path(target))
             self._handles.remove(handle)
             self.segments_archived += 1
             return target
@@ -416,6 +759,7 @@ class FileLogStore:
         return {
             "appends": self.appends,
             "frames_written": self.frames_written,
+            "records_written": self.records_written,
             "bytes_written": self.bytes_written,
             "fsyncs": self.fsyncs,
             "syncs": self.syncs,
@@ -423,6 +767,7 @@ class FileLogStore:
             "torn_tails": self.torn_tails,
             "segments_created": self.segments_created,
             "segments_archived": self.segments_archived,
+            "seals_written": self.seals_written,
         }
 
     def close(self) -> None:

@@ -53,7 +53,13 @@ import threading
 from bisect import bisect_right
 from typing import Any, Callable, Iterator
 
-from repro.logmgr.codec import CodecError, encode_record
+from repro.logmgr.codec import (
+    PAYLOAD_CHECKPOINT,
+    PAYLOAD_CLASSES,
+    CodecError,
+    encode_window,
+    payload_tag,
+)
 from repro.logmgr.records import CheckpointRecord, LogRecord, Payload
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -164,6 +170,14 @@ class LogManager:
         # volatile; forces between fsyncs accumulate for group commit.
         self._written_lsn = -1
         self._pending_forces = 0
+        # Appended-but-not-yet-encoded records, as (segment base, record).
+        # Encoding is deferred to the flush path, where a whole group-
+        # commit window packs into one blob with one write — the append
+        # hot path just assigns the LSN and takes the reference.
+        self._pending: list[tuple[int, LogRecord]] = []
+        # Segment files at or below this base LSN are sealed (sidecar
+        # seal written) or will never be; only newer rotations get seals.
+        self._seal_watermark = -1
         self._checkpoint_lsns: list[int] = []
         # Truncation bookkeeping: retired records stay countable even
         # after their segments leave memory.
@@ -193,10 +207,14 @@ class LogManager:
         file is truncated at the tear, and any later segment files are
         deleted (they lie beyond a hole and are not part of history).
         An empty or missing directory yields a fresh durable manager.
-        """
-        from repro.logmgr.filelog import FileLogStore
 
-        from repro.logmgr.filelog import iter_file_records
+        Non-tail segments are rebuilt straight from a statistics walk —
+        one sidecar-seal CRC pass (or the per-frame walk when no valid
+        seal exists) plus one byte per record — into already-evicted
+        in-memory segments; only the tail segment's records are
+        materialized.
+        """
+        from repro.logmgr.filelog import FileLogStore, file_stats
 
         store = FileLogStore.attach(directory, fsync=fsync)
         manager = cls(
@@ -210,31 +228,58 @@ class LogManager:
         # must fold the .arch files back in for the two paths to agree.
         archived_checkpoints: list[int] = []
         for path in store.archived_paths():
-            for record in iter_file_records(path):
-                manager._archived_records += 1
-                manager._archived_bytes += record.size_bytes()
-                kind = type(record.payload)
+            stats = file_stats(path)
+            manager._archived_records += stats.count
+            manager._archived_bytes += stats.bytes
+            for tag, n in stats.tag_counts.items():
+                kind = PAYLOAD_CLASSES[tag]
                 manager._archived_type_counts[kind] = (
-                    manager._archived_type_counts.get(kind, 0) + 1
+                    manager._archived_type_counts.get(kind, 0) + n
                 )
-                if isinstance(record.payload, CheckpointRecord):
-                    archived_checkpoints.append(record.lsn)
+            archived_checkpoints.extend(stats.checkpoint_lsns)
         bases = store.segment_base_lsns()
         if not bases:
             manager._checkpoint_lsns = archived_checkpoints
             return manager
         segments: list[LogSegment] = []
         checkpoints: list[int] = []
+        expected = bases[0]
         for position, base in enumerate(bases):
-            records, tear_offset, tear_reason = store.load_segment(base)
+            if base != expected:
+                raise CodecError(
+                    f"segment files not dense: expected base LSN {expected}, "
+                    f"found {base}"
+                )
             segment = LogSegment(base)
-            segment.records = records
+            if position == len(bases) - 1:
+                records, tear_offset, tear_reason = store.load_segment(base)
+                for index, record in enumerate(records):
+                    if record.lsn != base + index:
+                        raise CodecError(
+                            f"segment {base} holds LSN {record.lsn} "
+                            f"at position {index}"
+                        )
+                segment.records = records
+                # Loaded records are lazy — spot checkpoints by wire tag
+                # so the scan stays decode-free.
+                checkpoints.extend(
+                    record.lsn
+                    for record in records
+                    if record.payload_tag == PAYLOAD_CHECKPOINT
+                )
+                count = len(records)
+            else:
+                stats = store.segment_stats(base)
+                tear_offset, tear_reason = stats.tear_offset, stats.tear_reason
+                segment.records = None
+                segment._count = stats.count
+                segment._bytes = stats.bytes
+                segment._type_counts = {
+                    PAYLOAD_CLASSES[tag]: n for tag, n in stats.tag_counts.items()
+                }
+                checkpoints.extend(stats.checkpoint_lsns)
+                count = stats.count
             segments.append(segment)
-            checkpoints.extend(
-                record.lsn
-                for record in records
-                if isinstance(record.payload, CheckpointRecord)
-            )
             if tear_offset is not None:
                 store.truncate_segment_tail(base, tear_offset)
                 dropped = store.drop_segments_after(base)
@@ -247,27 +292,27 @@ class LogManager:
                         dropped_segments=dropped,
                     )
                 break
-        expected = segments[0].base_lsn
-        for segment in segments:
-            if segment.base_lsn != expected:
+            expected = base + count
+        # A tear can make an evicted segment the tail; the tail must be
+        # resident (appends extend it), so load it now that the file is
+        # truncated clean.
+        tail = segments[-1]
+        if tail.records is None:
+            records, tear_offset, _reason = store.load_segment(tail.base_lsn)
+            if tear_offset is not None:  # pragma: no cover - just truncated
                 raise CodecError(
-                    f"segment files not dense: expected base LSN {expected}, "
-                    f"found {segment.base_lsn}"
+                    f"segment {tail.base_lsn} still torn after truncation"
                 )
-            for index, record in enumerate(segment.records):
-                if record.lsn != segment.base_lsn + index:
-                    raise CodecError(
-                        f"segment {segment.base_lsn} holds LSN {record.lsn} "
-                        f"at position {index}"
-                    )
-            expected = segment.end_lsn + 1
+            tail.records = records
+            tail._count = 0
+            tail._bytes = 0
+            tail._type_counts = {}
         manager._segments = segments
         manager._stable_lsn = segments[-1].end_lsn
         manager._written_lsn = manager._stable_lsn
         manager._next_lsn = manager._stable_lsn + 1
         manager._checkpoint_lsns = archived_checkpoints + checkpoints
-        for segment in segments[:-1]:
-            segment.evict()
+        manager._seal_watermark = segments[-1].base_lsn - 1
         return manager
 
     @property
@@ -283,10 +328,15 @@ class LogManager:
         """Append ``payload`` with the next LSN; returns the record.
 
         This is the one place in the whole system where an LSN is born.
-        On a durable log the record is also encoded to its wire frame
-        and staged (volatile until the next force reaches an fsync).
-        Thread-safe: concurrent appenders serialize on the manager
-        mutex, so LSNs stay dense and monotone under any interleaving.
+        On a durable log the record joins the pending tail (volatile
+        until a force encodes, writes, and fsyncs it); encoding itself
+        is deferred to the flush path so a whole group-commit window
+        packs into one blob hitting the file in one write.  The
+        payload's *type*
+        is still checked here — an undurable payload must fail at the
+        append, not poison a later flush.  Thread-safe: concurrent
+        appenders serialize on the manager mutex, so LSNs stay dense
+        and monotone under any interleaving.
         """
         with self._mutex:
             tail = self._segments[-1]
@@ -297,9 +347,8 @@ class LogManager:
                     self._store.begin_segment(self._next_lsn)
             record = LogRecord(lsn=self._next_lsn, payload=payload, labels=labels)
             if self._store is not None:
-                frame = encode_record(record)
-                object.__setattr__(record, "_encoded_size", len(frame))
-                self._store.stage(record.lsn, frame)
+                payload_tag(payload)  # raises CodecError for undurable types
+                self._pending.append((tail.base_lsn, record))
             tail.records.append(record)
             self._next_lsn += 1
             if isinstance(payload, CheckpointRecord):
@@ -342,10 +391,44 @@ class LogManager:
                     self._stable_cv.notify_all()
                 return
         with self._force_lock:
+            # Cut the covered prefix of the pending tail under the
+            # mutex, then window-encode it with no lock but the force
+            # lock held — appenders keep appending while the CPU packs
+            # bytes.  One packed blob per (window × segment) run.
+            with self._mutex:
+                batch: list[tuple[int, LogRecord]] = []
+                if target > self._written_lsn and self._pending:
+                    pending = self._pending
+                    cut = 0
+                    while cut < len(pending) and pending[cut][1].lsn <= target:
+                        cut += 1
+                    if cut:
+                        batch = pending[:cut]
+                        del pending[:cut]
+            staged = 0
+            try:
+                while staged < len(batch):
+                    base = batch[staged][0]
+                    end = staged
+                    while end < len(batch) and batch[end][0] == base:
+                        end += 1
+                    window = [entry[1] for entry in batch[staged:end]]
+                    self._store.stage_many(
+                        window[-1].lsn, base, encode_window(window), len(window)
+                    )
+                    staged = end
+            except BaseException:
+                # Nothing staged past ``staged``: put the unstaged
+                # suffix back so no appended record falls out of the
+                # durable path (a retry will see it again).
+                with self._mutex:
+                    self._pending[:0] = batch[staged:]
+                raise
             with self._mutex:
                 if target > self._written_lsn:
                     self._store.write_up_to(target)
                     self._written_lsn = target
+                    self._seal_filled_locked()
                 if self._written_lsn <= self._stable_lsn:
                     return
                 self._pending_forces += 1
@@ -390,6 +473,19 @@ class LogManager:
             return self._stable_cv.wait_for(
                 lambda: self._stable_lsn >= lsn, timeout=timeout
             )
+
+    def _seal_filled_locked(self) -> None:
+        """Seal every segment file that has rotated and whose records
+        are all written: a 20-byte sidecar carrying the segment-level
+        CRC, after which the happy-path reader verifies the whole file
+        with one checksum instead of one per frame."""
+        for segment in self._segments[:-1]:
+            if segment.end_lsn > self._written_lsn:
+                break
+            if segment.base_lsn <= self._seal_watermark:
+                continue
+            self._store.seal_segment(segment.base_lsn)
+            self._seal_watermark = segment.base_lsn
 
     def _evict_synced(self) -> None:
         """Drop decoded records of sealed, fully-stable segments — their
@@ -599,6 +695,14 @@ class LogManager:
             if segment.base_lsn > limit:
                 return
             offset = max(0, start - segment.base_lsn)
+            # An evicted segment's extent is immutable, so when it lies
+            # entirely at or below the limit the per-record boundary
+            # check is dead weight — stream it straight through.  (A
+            # resident segment's list can still grow concurrently, so it
+            # always takes the checked loop.)
+            if segment.records is None and segment.end_lsn <= limit:
+                yield from self._segment_records(segment, offset)
+                continue
             for record in self._segment_records(segment, offset):
                 if record.lsn > limit:
                     return
@@ -726,6 +830,7 @@ class LogManager:
         while self._checkpoint_lsns and self._checkpoint_lsns[-1] > self._stable_lsn:
             self._checkpoint_lsns.pop()
         if self._store is not None:
+            self._pending.clear()
             self._store.crash()
             self._written_lsn = self._stable_lsn
             self._pending_forces = 0

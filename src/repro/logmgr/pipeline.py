@@ -15,8 +15,10 @@ The shape is the classic pipelined group commit:
   :meth:`~repro.logmgr.manager.LogManager.wait_stable`;
 - one **committer thread** drains the window: it takes the highest
   requested LSN and issues a single barrier force —
-  ``log.flush(up_to, barrier=True)`` is one staged write plus one
-  ``fsync`` covering every session's records — then loops;
+  ``log.flush(up_to, barrier=True)`` window-encodes the whole batch
+  into one packed blob of per-record frames per segment run (one
+  staged blob, one ``write``) plus one ``fsync`` covering every
+  session's records — then loops;
 - while that fsync is in flight, new commit requests accumulate into
   the *next* window; the batch size **emerges** from the disk's own
   latency (the slower the fsync, the wider the window), which is why

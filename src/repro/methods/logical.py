@@ -133,8 +133,10 @@ class LogicalKV(RecoveryMethodKV):
         # root ahead of the durable prefix.
         self.machine.log.flush(barrier=True)
         checkpoint_lsn = self.machine.log.stable_lsn
-        for page in self._cache.values():
-            self.shadow.stage_page(page)
+        # One batched staging call: the directory lookup and write loop
+        # are amortized across the whole cache, like the log's window
+        # encoder amortizes framing across a group-commit batch.
+        self.shadow.stage_pages(self._cache.values())
         self.machine.log.append(CheckpointRecord(("logical", checkpoint_lsn)))
         self.machine.log.flush()
         # THE atomic installation: one root write installs every staged

@@ -74,12 +74,27 @@ class ShadowStore:
     def stage_page(self, page: Page) -> None:
         """Write a page version into the staging area.  The stable state
         is untouched until :meth:`swing_pointer`."""
-        staged = Page(
-            self._qualify(self.staging_directory(), page.page_id),
-            dict(page.cells),
-            page.lsn,
-        )
-        self.disk.write_page(staged)
+        self.stage_pages((page,))
+
+    def stage_pages(self, pages) -> None:
+        """Stage a whole batch of page versions at once.
+
+        The batched form of :meth:`stage_page`: the staging directory is
+        resolved from the root page once per batch instead of once per
+        page (the root read is a full page copy), mirroring the batched
+        window treatment on the log's append path.  The stable state is
+        untouched until :meth:`swing_pointer`.
+        """
+        staging = self.staging_directory()
+        write_page = self.disk.write_page
+        for page in pages:
+            write_page(
+                Page(
+                    self._qualify(staging, page.page_id),
+                    dict(page.cells),
+                    page.lsn,
+                )
+            )
 
     # ------------------------------------------------------------------
     # The atomic installation

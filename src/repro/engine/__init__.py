@@ -5,6 +5,6 @@ operation stream runner, commit/checkpoint cadence control, and a
 durability oracle — the component the crash simulator drives.
 """
 
-from repro.engine.kv import KVDatabase, Session, VerificationError
+from repro.engine.kv import EngineSpec, KVDatabase, Session, VerificationError
 
-__all__ = ["KVDatabase", "Session", "VerificationError"]
+__all__ = ["EngineSpec", "KVDatabase", "Session", "VerificationError"]

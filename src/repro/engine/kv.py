@@ -44,6 +44,7 @@ carries its own commit cadence and last-LSN watermark.
 from __future__ import annotations
 
 import threading
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Sequence
 
 from repro.logmgr.pipeline import GroupCommitPipeline
@@ -55,6 +56,93 @@ from repro.workloads.kv import KVOp, apply_to_oracle
 
 class VerificationError(AssertionError):
     """The recovered state does not match the durable-prefix oracle."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A declarative engine configuration — the factory path.
+
+    Everything that shapes a :class:`KVDatabase` except *where* its log
+    lives: the recovery method, cache and install policy, commit and
+    checkpoint cadence, group-commit depth.  A spec is the unit of
+    configuration a deployment stores in its manifest: N shards built
+    from one spec are N identically-configured engines over N log
+    directories, and a process that only has the manifest can rebuild
+    any of them (:meth:`build` for a fresh engine, :meth:`cold_start`
+    for one recovered from its segment files).
+
+    Specs are frozen and JSON-round-trippable (:meth:`as_dict` /
+    :meth:`from_dict`), so two processes that agree on the manifest
+    agree on the engine, which is what makes the sharded cold start's
+    child processes interchangeable with the parent.
+    """
+
+    method: str = "physiological"
+    cache_capacity: int = 16
+    cache_policy: str = "lru"
+    install_policy: str = "graph"
+    n_pages: int = 8
+    commit_every: int = 1
+    checkpoint_every: int | None = None
+    method_options: dict | None = None
+    log_segment_size: int | None = None
+    truncate_on_checkpoint: bool = False
+    group_commit: int = 1
+    fsync: bool = True
+    commit_pipeline: bool = False
+
+    def _kwargs(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def build(
+        self,
+        log_dir=None,
+        *,
+        tracer: Tracer | None = None,
+        track_theory: bool = False,
+    ) -> "KVDatabase":
+        """A fresh engine per this spec (durable when ``log_dir`` is set)."""
+        return KVDatabase(
+            log_dir=log_dir,
+            tracer=tracer,
+            track_theory=track_theory,
+            **self._kwargs(),
+        )
+
+    def cold_start(
+        self,
+        log_dir,
+        disk=None,
+        *,
+        recover: bool = True,
+        tracer: Tracer | None = None,
+    ) -> "KVDatabase":
+        """Restart an engine of this spec from its segment directory."""
+        kwargs = self._kwargs()
+        kwargs.pop("method")
+        return KVDatabase.cold_start(
+            log_dir,
+            disk=disk,
+            method=self.method,
+            recover=recover,
+            tracer=tracer,
+            **kwargs,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """The spec as a JSON-safe mapping (manifest serialization)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EngineSpec":
+        """Rebuild a spec from :meth:`as_dict` output; unknown keys are
+        an error — a manifest written by a newer layout must not be
+        silently half-read."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown EngineSpec fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class KVDatabase:
@@ -339,6 +427,17 @@ class KVDatabase:
         with self.mutex:
             self._since_commit = 0
         self.method.machine.log.flush(barrier=True)
+
+    def quiesce(self) -> None:
+        """Make the state wholly stable without appending to the log:
+        barrier-force, then flush every volatile overlay (dirty pool
+        pages; logical's object cache via a root swing).  Afterwards the
+        disk snapshot plus the segment files alone reproduce this exact
+        state — the handoff point the sharded cold start ships between
+        processes.  Idempotent, unlike :meth:`checkpoint`."""
+        with self.mutex:
+            self._since_commit = 0
+            self.method.quiesce()
 
     def checkpoint(self) -> None:
         """Take a method checkpoint; resets the cadence counter."""

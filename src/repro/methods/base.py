@@ -210,6 +210,23 @@ class RecoveryMethodKV(ABC):
         """Force the log: everything issued so far becomes durable."""
         self.machine.log.flush()
 
+    def quiesce(self) -> None:
+        """Make the current state wholly stable *without logging*: barrier-
+        force the log, then flush every dirty page, so the disk image plus
+        the segment files alone reconstruct this exact state.
+
+        Unlike :meth:`checkpoint` this appends nothing, so quiescing is
+        idempotent — repeated quiesce/cold-start cycles stay byte-
+        identical, which is what the sharded deployment's process-parallel
+        cold start relies on: a child process recovers a shard, quiesces
+        it, and ships the disk image; the parent re-opens the same segment
+        directory without replaying and must land on the same bytes.
+        Methods with volatile state outside the buffer pool (logical's
+        object cache) override this.
+        """
+        self.machine.log.flush(barrier=True)
+        self.machine.pool.flush_all()
+
     @abstractmethod
     def durable_count(self) -> int:
         """How many operations would survive a crash right now."""

@@ -145,6 +145,25 @@ class LogicalKV(RecoveryMethodKV):
         self._cache.clear()
         self.stats.checkpoints += 1
 
+    def quiesce(self) -> None:
+        """Stabilize without logging: stage the cache and swing the root,
+        but append no :class:`CheckpointRecord`.
+
+        Sound because recovery reads the replay start from the *root
+        pointer*, never from checkpoint records — the swing alone moves
+        the replayed suffix out of ``redo_set``.  The append-free form is
+        what keeps repeated cold starts byte-identical: a second cold
+        start replays the (now empty) suffix after the swung root and
+        quiesces into a no-op.
+        """
+        self.machine.log.flush(barrier=True)
+        if not self._cache:
+            return
+        checkpoint_lsn = self.machine.log.stable_lsn
+        self.shadow.stage_pages(self._cache.values())
+        self.shadow.swing_pointer(checkpoint_lsn)
+        self._cache.clear()
+
     def durable_count(self) -> int:
         return self.machine.log.stable_count_of(LogicalRedo)
 

@@ -206,6 +206,23 @@ class MetricsRegistry:
             raise MetricsError(f"collector namespace {namespace!r} already taken")
         self._collectors[namespace] = collect
 
+    def merge(self, prefix: str, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s metrics into this registry under ``prefix``.
+
+        Late-bound, not a copy: ``other.snapshot`` is adopted as a
+        collector, so every future snapshot of this registry re-reads
+        the child registry live and publishes its dotted names as
+        ``prefix.<name>``.  This is how a deployment folds N per-shard
+        registries into one report — each shard keeps its own registry
+        (same code path as a standalone engine) and the router pays one
+        ``merge("shard00", ...)`` per shard.  Namespacing makes cross-
+        shard collisions impossible by construction; a duplicate
+        ``prefix`` raises, same as any collector namespace.
+        """
+        if other is self:
+            raise MetricsError("cannot merge a registry into itself")
+        self.register_collector(prefix, other.snapshot)
+
     # -- reads ---------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:

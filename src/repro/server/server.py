@@ -25,6 +25,13 @@ waits outside the lock) makes the handler safe without any locking of
 its own.  ``commit`` replies only after the session's last LSN is
 stable — under the pipeline, that is one shared fsync per window, so a
 thousand clients committing concurrently cost a handful of fsyncs.
+
+**Sharded deployments.**  The server is duck-typed over its database:
+anything with ``session()`` / ``report()`` / ``close()`` serves, and a
+:class:`~repro.shard.ShardedDatabase` qualifies — its sessions route
+each command to the key's owning shard, so the handler needs no
+sharding special case and ``serve --shards N`` is the same front-end
+over N engines.
 """
 
 from __future__ import annotations
@@ -88,14 +95,16 @@ class _Handler(socketserver.StreamRequestHandler):
 
 
 class KVServer(socketserver.ThreadingTCPServer):
-    """A thread-per-connection front-end over one :class:`KVDatabase`."""
+    """A thread-per-connection front-end over one database — a single
+    :class:`KVDatabase` or a :class:`~repro.shard.ShardedDatabase`
+    (anything whose sessions speak execute/get/commit/sync/last_lsn)."""
 
     allow_reuse_address = True
     daemon_threads = True
 
     def __init__(
         self,
-        db: KVDatabase,
+        db: KVDatabase | Any,
         host: str = "127.0.0.1",
         port: int = 0,
         session_commit_every: int = 1,

@@ -235,3 +235,68 @@ class TestCliTracing:
         recovery = timeline.recoveries()[0]
         assert recovery.field("scanned") == report["method_records_scanned"]
         assert recovery.field("redo_start") is not None
+
+
+class TestShardedLogdump:
+    """``logdump`` over a sharded deployment root (DEPLOY.json)."""
+
+    def _deployment(self, tmp_path, n_shards=3):
+        from repro.engine import EngineSpec
+        from repro.shard import ShardedDatabase
+
+        sdb = ShardedDatabase.create(
+            root=tmp_path,
+            n_shards=n_shards,
+            spec=EngineSpec(
+                method="physiological", commit_every=1, fsync=False
+            ),
+        )
+        sdb.run([("put", f"k{i}", i) for i in range(24)])
+        sdb.sync()
+        sdb.close()
+        return sdb
+
+    def test_sharded_root_dumps_every_shard(self, tmp_path, capsys):
+        self._deployment(tmp_path)
+        assert main(["logdump", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        # Every line except the footer carries its shard-directory prefix.
+        for line in lines[:-1]:
+            assert line.startswith("[shard-0")
+        for shard in ("shard-00", "shard-01", "shard-02"):
+            assert any(line.startswith(f"[{shard}] ==") for line in lines)
+        assert lines[-1].endswith("across 3 shard(s)")
+        # The per-shard record counts add up to the footer's total.
+        body = [line for line in lines if "crc=" in line]
+        assert lines[-1].startswith(f"{len(body)} records in")
+
+    def test_sharded_root_torn_tail_drives_exit_code(self, tmp_path, capsys):
+        self._deployment(tmp_path)
+        tail = sorted((tmp_path / "shard-01").glob("segment-*.wal"))[-1]
+        tail.write_bytes(tail.read_bytes()[:-3])
+        assert main(["logdump", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "[shard-01]" in out and "torn tail at byte" in out
+        assert "1 torn tail(s)" in out
+
+    def test_sharded_root_corrupt_manifest(self, tmp_path, capsys):
+        self._deployment(tmp_path)
+        (tmp_path / "DEPLOY.json").write_text("{not json")
+        assert main(["logdump", str(tmp_path)]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_plain_directory_output_is_unchanged(self, tmp_path, capsys):
+        """No DEPLOY.json → the original single-log format, no prefixes."""
+        from repro.engine import KVDatabase
+
+        db = KVDatabase(
+            method="physiological", log_dir=tmp_path, commit_every=1
+        )
+        db.run([("put", "a", 1), ("put", "b", 2)])
+        db.sync()
+        db.close()
+        assert main(["logdump", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[shard-" not in out
+        assert "across" not in out

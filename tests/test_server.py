@@ -4,6 +4,7 @@ simulated-client harness (the E19 load path)."""
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -162,3 +163,182 @@ class TestHarness:
         stats = db.pipeline.stats()
         assert stats["windows"] + stats["fast_path"] < stats["commits"]
         db.close()
+
+
+class TestShardedServer:
+    """The same front-end over a ShardedDatabase: per-command routing,
+    deployment stats, and durability across a cold start."""
+
+    @pytest.fixture()
+    def sharded_server(self, tmp_path):
+        from repro.engine import EngineSpec
+        from repro.shard import ShardedDatabase
+
+        sdb = ShardedDatabase.create(
+            root=tmp_path / "dep",
+            n_shards=3,
+            spec=EngineSpec(method="physiological", commit_pipeline=True),
+        )
+        server = KVServer(sdb)
+        server.serve_background()
+        yield sdb, server
+        server.close()
+
+    def test_roundtrip_routes_by_key(self, sharded_server):
+        sdb, server = sharded_server
+        with KVClient(*server.address) as client:
+            for i in range(12):
+                client.put(f"key{i}", i)
+            client.commit()
+            for i in range(12):
+                assert client.get(f"key{i}") == i
+        # every key landed on the shard the keymap names
+        for index, shard in enumerate(sdb.shards):
+            for key in shard.method.dump():
+                assert sdb.keymap.shard_of(key) == index
+
+    def test_stats_report_deployment_shape(self, sharded_server):
+        _, server = sharded_server
+        with KVClient(*server.address) as client:
+            client.put("a", 1)
+            client.commit()
+            stats = client.stats()
+        assert stats["n_shards"] == 3
+        assert stats["sessions_served"] >= 1
+        assert any(key.startswith("shard02_") for key in stats)
+
+    def test_concurrent_clients_spread_across_shards(self, sharded_server):
+        sdb, server = sharded_server
+        errors = []
+
+        def one_client(i):
+            try:
+                with KVClient(*server.address) as client:
+                    for j in range(4):
+                        client.put(client_key(i, j), 100 * i + j)
+                    client.commit()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one_client, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sdb.durable_count() == 32
+        sdb.verify_against(
+            [c for shard in sdb.shards for c in shard.applied]
+        )
+
+    def test_committed_data_survives_deployment_cold_start(self, tmp_path):
+        from repro.engine import EngineSpec
+        from repro.shard import ShardedDatabase
+
+        root = tmp_path / "dep"
+        sdb = ShardedDatabase.create(
+            root=root, n_shards=2, spec=EngineSpec(commit_pipeline=True)
+        )
+        server = KVServer(sdb)
+        server.serve_background()
+        with KVClient(*server.address) as client:
+            client.put("durable", 42)
+            client.put("other", 7)
+            client.commit()
+        server.close()
+        reborn = ShardedDatabase.cold_start(root, processes=0)
+        assert reborn.get("durable") == 42
+        assert reborn.get("other") == 7
+        reborn.close()
+
+
+class TestClientRetries:
+    def test_retries_off_by_default(self, tmp_path):
+        # A closed listener does not kill established connections (each
+        # handler runs on its own daemon thread), so sever the client's
+        # socket too — the observable form of a server dying under it.
+        db = KVDatabase(method="physiological", commit_pipeline=True)
+        server = KVServer(db)
+        server.serve_background()
+        client = KVClient(*server.address)
+        assert client.retries == 0
+        server.close()
+        client._sock.shutdown(socket.SHUT_RDWR)
+        with pytest.raises((ConnectionError, OSError)):
+            client.put("a", 1)
+        client.close()
+
+    def test_retry_rides_over_a_server_restart(self, tmp_path):
+        """Kill the listener mid-conversation, restart it on the same
+        port, and watch a retries>0 client reconnect and finish."""
+        db = KVDatabase(
+            method="physiological", log_dir=tmp_path, commit_pipeline=True
+        )
+        server = KVServer(db)
+        server.serve_background()
+        host, port = server.address
+        client = KVClient(host, port, retries=8, backoff=0.01)
+        client.put("before", 1)
+        client.commit()
+        server.close()
+        client._sock.shutdown(socket.SHUT_RDWR)  # the old peer is gone
+
+        def restart():
+            time.sleep(0.05)
+            reborn_db = KVDatabase.cold_start(
+                tmp_path, method="physiological", commit_pipeline=True
+            )
+            reborn = KVServer(reborn_db, host=host, port=port)
+            reborn.serve_background()
+            return reborn
+
+        restarter = ThreadWithResult(restart)
+        restarter.start()
+        # The listener is down right now: this request must survive the
+        # refused-connect window via backoff, then land on the reborn
+        # server's fresh session.
+        client.put("after", 2)
+        client.commit()
+        assert client.reconnects >= 1
+        assert client.get("before") == 1
+        assert client.get("after") == 2
+        client.close()
+        restarter.join()
+        restarter.result.close()
+
+    def test_retry_budget_exhausts(self):
+        """With the listener gone for good, every redial is refused: the
+        budget burns down and the last failure propagates."""
+        db = KVDatabase(method="physiological", commit_pipeline=True)
+        server = KVServer(db)
+        server.serve_background()
+        client = KVClient(*server.address, retries=2, backoff=0.01)
+        server.close()
+        client._sock.shutdown(socket.SHUT_RDWR)
+        with pytest.raises((ConnectionError, OSError)):
+            client.put("a", 1)
+        assert client.reconnects == 0  # no redial ever succeeded
+        client.close()
+
+    def test_server_errors_are_never_retried(self, tmp_path):
+        db = KVDatabase(method="physiological", commit_pipeline=True)
+        server = KVServer(db)
+        server.serve_background()
+        client = KVClient(*server.address, retries=5, backoff=0.01)
+        with pytest.raises(ServerError):
+            client.request(op="frobnicate")
+        assert client.reconnects == 0
+        client.close()
+        server.close()
+
+
+class ThreadWithResult(threading.Thread):
+    def __init__(self, fn):
+        super().__init__()
+        self.fn = fn
+        self.result = None
+
+    def run(self):
+        self.result = self.fn()

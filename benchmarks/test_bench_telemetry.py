@@ -1,0 +1,218 @@
+"""E22: the price of watching — telemetry on vs off under E19 load.
+
+Telemetry only earns its place if it is effectively free.  This
+experiment runs the E19 commit-throughput workload on identical
+databases in three configurations:
+
+- **off** — the ``--no-telemetry`` baseline: no tracer, no server-side
+  instrumentation at all.
+- **default** — exactly what ``repro serve`` ships: the engine runs
+  untraced, while a live :class:`KVServer` (telemetry on, its own
+  tracer teed into the on-disk flight ring) emits the serve span and
+  health heartbeats alongside the workload.  The acceptance bar applies
+  here: >= 95% of the baseline's commits/s, best of N interleaved
+  trials.
+- **firehose** — the ``--trace-ops`` opt-in: every engine event (log
+  appends, forces, commits) tees into the in-memory ring *and* the
+  flight recorder.  Measured and reported so the flag's cost is a
+  number, not an adjective — but deliberately NOT held to the 5% bar;
+  JSON-encoding a record per operation is a double-digit tax, which is
+  exactly why it is not the default.
+
+Also reported: the flight ring's accounting (records appended, fixed
+file size, laps) and the cost of one ``observe_latency`` call, measured
+directly — the per-request timing the in-process harness cannot
+exercise (it bypasses the server's dispatch loop).
+
+Results go to E22.txt and ``BENCH_telemetry.json``.  Set
+``E22_CLIENTS``, ``E22_OPS``, ``E22_WORKERS``, ``E22_TRIALS`` to shrink
+the run for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.engine import KVDatabase
+from repro.obs import (
+    FlightRecorder,
+    FlightRecorderSink,
+    RingBufferSink,
+    TeeSink,
+    Tracer,
+    flight_ring_path,
+)
+from repro.server import run_simulated_clients
+from repro.server.server import KVServer
+
+from benchmarks.conftest import RESULTS_DIR, emit, table
+
+N_CLIENTS = int(os.environ.get("E22_CLIENTS", 1000))
+OPS_PER_CLIENT = int(os.environ.get("E22_OPS", 4))
+WORKERS = int(os.environ.get("E22_WORKERS", 64))
+# This container's run-to-run drift is large relative to a sub-second
+# load run (single-trial ratios swing 0.87-1.67 for identical configs);
+# best-of-N interleaved converges both modes onto the machine's fast
+# state, and N=6 was the smallest count that did so reliably here.
+TRIALS = int(os.environ.get("E22_TRIALS", 6))
+MIN_RATIO = 0.95  # default telemetry must keep >= 95% of baseline commits/s
+
+MODES = ("off", "default", "firehose")
+
+
+def run_mode(mode: str):
+    """One E19-shaped load run; returns (LoadResult, ring accounting)."""
+    log_dir = tempfile.mkdtemp(prefix="e22-")
+    tracer = None
+    recorder = None
+    server = None
+    try:
+        if mode != "off":
+            recorder = FlightRecorder.attach(flight_ring_path(log_dir))
+            tracer = Tracer(
+                TeeSink(
+                    RingBufferSink(capacity=4096), FlightRecorderSink(recorder)
+                )
+            )
+        db = KVDatabase(
+            method="physiological",
+            cache_capacity=64,
+            log_dir=log_dir,
+            commit_pipeline=True,
+            tracer=tracer if mode == "firehose" else None,
+        )
+        if mode != "off":
+            # The serve-shaped instrumentation: a live server whose own
+            # tracer carries the serve span and fast heartbeats while
+            # the workload hammers the same database underneath.
+            server = KVServer(
+                db, telemetry=True, tracer=tracer, heartbeat_interval=0.2
+            )
+            server.serve_background()
+        result = run_simulated_clients(
+            db,
+            n_clients=N_CLIENTS,
+            ops_per_client=OPS_PER_CLIENT,
+            commit_every=1,
+            workers=WORKERS,
+        )
+        db.verify_against()
+        if server is not None:
+            server.close()  # closes db too
+        else:
+            db.close()
+        ring = {}
+        if recorder is not None:
+            ring = {
+                "appended": recorder.appended,
+                "n_slots": recorder.n_slots,
+                "wraps": recorder.appended // recorder.n_slots,
+                "truncated_payloads": recorder.truncated_payloads,
+                "file_bytes": os.path.getsize(recorder.path),
+            }
+        return result, ring
+    finally:
+        if tracer is not None:
+            tracer.close()
+        shutil.rmtree(log_dir, ignore_errors=True)
+
+
+def measure_observe_latency_ns(samples: int = 100_000) -> float:
+    """Direct cost of the server's per-request timing hook, ns/call."""
+    server = KVServer.__new__(KVServer)  # no socket; just the metrics
+    server.telemetry = True
+    import threading
+
+    from repro.obs import MetricsRegistry
+
+    server.metrics = MetricsRegistry()
+    server._latency = {}
+    server._latency_lock = threading.Lock()
+    start = time.perf_counter()
+    for _ in range(samples):
+        server.observe_latency("put", 0.001)
+    return (time.perf_counter() - start) / samples * 1e9
+
+
+def test_e22_telemetry_overhead():
+    # Interleave the modes across trials so slow-machine drift (thermal,
+    # competing load) cannot systematically favor any configuration.
+    best = {mode: None for mode in MODES}
+    ring_stats = {mode: {} for mode in MODES}
+    for _ in range(TRIALS):
+        for mode in MODES:
+            result, ring = run_mode(mode)
+            if (
+                best[mode] is None
+                or result.commits_per_sec > best[mode].commits_per_sec
+            ):
+                best[mode] = result
+                ring_stats[mode] = ring
+
+    off = best["off"]
+    ratios = {
+        mode: (
+            best[mode].commits_per_sec / off.commits_per_sec
+            if off.commits_per_sec
+            else 1.0
+        )
+        for mode in MODES
+    }
+    observe_ns = measure_observe_latency_ns()
+
+    rows = [
+        [
+            mode,
+            best[mode].commits,
+            f"{best[mode].commits_per_sec:.0f}",
+            f"{best[mode].latency_ms(0.50):.2f}",
+            f"{best[mode].latency_ms(0.99):.2f}",
+            f"{ratios[mode]:.1%}",
+        ]
+        for mode in MODES
+    ]
+    ring = ring_stats["default"]
+    lines = table(
+        rows,
+        headers=["telemetry", "commits", "commits/s", "p50_ms", "p99_ms", "vs off"],
+    )
+    lines += [
+        "",
+        f"default (serve span + heartbeats, engine untraced): "
+        f"{ratios['default']:.1%} of baseline "
+        f"(floor {MIN_RATIO:.0%}, best of {TRIALS} trials each, interleaved)",
+        f"firehose (--trace-ops, every engine event traced): "
+        f"{ratios['firehose']:.1%} of baseline — informational; this cost "
+        f"is why per-op tracing is opt-in",
+        f"flight ring (default mode): {ring.get('appended', 0)} records into "
+        f"{ring.get('n_slots', 0)} slots "
+        f"({ring.get('wraps', 0)} full laps, "
+        f"{ring.get('file_bytes', 0)} bytes on disk, fixed)",
+        f"server observe_latency hook: {observe_ns:.0f} ns/call "
+        f"(two clock reads + one histogram bucket)",
+    ]
+    emit("E22", "telemetry overhead: default/firehose vs off under E19 load", lines)
+    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
+        json.dumps(
+            {
+                "clients": N_CLIENTS,
+                "ops_per_client": OPS_PER_CLIENT,
+                "trials": TRIALS,
+                "modes": {mode: best[mode].as_dict() for mode in MODES},
+                "ratio": round(ratios["default"], 4),
+                "ratio_firehose": round(ratios["firehose"], 4),
+                "floor": MIN_RATIO,
+                "flight_ring": ring_stats,
+                "observe_latency_ns": round(observe_ns, 1),
+            },
+            indent=1,
+        )
+    )
+    assert ratios["default"] >= MIN_RATIO, (
+        f"default telemetry must cost <= {1 - MIN_RATIO:.0%} of commit "
+        f"throughput; kept only {ratios['default']:.1%}"
+    )

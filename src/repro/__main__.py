@@ -40,7 +40,25 @@ Commands
     disables the pipeline, for comparison).  ``--shards N`` serves a
     sharded deployment (per-shard WALs under the ``--log-dir`` root;
     an existing ``DEPLOY.json`` root cold-starts, ``--shards`` then
-    optional).  Prints ``listening on HOST:PORT`` once bound.
+    optional, with a live per-shard recovery progress line).  Telemetry
+    is on by default: per-op latency histograms behind ``stats``, the
+    ``health`` op, and (with ``--log-dir``) a crash flight recorder in
+    the log root fed by the server's serve span and 1 Hz health
+    heartbeats — the engines stay untraced unless ``--trace-ops`` opts
+    into the per-operation firehose (a measured double-digit throughput
+    tax, see E22).  ``--no-telemetry`` turns all of it off (the E22
+    baseline).  Prints ``listening on HOST:PORT`` once bound.
+``top --port N [--host H] [--interval S] [--once]``
+    A polling terminal dashboard over a live server: per-shard stable
+    LSN / pipeline depth / dirty pages, throughput rates, and per-op
+    latency quantiles.  ``--once`` renders a single frame and exits
+    (tests and CI).
+``postmortem <dir> [--ring FILE] [--last N]``
+    Read-only forensics after a crash: joins the flight ring's final
+    trace records (unclosed spans rendered INTERRUPTED) with the WAL
+    tail (last stable LSN per log, torn-tail report) into one account
+    of the final moments.  Works on a single log directory or a
+    deployment root.
 """
 
 from __future__ import annotations
@@ -371,17 +389,52 @@ def cmd_logdump(args) -> int:
     return 1 if torn else 0
 
 
+def _serve_tracer(log_dir, telemetry: bool):
+    """The serve tracer: in-memory ring teed into an on-disk flight ring.
+
+    With telemetry off (or no log directory for the ring file) the
+    flight recorder is skipped; with telemetry off entirely the shared
+    NULL tracer keeps every instrumentation site at one branch.
+    """
+    if not telemetry:
+        return None
+    from repro.obs import FlightRecorderSink, RingBufferSink, TeeSink, Tracer
+    from repro.obs.flightrec import FlightRecorder, flight_ring_path
+
+    import os
+
+    ring = RingBufferSink(capacity=4096)
+    if not log_dir:
+        return Tracer(ring)
+    # The log root may not exist yet (fresh create path): the recorder
+    # needs its directory before the engine lays down segment files.
+    os.makedirs(log_dir, exist_ok=True)
+    recorder = FlightRecorder.attach(flight_ring_path(log_dir))
+    return Tracer(TeeSink(ring, FlightRecorderSink(recorder)))
+
+
 def cmd_serve(args) -> int:
     """Run the threaded KV server until interrupted.
 
     With ``--shards N`` the same front-end serves a sharded deployment:
     ``--log-dir`` then names the deployment *root* — cold-started when
     it already holds a ``DEPLOY.json`` manifest (``--shards`` may be
-    omitted; the manifest knows), created fresh otherwise.
+    omitted; the manifest knows), created fresh otherwise.  A sharded
+    cold start prints one progress line per shard as its replay lands.
     """
+    import os
+
     from repro.engine import KVDatabase
     from repro.server import KVServer
 
+    telemetry = not args.no_telemetry
+    tracer = _serve_tracer(args.log_dir, telemetry)
+    # The engine firehose (a trace record per log append/force/replay) is
+    # measurably expensive at serve throughput — E22 puts it at a
+    # double-digit commits/s tax — so by default only the *server* gets
+    # the tracer (serve span + heartbeat into the flight ring) and the
+    # engines run untraced.  --trace-ops opts into the full firehose.
+    engine_tracer = tracer if args.trace_ops else None
     shards = args.shards
     if args.log_dir and shards is None:
         # A deployment root is self-describing; serving one without
@@ -400,8 +453,48 @@ def cmd_serve(args) -> int:
             fsync=not args.no_fsync,
         )
         if args.log_dir and is_deployment_root(args.log_dir):
-            db = ShardedDatabase.cold_start(args.log_dir)
+
+            def shard_ready(result: dict) -> None:
+                print(
+                    f"[shard-{result['shard']:02d}] ready in "
+                    f"{result['time_to_ready_s']:.2f}s "
+                    f"(replayed={result['replayed']} "
+                    f"stable_lsn={result['stable_lsn']} "
+                    f"torn_tails={result['torn_tails']})",
+                    flush=True,
+                )
+
+            db = ShardedDatabase.cold_start(
+                args.log_dir,
+                tracer=engine_tracer,
+                on_progress=shard_ready if telemetry else None,
+                progress=telemetry,
+            )
+            if tracer is not None and db.cold_report is not None:
+                tracer.event(
+                    "serve.cold_start",
+                    wall_s=round(db.cold_report["wall_s"], 3),
+                    critical_path_s=round(
+                        db.cold_report["critical_path_s"], 3
+                    ),
+                    shards=[
+                        {
+                            "shard": r["shard"],
+                            "stable_lsn": r["stable_lsn"],
+                            "time_to_ready_s": round(
+                                r["time_to_ready_s"], 3
+                            ),
+                        }
+                        for r in db.cold_report["per_shard"]
+                    ],
+                )
             n_shards = db.keymap.n_shards
+            if telemetry and db.cold_report is not None:
+                print(
+                    f"cold start: wall {db.cold_report['wall_s']:.2f}s, "
+                    f"critical path {db.cold_report['critical_path_s']:.2f}s",
+                    flush=True,
+                )
             if shards not in (0, n_shards):
                 print(
                     f"--shards {shards} conflicts with the manifest's "
@@ -410,7 +503,10 @@ def cmd_serve(args) -> int:
                 )
         else:
             db = ShardedDatabase.create(
-                root=args.log_dir or None, n_shards=max(1, shards), spec=spec
+                root=args.log_dir or None,
+                n_shards=max(1, shards),
+                spec=spec,
+                tracer=engine_tracer,
             )
         print(
             f"sharded: {db.keymap.n_shards} shards, "
@@ -423,25 +519,71 @@ def cmd_serve(args) -> int:
             method=args.method,
             commit_pipeline=not args.per_session_force,
             fsync=not args.no_fsync,
+            tracer=engine_tracer,
         )
     else:
         db = KVDatabase(
-            method=args.method, commit_pipeline=not args.per_session_force
+            method=args.method,
+            commit_pipeline=not args.per_session_force,
+            tracer=engine_tracer,
         )
     server = KVServer(
         db,
         host=args.host,
         port=args.port,
         session_commit_every=args.commit_every,
+        telemetry=telemetry,
+        tracer=tracer,
     )
     host, port = server.address
-    print(f"listening on {host}:{port}", flush=True)
+    print(f"listening on {host}:{port} (pid {os.getpid()})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Poll a live server and render the terminal dashboard."""
+    from repro.server import run_top
+
+    try:
+        return run_top(
+            args.host,
+            args.port,
+            interval=args.interval,
+            once=args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_postmortem(args) -> int:
+    """Render the forensic narrative for a crashed deployment."""
+    from pathlib import Path
+
+    from repro.obs.postmortem import collect_postmortem, render_postmortem
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"{root}: no such directory", file=sys.stderr)
+        return 2
+    report = collect_postmortem(root, ring_path=args.ring, last_events=args.last)
+    print(render_postmortem(report))
+    if not report["ok"]:
+        print(
+            f"{root}: neither segment files nor a flight ring found",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -593,6 +735,59 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip fsync on the durable log (benchmarks only)",
     )
+    serve.add_argument(
+        "--no-telemetry",
+        dest="no_telemetry",
+        action="store_true",
+        help="disable latency histograms, tracing, and the flight "
+        "recorder (the E22 overhead baseline)",
+    )
+    serve.add_argument(
+        "--trace-ops",
+        dest="trace_ops",
+        action="store_true",
+        help="also trace the engine's per-operation firehose (log "
+        "appends, forces, replay) into the flight ring — a measured "
+        "double-digit throughput tax; the default traces only the "
+        "server's serve span and 1 Hz health heartbeats",
+    )
+    top = sub.add_parser(
+        "top", help="polling terminal dashboard over a live server"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default: 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (scripts, CI)",
+    )
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="read-only crash forensics: flight ring + WAL tail",
+    )
+    postmortem.add_argument(
+        "path", help="a log directory or sharded deployment root"
+    )
+    postmortem.add_argument(
+        "--ring",
+        default=None,
+        metavar="FILE",
+        help="flight ring file (default: FLIGHT.ring under the root)",
+    )
+    postmortem.add_argument(
+        "--last",
+        type=int,
+        default=20,
+        metavar="N",
+        help="how many final trace records to show (default: 20)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "scenarios": cmd_scenarios,
@@ -602,6 +797,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "logdump": cmd_logdump,
         "serve": cmd_serve,
+        "top": cmd_top,
+        "postmortem": cmd_postmortem,
     }
     return handlers[args.command](args)
 

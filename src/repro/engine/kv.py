@@ -50,6 +50,7 @@ from typing import Any, Sequence
 from repro.logmgr.pipeline import GroupCommitPipeline
 from repro.methods import METHODS, Machine, RecoveryMethodKV
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import RecoveryProgress
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.workloads.kv import KVOp, apply_to_oracle
 
@@ -116,6 +117,7 @@ class EngineSpec:
         *,
         recover: bool = True,
         tracer: Tracer | None = None,
+        progress: "RecoveryProgress | None" = None,
     ) -> "KVDatabase":
         """Restart an engine of this spec from its segment directory."""
         kwargs = self._kwargs()
@@ -126,6 +128,7 @@ class EngineSpec:
             method=self.method,
             recover=recover,
             tracer=tracer,
+            progress=progress,
             **kwargs,
         )
 
@@ -167,6 +170,7 @@ class KVDatabase:
         fsync: bool = True,
         commit_pipeline: bool = False,
         machine: Machine | None = None,
+        progress: RecoveryProgress | None = None,
     ):
         if method not in METHODS:
             raise ValueError(
@@ -183,6 +187,7 @@ class KVDatabase:
                 log_dir=log_dir,
                 group_commit=group_commit,
                 fsync=fsync,
+                progress=progress,
             )
         self.method: RecoveryMethodKV = METHODS[method](
             machine, n_pages=n_pages, **(method_options or {})
@@ -232,6 +237,7 @@ class KVDatabase:
         commit_pipeline: bool = False,
         recover: bool = True,
         tracer: Tracer | None = None,
+        progress: RecoveryProgress | None = None,
     ) -> "KVDatabase":
         """Restart from durable state alone: segment files plus a disk.
 
@@ -265,6 +271,7 @@ class KVDatabase:
             tracer=tracer_obj,
             disk=disk,
             log=log,
+            progress=progress,
         )
         db = cls(
             method=method,
@@ -578,6 +585,30 @@ class KVDatabase:
             assert label not in stats, f"report key collision on {label!r}"
             stats[label] = value
         return stats
+
+    def health(self) -> dict[str, Any]:
+        """The liveness essentials, cheap enough to poll.
+
+        ``pipeline_depth`` is the volatile log tail in records (appended
+        but not yet stable — what a crash right now would lose);
+        ``dirty_pages`` reads the install scheduler's live dirty-page
+        table (:meth:`~repro.cache.scheduler.InstallScheduler.rec_lsns`),
+        the same table a post-crash analysis pass would reconstruct.
+        """
+        with self.mutex:
+            log = self.method.machine.log
+            stable = log.stable_lsn
+            next_lsn = log.next_lsn
+            dirty = len(self.method.machine.pool.scheduler.rec_lsns())
+        return {
+            "method": self.method_name,
+            "stable_lsn": stable,
+            "next_lsn": next_lsn,
+            "pipeline_depth": max(0, next_lsn - 1 - stable),
+            "dirty_pages": dirty,
+            "operations": self.method.stats.operations,
+            "recoveries": self.method.stats.recoveries,
+        }
 
 
 class Session:

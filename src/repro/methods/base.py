@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.cache import BufferPool
 from repro.logmgr import LogManager
+from repro.obs.progress import NULL_PROGRESS, RecoveryProgress
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.storage import Disk
 
@@ -76,8 +77,10 @@ class Machine:
         fsync: bool = True,
         disk: Disk | None = None,
         log: LogManager | None = None,
+        progress: RecoveryProgress | None = None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.progress = progress if progress is not None else NULL_PROGRESS
         self.disk = disk if disk is not None else Disk()
         if log is not None:
             # A prebuilt manager (e.g. LogManager.open's cold start).

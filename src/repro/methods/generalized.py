@@ -157,12 +157,15 @@ class GeneralizedKV(RecoveryMethodKV):
         from repro.methods.physiological import analysis_pass
 
         tracer = self.tracer
+        progress = self.machine.progress
         span = tracer.span("recovery", method=self.name, full_scan=full_scan)
         before = self.stats.as_dict()
         self.machine.reboot_pool()
 
         log = self.machine.log
         scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
+        if progress.enabled:
+            progress.set_phase("analysis")
         analysis = tracer.span("recovery.analysis", scan_from=scan_from)
         table, redo_start = analysis_pass(log.stable_records_from(scan_from))
         if full_scan:
@@ -172,6 +175,9 @@ class GeneralizedKV(RecoveryMethodKV):
         pool = self.machine.pool
         reader = lambda pid: pool.get_page(pid, create=True)
         records = log.stable_records_from(redo_start)
+        if progress.enabled:
+            progress.set_phase("redo")
+            records = progress.watch(records, log=log, stats=self.stats)
         if tracer.enabled:
             records = traced_segments(tracer, log, records)
         for entry in records:
@@ -256,3 +262,5 @@ class GeneralizedKV(RecoveryMethodKV):
             replayed=self.stats.records_replayed - before["records_replayed"],
             skipped=self.stats.records_skipped - before["records_skipped"],
         )
+        if progress.enabled:
+            progress.finish()

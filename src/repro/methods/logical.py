@@ -192,16 +192,22 @@ class LogicalKV(RecoveryMethodKV):
         the segment files, so a process that lost every Python object
         still recovers to the identical shadow state."""
         tracer = self.tracer
+        progress = self.machine.progress
         span = tracer.span("recovery", method=self.name, full_scan=full_scan)
         before = self.stats.as_dict()
         self.machine.reboot_pool()
         self._cache.clear()
         self.shadow = ShadowStore(self.machine.disk)
         self.shadow.abandon_staging()  # half-built staging is garbage
+        if progress.enabled:
+            progress.set_phase("analysis")
         analysis = tracer.span("recovery.analysis")
         checkpoint_lsn = self.shadow.checkpoint_lsn()
         analysis.end(checkpoint_lsn=checkpoint_lsn, redo_start=checkpoint_lsn + 1)
         records = self.machine.log.stable_records_from(checkpoint_lsn + 1)
+        if progress.enabled:
+            progress.set_phase("redo")
+            records = progress.watch(records, log=self.machine.log, stats=self.stats)
         if tracer.enabled:
             records = traced_segments(tracer, self.machine.log, records)
         for record in records:
@@ -229,6 +235,8 @@ class LogicalKV(RecoveryMethodKV):
             replayed=self.stats.records_replayed - before["records_replayed"],
             skipped=self.stats.records_skipped - before["records_skipped"],
         )
+        if progress.enabled:
+            progress.finish()
 
     # ------------------------------------------------------------------
     # Inspection

@@ -161,10 +161,13 @@ class PhysicalKV(RecoveryMethodKV):
         log order is conflict-order consistent and Theorem 3 applies
         (see :mod:`repro.methods.partition`)."""
         tracer = self.tracer
+        progress = self.machine.progress
         span = tracer.span("recovery", method=self.name, full_scan=full_scan)
         before = self.stats.as_dict()
         self.machine.reboot_pool()
         log = self.machine.log
+        if progress.enabled:
+            progress.set_phase("analysis")
         analysis = tracer.span("recovery.analysis", full_scan=full_scan)
         start = 0 if full_scan else log.last_stable_checkpoint_lsn + 1
         analysis.end(redo_start=start)
@@ -197,10 +200,15 @@ class PhysicalKV(RecoveryMethodKV):
                 replayed=result.replayed,
                 skipped=result.skipped,
             )
+            if progress.enabled:
+                progress.finish()
             return
 
         pool = self.machine.pool
         records = log.stable_records_from(start)
+        if progress.enabled:
+            progress.set_phase("redo")
+            records = progress.watch(records, log=log, stats=self.stats)
         if tracer.enabled:
             records = traced_segments(tracer, log, records)
         for record in records:
@@ -235,3 +243,5 @@ class PhysicalKV(RecoveryMethodKV):
             replayed=self.stats.records_replayed - before["records_replayed"],
             skipped=self.stats.records_skipped - before["records_skipped"],
         )
+        if progress.enabled:
+            progress.finish()

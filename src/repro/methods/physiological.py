@@ -184,12 +184,15 @@ class PhysiologicalKV(RecoveryMethodKV):
         scan (see :mod:`repro.methods.partition`).
         """
         tracer = self.tracer
+        progress = self.machine.progress
         span = tracer.span("recovery", method=self.name, full_scan=full_scan)
         before = self.stats.as_dict()
         self.machine.reboot_pool()
 
         log = self.machine.log
         scan_from = 0 if full_scan else max(0, log.last_stable_checkpoint_lsn)
+        if progress.enabled:
+            progress.set_phase("analysis")
         analysis = tracer.span("recovery.analysis", scan_from=scan_from)
         table, redo_start = analysis_pass(log.stable_records_from(scan_from))
         if full_scan:
@@ -207,11 +210,17 @@ class PhysiologicalKV(RecoveryMethodKV):
             replayed=self.stats.records_replayed - before["records_replayed"],
             skipped=self.stats.records_skipped - before["records_skipped"],
         )
+        if progress.enabled:
+            progress.finish()
 
     def _redo_sequential(self, redo_start: int) -> None:
         pool = self.machine.pool
         tracer = self.tracer
+        progress = self.machine.progress
         records = self.machine.log.stable_records_from(redo_start)
+        if progress.enabled:
+            progress.set_phase("redo")
+            records = progress.watch(records, log=self.machine.log, stats=self.stats)
         if tracer.enabled:
             records = traced_segments(tracer, self.machine.log, records)
         for record in records:

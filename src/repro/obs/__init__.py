@@ -27,8 +27,16 @@ and a branch — no event dict is ever built (verified by the E17
 overhead benchmark).
 """
 
+from repro.obs.flightrec import (
+    FLIGHT_FILENAME,
+    FlightRecorder,
+    FlightRecorderError,
+    FlightRecorderSink,
+    flight_ring_path,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsError, MetricsRegistry
-from repro.obs.timeline import RecoveryTimeline, SpanNode, load_trace
+from repro.obs.progress import NULL_PROGRESS, RecoveryProgress
+from repro.obs.timeline import RecoveryTimeline, SpanNode, build_span_tree, load_trace
 from repro.obs.trace import (
     NULL_TRACER,
     JsonLinesSink,
@@ -36,25 +44,35 @@ from repro.obs.trace import (
     NullTracer,
     RingBufferSink,
     Span,
+    TeeSink,
     Tracer,
     traced_segments,
 )
 
 __all__ = [
     "Counter",
+    "FLIGHT_FILENAME",
+    "FlightRecorder",
+    "FlightRecorderError",
+    "FlightRecorderSink",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
     "MetricsError",
     "MetricsRegistry",
+    "NULL_PROGRESS",
     "NULL_TRACER",
     "NullSink",
     "NullTracer",
+    "RecoveryProgress",
     "RecoveryTimeline",
     "RingBufferSink",
     "Span",
     "SpanNode",
+    "TeeSink",
     "Tracer",
+    "build_span_tree",
+    "flight_ring_path",
     "load_trace",
     "traced_segments",
 ]

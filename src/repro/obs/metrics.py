@@ -24,6 +24,7 @@ collisions.  The :class:`MetricsRegistry` unifies them:
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 from typing import Any, Callable, Mapping
@@ -92,15 +93,45 @@ class Gauge:
 
 
 class Histogram:
-    """A running distribution summary: count / total / min / max.
+    """A quantile-capable distribution on fixed log-scale buckets.
 
-    Deliberately no buckets — the repo's benchmarks want exact summary
-    moments, and bucket boundaries would be one more thing to tune.
-    A snapshot publishes four keys: ``<name>.count``, ``<name>.total``,
-    ``<name>.min``, ``<name>.max``.
+    Exact moments (count / total / min / max) plus a fixed array of
+    geometrically spaced buckets so :meth:`quantile` can answer p50 /
+    p95 / p99 without retaining observations.  The bucket layout is
+    compile-time fixed — no tuning, no allocation per observation:
+
+    - bucket ``i`` covers ``[LOW * GROWTH**i, LOW * GROWTH**(i+1))``
+      with ``LOW = 2**-24`` (~6e-8) and ``GROWTH = 2**(1/4)`` (four
+      buckets per octave, ~19% relative width — quantile error is
+      bounded by one bucket's width);
+    - values below ``LOW`` (including 0) land in an underflow bucket
+      read back as ``LOW``; values past the top land in an overflow
+      bucket read back as the top boundary.  The range covers ~1e-7 to
+      ~2e3, i.e. 100 ns to half an hour when observations are seconds —
+      every latency this system can produce.
+
+    The bucket index is integer arithmetic on ``math.frexp`` (no
+    ``log`` call): ``frexp`` gives the power of two, and one comparison
+    ladder against precomputed sub-octave boundaries picks the quarter.
+
+    A snapshot publishes ``<name>.count``, ``.total``, ``.min``,
+    ``.max``, ``.mean``, ``.p50``, ``.p95``, ``.p99``.  All-zero when
+    empty — an empty histogram has an explicit empty summary, it never
+    divides by its zero count.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    # Four buckets per octave over 2**-24 .. 2**11 gives 140 buckets +
+    # under/overflow.  frexp(LOW) == (0.8388608, -23).
+    _GROWTH = 2.0 ** 0.25
+    _LOW_EXP = -23  # frexp exponent of the lowest boundary's octave
+    _OCTAVES = 35
+    _N_BUCKETS = _OCTAVES * 4
+    _LOW = 2.0 ** (_LOW_EXP - 1)  # ~5.96e-8, the underflow boundary
+    # Sub-octave boundaries for the comparison ladder: a mantissa m in
+    # [0.5, 1) falls in quarter q iff m >= 0.5 * GROWTH**q.
+    _QUARTERS = (0.5 * 2.0 ** 0.25, 0.5 * 2.0 ** 0.5, 0.5 * 2.0 ** 0.75)
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -108,29 +139,100 @@ class Histogram:
         self.total = 0
         self.min: Any = None
         self.max: Any = None
+        self._buckets = [0] * (self._N_BUCKETS + 2)  # + underflow, overflow
         self._lock = threading.Lock()
 
+    def _bucket_of(self, value: float) -> int:
+        """The bucket index for ``value`` (0 = underflow, last = overflow)."""
+        if value < self._LOW:
+            return 0
+        mantissa, exponent = math.frexp(value)
+        octave = exponent - self._LOW_EXP
+        if octave < 0:
+            return 0
+        quarters = self._QUARTERS
+        quarter = (
+            3 if mantissa >= quarters[2]
+            else 2 if mantissa >= quarters[1]
+            else 1 if mantissa >= quarters[0]
+            else 0
+        )
+        index = octave * 4 + quarter + 1
+        if index > self._N_BUCKETS:
+            return self._N_BUCKETS + 1
+        return index
+
+    @classmethod
+    def bucket_bound(cls, index: int) -> float:
+        """The upper boundary of bucket ``index`` (what quantile reads
+        back: the conservative edge, never an undershoot)."""
+        if index <= 0:
+            return cls._LOW
+        capped = min(index, cls._N_BUCKETS)
+        return cls._LOW * (cls._GROWTH ** capped)
+
     def observe(self, value) -> None:
-        """Record one observation (atomic: the four summary fields move
+        """Record one observation (atomic: moments and bucket move
         together, so a concurrent snapshot never sees a half-applied
         observation)."""
+        bucket = self._bucket_of(value)
         with self._lock:
             self.count += 1
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            self._buckets[bucket] += 1
 
     def mean(self) -> float:
         """The mean observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1), read off the buckets.
+
+        Returns the upper boundary of the bucket holding the q-th
+        observation — within one bucket width (~19%) of the true value,
+        clamped to the observed min/max so p0/p100 are exact.  0.0 when
+        empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile {q!r} out of [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            if q <= 0.0:
+                return self.min
+            if q >= 1.0:
+                return self.max
+            # Nearest-rank: the bucket holding the ceil(q*count)-th
+            # observation, read back as its upper boundary (a latency
+            # quantile should overshoot, never undershoot).
+            rank = max(1, math.ceil(q * self.count))
+            seen = 0
+            for index, n in enumerate(self._buckets):
+                seen += n
+                if n and seen >= rank:
+                    bound = self.bucket_bound(index)
+                    return max(self.min, min(self.max, bound))
+            return self.max  # unreachable; belt and braces
+
     def summary(self) -> dict[str, Any]:
-        """The four summary values keyed by suffix."""
+        """The summary values keyed by suffix — explicitly all-zero for
+        an empty histogram (the zero count is never a divisor)."""
+        if self.count == 0:
+            return {
+                "count": 0, "total": 0, "min": 0, "max": 0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "total": self.total,
-            "min": self.min if self.min is not None else 0,
-            "max": self.max if self.max is not None else 0,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:

@@ -112,13 +112,23 @@ class SpanNode:
         )
 
 
-def build_span_tree(records: Iterable[dict]) -> tuple[list[SpanNode], list[dict]]:
+def build_span_tree(
+    records: Iterable[dict], lenient: bool = False
+) -> tuple[list[SpanNode], list[dict]]:
     """Rebuild the span forest from a record stream.
 
     Returns ``(roots, top_events)`` where ``top_events`` are events
     emitted outside any span.  Raises :class:`TraceReadError` on
     references to unknown spans or double closes; leaving spans open is
     allowed (interrupted runs).
+
+    ``lenient=True`` is for *tails* of a trace — a flight ring holds
+    only the newest N records, so a span's start may have been
+    overwritten while its end or events survive.  In that mode dangling
+    references degrade instead of raising: an unknown parent makes the
+    span a root, an end for an unknown span synthesizes a closed root
+    (so its fields still render), an event for an unknown span becomes
+    a top-level event, and a double close merges end fields.
     """
     nodes: dict[int, SpanNode] = {}
     roots: list[SpanNode] = []
@@ -126,15 +136,19 @@ def build_span_tree(records: Iterable[dict]) -> tuple[list[SpanNode], list[dict]
     for record in records:
         kind = record["type"]
         if kind == "span_start":
-            node = SpanNode(record["id"], record["name"], record.get("fields", {}))
             if record["id"] in nodes:
+                if lenient:
+                    continue  # wrapped duplicate: keep the first sighting
                 raise TraceReadError(f"span id {record['id']} opened twice")
+            node = SpanNode(record["id"], record["name"], record.get("fields", {}))
             nodes[record["id"]] = node
             parent = record.get("parent")
             if parent is None:
                 roots.append(node)
             elif parent in nodes:
                 nodes[parent].children.append(node)
+            elif lenient:
+                roots.append(node)  # parent's start fell off the ring
             else:
                 raise TraceReadError(
                     f"span #{record['id']} has unknown parent #{parent}"
@@ -142,23 +156,30 @@ def build_span_tree(records: Iterable[dict]) -> tuple[list[SpanNode], list[dict]
         elif kind == "span_end":
             node = nodes.get(record["id"])
             if node is None:
-                raise TraceReadError(f"span_end for unknown span #{record['id']}")
+                if not lenient:
+                    raise TraceReadError(f"span_end for unknown span #{record['id']}")
+                node = SpanNode(record["id"], record.get("name", "?"), {})
+                nodes[record["id"]] = node
+                roots.append(node)
             if node.closed:
-                raise TraceReadError(f"span #{record['id']} closed twice")
-            node.closed = True
-            node.end_fields = record.get("fields", {})
+                if not lenient:
+                    raise TraceReadError(f"span #{record['id']} closed twice")
+                node.end_fields = {**node.end_fields, **record.get("fields", {})}
+            else:
+                node.closed = True
+                node.end_fields = record.get("fields", {})
         else:  # event
             span_id = record.get("span")
-            if span_id is None:
+            node = nodes.get(span_id) if span_id is not None else None
+            if node is not None:
+                node.events.append(record)
+            elif span_id is None or lenient:
                 top_events.append(record)
             else:
-                node = nodes.get(span_id)
-                if node is None:
-                    raise TraceReadError(
-                        f"event {record.get('name')!r} references unknown "
-                        f"span #{span_id}"
-                    )
-                node.events.append(record)
+                raise TraceReadError(
+                    f"event {record.get('name')!r} references unknown "
+                    f"span #{span_id}"
+                )
     return roots, top_events
 
 
@@ -177,9 +198,9 @@ class RecoveryTimeline:
     :class:`~repro.obs.trace.RingBufferSink` (:meth:`from_sink`).
     """
 
-    def __init__(self, records: Iterable[dict]):
+    def __init__(self, records: Iterable[dict], lenient: bool = False):
         self.records = list(records)
-        self.roots, self.top_events = build_span_tree(self.records)
+        self.roots, self.top_events = build_span_tree(self.records, lenient=lenient)
 
     @classmethod
     def from_file(cls, path: str) -> "RecoveryTimeline":
@@ -190,6 +211,11 @@ class RecoveryTimeline:
     def from_sink(cls, sink: Iterable[dict]) -> "RecoveryTimeline":
         """Build from an in-memory sink (e.g. a ring buffer)."""
         return cls(list(sink))
+
+    @classmethod
+    def from_flight_ring(cls, ring: Iterable[dict]) -> "RecoveryTimeline":
+        """Build leniently from a flight ring (a tail with dangling refs)."""
+        return cls(list(ring), lenient=True)
 
     # -- queries -------------------------------------------------------
 
@@ -203,6 +229,14 @@ class RecoveryTimeline:
     def recoveries(self) -> list[SpanNode]:
         """The ``recovery`` spans (one per crash/recover cycle traced)."""
         return self.spans("recovery")
+
+    def open_spans(self) -> list[SpanNode]:
+        """Every span left unclosed — what the process was doing when it died."""
+        found: list[SpanNode] = []
+        for root in self.roots:
+            found.extend(node for node in root.walk() if not node.closed)
+        found.sort(key=lambda node: node.span_id)
+        return found
 
     def events(self, name: str | None = None) -> list[dict]:
         """Every event (optionally filtered by name), in trace order."""

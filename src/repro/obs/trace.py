@@ -79,6 +79,44 @@ class RingBufferSink:
         return iter(self.records)
 
 
+class TeeSink:
+    """Fans each record out to several sinks (e.g. ring buffer + flight ring).
+
+    Emission order follows construction order; ``close`` closes every
+    sink, even if an earlier one raises.
+    """
+
+    def __init__(self, *sinks: Any):
+        if not sinks:
+            raise ValueError("TeeSink needs at least one sink")
+        self.sinks = tuple(sinks)
+
+    def emit(self, record: dict) -> None:
+        """Emit the record to every sink, in order."""
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        """Close every sink; the first failure propagates after all run."""
+        first_error: Exception | None = None
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as exc:  # pragma: no cover - defensive
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def __iter__(self) -> Iterator[dict]:
+        # Iterating a tee iterates its first iterable sink (the ring
+        # buffer in the standard ring+flight pairing).
+        for sink in self.sinks:
+            if hasattr(sink, "__iter__"):
+                return iter(sink)
+        return iter(())
+
+
 class JsonLinesSink:
     """Serializes each record as one JSON line to a file.
 

@@ -19,5 +19,13 @@ sockets) and measures commit throughput — the E19 experiment.
 from repro.server.client import KVClient
 from repro.server.harness import LoadResult, run_simulated_clients
 from repro.server.server import KVServer
+from repro.server.top import render_top, run_top
 
-__all__ = ["KVClient", "KVServer", "LoadResult", "run_simulated_clients"]
+__all__ = [
+    "KVClient",
+    "KVServer",
+    "LoadResult",
+    "render_top",
+    "run_simulated_clients",
+    "run_top",
+]

@@ -145,8 +145,14 @@ class KVClient:
         return self.request(op="sync")["stable_lsn"]
 
     def stats(self) -> dict[str, Any]:
-        """Server + engine counters (sessions, pipeline, method stats)."""
+        """Server + engine counters (sessions, pipeline, method stats,
+        per-op latency quantiles under ``stats()["latency"]``)."""
         return self.request(op="stats")["stats"]
+
+    def health(self) -> dict[str, Any]:
+        """Liveness essentials: uptime, sessions, stable LSNs, pipeline
+        depth, dirty pages (per shard on a sharded deployment)."""
+        return self.request(op="health")["health"]
 
     def ping(self) -> bool:
         """Liveness check; True when the server answers."""

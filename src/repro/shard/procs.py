@@ -22,11 +22,13 @@ the child's file-level truncation already happened, so the parent's
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from typing import Any
 
 from repro.engine.kv import EngineSpec
+from repro.obs.progress import RecoveryProgress
 from repro.storage import Disk, Page
 
 
@@ -45,19 +47,39 @@ def unpack_disk(pages: dict[str, tuple[dict, int]]) -> Disk:
     return disk
 
 
+def shard_progress_line(shard: int, snap: dict) -> str:
+    """One human-readable recovery progress line for a shard."""
+    return (
+        f"[shard-{shard:02d}] {snap['phase']}: "
+        f"segments={snap['segments']} records={snap['records']} "
+        f"replayed={snap['replayed']} "
+        f"bytes={snap['bytes']} ({snap['elapsed_s']:.2f}s)"
+    )
+
+
 def recover_shard(task: dict[str, Any]) -> dict[str, Any]:
     """Cold-start one shard in this process; return its quiesced image.
 
     ``task``: ``shard`` (index), ``dir`` (segment directory), ``spec``
     (:meth:`EngineSpec.as_dict`), ``pages`` (survivor disk image, may be
-    empty).  ``elapsed_s`` times the replay+quiesce alone — the per-shard
-    recovery cost, free of pool startup and result pickling, which is
-    what the E21 critical-path metric aggregates.
+    empty), ``progress`` (print live recovery lines to stderr — stderr
+    because it crosses the spawn-child boundary unbuffered and leaves
+    stdout to the protocol).  ``elapsed_s`` times the replay+quiesce
+    alone — the per-shard recovery cost, free of pool startup and result
+    pickling, which is what the E21 critical-path metric aggregates.
     """
     spec = EngineSpec.from_dict(task["spec"])
     survivor = unpack_disk(task.get("pages") or {})
+    progress = None
+    if task.get("progress"):
+        shard_index = task["shard"]
+
+        def print_line(snap: dict, shard=shard_index) -> None:
+            print(shard_progress_line(shard, snap), file=sys.stderr, flush=True)
+
+        progress = RecoveryProgress(on_update=print_line)
     started = time.perf_counter()
-    db = spec.cold_start(task["dir"], disk=survivor)
+    db = spec.cold_start(task["dir"], disk=survivor, progress=progress)
     db.quiesce()
     elapsed = time.perf_counter() - started
     report = db.report()

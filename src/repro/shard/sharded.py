@@ -42,7 +42,7 @@ import json
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Sequence
@@ -193,6 +193,8 @@ class ShardedDatabase:
         disks: Sequence[Disk] | None = None,
         processes: int | None = None,
         tracer=None,
+        on_progress=None,
+        progress: bool = False,
     ) -> "ShardedDatabase":
         """Restart a whole deployment from its root directory.
 
@@ -216,7 +218,15 @@ class ShardedDatabase:
         ``wall_s`` (observed, includes pool startup and pickling),
         ``critical_path_s`` (max per-shard replay time as measured
         inside the children — the deployment's recovery latency on a
-        machine with >= N cores), and ``per_shard`` details.
+        machine with >= N cores), and ``per_shard`` details, each
+        carrying ``time_to_ready_s`` — the parent-observed wall time
+        from fan-out start to that shard's image arriving, i.e. when
+        that shard *could* begin serving.
+
+        ``on_progress`` (if given) is called with each shard's result
+        summary the moment it completes (fan-out order, not shard
+        order); ``progress=True`` additionally has each child print a
+        live per-shard recovery line to stderr.
         """
         root = Path(root)
         manifest = read_manifest(root)
@@ -234,12 +244,23 @@ class ShardedDatabase:
                 "dir": str(root / dirs[index]),
                 "spec": spec.as_dict(),
                 "pages": pack_disk(disks[index]) if disks is not None else {},
+                "progress": bool(progress),
             }
             for index in range(n_shards)
         ]
         started = time.perf_counter()
+
+        def note_done(result: dict) -> None:
+            result["time_to_ready_s"] = time.perf_counter() - started
+            if on_progress is not None:
+                on_progress({k: v for k, v in result.items() if k != "pages"})
+
         if processes == 0:
-            results = [recover_shard(task) for task in tasks]
+            results = []
+            for task in tasks:
+                result = recover_shard(task)
+                note_done(result)
+                results.append(result)
         else:
             workers = (
                 processes
@@ -249,7 +270,12 @@ class ShardedDatabase:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=get_context("spawn")
             ) as pool:
-                results = list(pool.map(recover_shard, tasks))
+                futures = [pool.submit(recover_shard, task) for task in tasks]
+                results = []
+                for future in as_completed(futures):
+                    result = future.result()
+                    note_done(result)
+                    results.append(result)
         wall_s = time.perf_counter() - started
         results.sort(key=lambda result: result["shard"])
         shards = [
@@ -420,6 +446,18 @@ class ShardedDatabase:
             assert label not in stats, f"report key collision on {label!r}"
             stats[label] = value
         return stats
+
+    def health(self) -> dict[str, Any]:
+        """Per-shard liveness (:meth:`KVDatabase.health` per shard) plus
+        deployment shape — the payload behind the server's ``health`` op."""
+        per_shard = [shard.health() for shard in self.shards]
+        return {
+            "n_shards": self.keymap.n_shards,
+            "stable_lsn_total": sum(h["stable_lsn"] for h in per_shard),
+            "pipeline_depth_total": sum(h["pipeline_depth"] for h in per_shard),
+            "dirty_pages_total": sum(h["dirty_pages"] for h in per_shard),
+            "shards": per_shard,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -407,6 +407,265 @@ class TestInstrumentCounters:
         assert "h.y" in repr(Histogram("h.y"))
 
 
+class TestHistogramQuantiles:
+    """The log-scale bucket layout behind the server's latency quantiles."""
+
+    def test_quantile_within_one_bucket_width(self):
+        h = Histogram("t.lat")
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms..1s uniform
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            true = values[int(q * len(values)) - 1]
+            estimate = h.quantile(q)
+            assert estimate >= true * 0.999  # never undershoots
+            assert estimate <= true * Histogram._GROWTH * 1.001
+
+    def test_p0_and_p100_are_exact(self):
+        h = Histogram("t.lat")
+        for v in (0.00317, 0.9, 0.041):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.00317
+        assert h.quantile(1.0) == 0.9
+
+    def test_single_observation_dominates_every_quantile(self):
+        h = Histogram("t.lat")
+        h.observe(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.25
+
+    def test_underflow_and_overflow_are_clamped(self):
+        h = Histogram("t.lat")
+        h.observe(0.0)  # below the lowest boundary
+        h.observe(1e9)  # far past the top octave
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 1e9
+        # the middle reads a boundary, clamped into [min, max]
+        assert 0.0 <= h.quantile(0.5) <= 1e9
+
+    def test_out_of_range_quantile_raises(self):
+        h = Histogram("t.lat")
+        with pytest.raises(MetricsError):
+            h.quantile(1.5)
+
+    def test_empty_summary_is_all_zero(self):
+        """Regression (this PR): an empty histogram's summary divided by
+        its zero count / published None min/max; now explicit zeros."""
+        h = Histogram("t.lat")
+        assert h.summary() == {
+            "count": 0, "total": 0, "min": 0, "max": 0,
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        assert h.quantile(0.5) == 0.0
+
+    def test_empty_histogram_snapshot_publishes_zeros(self):
+        reg = MetricsRegistry()
+        reg.histogram("server.latency_put")
+        snap = reg.snapshot()
+        assert snap["server.latency_put.count"] == 0
+        assert snap["server.latency_put.p99"] == 0.0
+        assert snap["server.latency_put.min"] == 0  # never None on the wire
+
+    def test_snapshot_publishes_quantile_suffixes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("srv.lat")
+        for v in (0.001, 0.002, 0.004):
+            h.observe(v)
+        snap = reg.snapshot()
+        for suffix in ("count", "total", "min", "max", "mean", "p50", "p95", "p99"):
+            assert f"srv.lat.{suffix}" in snap
+        assert snap["srv.lat.p50"] >= 0.002 * 0.999
+
+
+class TestRingBufferWraparound:
+    """Satellite: the in-memory ring under multiple full wraps."""
+
+    def test_capacity_plus_k_keeps_exactly_the_last_capacity(self):
+        sink = RingBufferSink(capacity=8)
+        tr = Tracer(sink)
+        for i in range(8 + 5):
+            tr.event("e", i=i)
+        kept = [r["fields"]["i"] for r in sink]
+        assert kept == list(range(5, 13))  # oldest→newest, newest wins
+        assert sink.dropped == 5
+        assert len(sink) == 8
+
+    def test_many_full_wraps(self):
+        sink = RingBufferSink(capacity=4)
+        tr = Tracer(sink)
+        for i in range(43):
+            tr.event("e", i=i)
+        assert [r["fields"]["i"] for r in sink] == [39, 40, 41, 42]
+        assert sink.dropped == 39
+        seqs = [r["seq"] for r in sink]
+        assert seqs == sorted(seqs)
+
+
+class TestTeeSink:
+    def test_fans_every_record_to_all_sinks(self):
+        from repro.obs import TeeSink
+
+        a, b = RingBufferSink(), RingBufferSink()
+        tr = Tracer(TeeSink(a, b))
+        with tr.span("s"):
+            tr.event("e")
+        assert [r["seq"] for r in a] == [r["seq"] for r in b] == [0, 1, 2]
+
+    def test_iteration_delegates_to_first_iterable_sink(self):
+        from repro.obs import TeeSink
+
+        ring = RingBufferSink()
+
+        class WriteOnly:
+            def emit(self, record):
+                pass
+
+            def close(self):
+                pass
+
+        tee = TeeSink(WriteOnly(), ring)
+        Tracer(tee).event("only")
+        assert [r["name"] for r in tee] == ["only"]
+
+    def test_close_closes_every_sink(self, tmp_path):
+        from repro.obs import TeeSink
+
+        path = tmp_path / "tee.jsonl"
+        file_sink = JsonLinesSink(str(path))
+        tee = TeeSink(RingBufferSink(), file_sink)
+        tr = Tracer(tee)
+        tr.event("e")
+        tr.close()
+        assert load_trace(str(path))
+
+
+class TestLenientTimeline:
+    """Flight-ring tails: span starts may be overwritten, the rest must
+    still render (satellite of the postmortem path)."""
+
+    def test_orphan_span_end_becomes_closed_root(self):
+        records = [
+            {"seq": 7, "type": "span_end", "name": "s", "id": 3,
+             "fields": {"outcome": "done"}},
+        ]
+        roots, _ = build_span_tree(records, lenient=True)
+        [node] = roots
+        assert node.closed
+        assert node.end_fields["outcome"] == "done"
+
+    def test_event_with_unknown_span_floats_to_top(self):
+        records = [
+            {"seq": 5, "type": "event", "name": "log.append", "span": 99,
+             "fields": {"lsn": 4}},
+        ]
+        roots, top = build_span_tree(records, lenient=True)
+        assert roots == []
+        assert [e["name"] for e in top] == ["log.append"]
+
+    def test_strict_mode_still_raises(self):
+        records = [
+            {"seq": 0, "type": "span_end", "name": "s", "id": 3, "fields": {}},
+        ]
+        with pytest.raises(TraceReadError):
+            build_span_tree(records)
+
+    def test_from_flight_ring_reports_open_spans(self):
+        records = [
+            {"seq": 0, "type": "span_start", "name": "server.serve", "id": 0,
+             "parent": None, "fields": {"port": 1234}},
+            {"seq": 1, "type": "event", "name": "engine.command", "span": 0,
+             "fields": {"kind": "put"}},
+        ]
+        timeline = RecoveryTimeline.from_flight_ring(records)
+        [open_span] = timeline.open_spans()
+        assert open_span.name == "server.serve"
+        assert not open_span.closed
+
+
+class TestRecoveryProgress:
+    def test_watch_counts_records_and_bytes(self):
+        from repro.obs import RecoveryProgress
+
+        class FakeRecord:
+            lsn = 1
+
+            def size_bytes(self):
+                return 10
+
+        progress = RecoveryProgress()
+        progress.set_phase("redo")
+        consumed = list(progress.watch([FakeRecord(), FakeRecord()]))
+        assert len(consumed) == 2
+        snap = progress.snapshot()
+        assert snap["phase"] == "redo"
+        assert snap["records"] == 2
+        assert snap["bytes"] == 20
+
+    def test_phase_changes_fire_callback(self):
+        from repro.obs import RecoveryProgress
+
+        seen = []
+        progress = RecoveryProgress(on_update=seen.append)
+        progress.set_phase("analysis")
+        progress.set_phase("redo")
+        progress.finish()
+        assert [s["phase"] for s in seen] == ["analysis", "redo", "ready"]
+
+    def test_null_progress_is_identity(self):
+        from repro.obs import NULL_PROGRESS
+
+        assert NULL_PROGRESS.enabled is False
+        stream = [object(), object()]
+        assert list(NULL_PROGRESS.watch(stream)) == stream
+        NULL_PROGRESS.set_phase("redo")  # no-op, no state
+        assert NULL_PROGRESS.snapshot()["phase"] == "idle"
+
+    def test_engine_recovery_drives_progress(self, tmp_path):
+        from repro.engine import KVDatabase
+        from repro.obs import RecoveryProgress
+        from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+        snaps = []
+        progress = RecoveryProgress(on_update=snaps.append, min_interval=0.0)
+        db = KVDatabase(
+            method="physiological",
+            log_dir=tmp_path,
+            commit_every=2,
+            checkpoint_every=None,
+            progress=progress,
+        )
+        db.run(generate_kv_workload(5, KVWorkloadSpec(n_operations=40)))
+        db.crash_and_recover()
+        db.verify_against()
+        final = progress.snapshot()
+        assert final["phase"] == "ready"
+        assert final["records"] > 0
+        assert final["bytes"] > 0
+        assert final["segments"] >= 1
+        assert final["replayed"] > 0
+        phases = [s["phase"] for s in snaps]
+        assert phases[0] == "analysis"
+        assert phases[-1] == "ready"
+
+    def test_cold_start_accepts_progress(self, tmp_path):
+        from repro.engine import KVDatabase
+        from repro.obs import RecoveryProgress
+        from repro.workloads.kv import KVWorkloadSpec, generate_kv_workload
+
+        stream = generate_kv_workload(6, KVWorkloadSpec(n_operations=30))
+        db = KVDatabase(method="physiological", log_dir=tmp_path)
+        db.run(stream)
+        db.sync()
+        db.crash()
+        progress = RecoveryProgress()
+        cold = KVDatabase.cold_start(
+            tmp_path, method="physiological", progress=progress
+        )
+        assert cold.verify_against(stream) > 0
+        assert progress.snapshot()["phase"] == "ready"
+        assert progress.records > 0
+
+
 class TestThreadSafety:
     """Satellite of the concurrency PR: tracer seq assignment and
     instrument increments are atomic under concurrent emitters."""

@@ -254,6 +254,17 @@ class TestShardedServer:
         reborn.close()
 
 
+def _sever(client) -> None:
+    """Sever the client's socket end.  Tolerates the race where closing
+    the listener already RST a connection still sitting unaccepted in
+    the backlog — shutdown then raises ENOTCONN, which *is* the severed
+    state the caller wanted."""
+    try:
+        client._sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+
+
 class TestClientRetries:
     def test_retries_off_by_default(self, tmp_path):
         # A closed listener does not kill established connections (each
@@ -265,7 +276,7 @@ class TestClientRetries:
         client = KVClient(*server.address)
         assert client.retries == 0
         server.close()
-        client._sock.shutdown(socket.SHUT_RDWR)
+        _sever(client)
         with pytest.raises((ConnectionError, OSError)):
             client.put("a", 1)
         client.close()
@@ -283,7 +294,7 @@ class TestClientRetries:
         client.put("before", 1)
         client.commit()
         server.close()
-        client._sock.shutdown(socket.SHUT_RDWR)  # the old peer is gone
+        _sever(client)  # the old peer is gone
 
         def restart():
             time.sleep(0.05)
@@ -316,7 +327,7 @@ class TestClientRetries:
         server.serve_background()
         client = KVClient(*server.address, retries=2, backoff=0.01)
         server.close()
-        client._sock.shutdown(socket.SHUT_RDWR)
+        _sever(client)
         with pytest.raises((ConnectionError, OSError)):
             client.put("a", 1)
         assert client.reconnects == 0  # no redial ever succeeded

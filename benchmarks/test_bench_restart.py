@@ -1,0 +1,225 @@
+"""E23: instant restart — time to first served request after a crash.
+
+An eager cold start replays the whole stable suffix before the engine
+answers anything, so restart latency grows linearly with the log.  The
+lazy restart runs *analysis only* (checkpoint + per-page redo index,
+O(segment count) with sidecars), starts serving, and replays each page
+on first access while a background thread drains the backlog in recLSN
+order — so the first request is answered after one page's chain, not
+the whole log's.
+
+Two legs, both measured here:
+
+- **Time to first request.**  Load a 64-page engine with N mutations,
+  crash it (the disk keeps whatever the cache happened to evict), then
+  cold-start twice from identical survivor disks: once eagerly, once
+  with ``lazy=True``.  The clock runs from the start of the cold start
+  to the completion of one ``get`` — the instant-restart headline.
+  Eager TTFR grows with N; lazy TTFR stays flat, and at the largest
+  tier the ratio must clear ``E23_MIN_SPEEDUP`` (default 10x).
+
+- **Byte identity.**  Speed means nothing if the served state is
+  wrong: for all four §6 methods, a lazy cold start (reads taken
+  *during* recovery, then the backlog drained) must land byte-identical
+  to an eager cold start — dump, durable count, stable LSN, and every
+  disk page (Corollary 4, page by page).
+
+Results go to E23.txt and ``BENCH_restart.json``.  Set ``E23_OPS``
+(comma-separated tiers), ``E23_MIN_SPEEDUP``, ``E23_PAGES`` to shrink
+the run for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.engine import KVDatabase
+from repro.sim.crash import canonical_state
+from repro.storage import Disk
+
+from benchmarks.conftest import RESULTS_DIR, emit, table
+
+TIERS = [
+    int(t) for t in os.environ.get("E23_OPS", "2000,8000,32000,64000").split(",")
+]
+MIN_SPEEDUP = float(os.environ.get("E23_MIN_SPEEDUP", 10.0))
+N_PAGES = int(os.environ.get("E23_PAGES", 64))
+METHODS = ("physical", "logical", "physiological", "generalized")
+REPEATS = 3  # best-of, to keep scheduler noise out of the ratio
+
+
+def survivor(db) -> Disk:
+    disk = Disk()
+    for page in db.method.machine.disk.snapshot().values():
+        disk.write_page(page.copy())
+    return disk
+
+
+def load_and_crash(root, n_ops: int):
+    """A 64-page engine crashed after ``n_ops`` stable mutations."""
+    db = KVDatabase(
+        method="physiological",
+        n_pages=N_PAGES,
+        cache_capacity=16,
+        commit_every=256,
+        checkpoint_every=None,  # no cutoff: the whole log is the suffix
+        log_dir=root,
+        log_segment_size=512,
+        fsync=False,
+    )
+    db.run([("put", f"k{i}", i) for i in range(n_ops)])
+    db.commit()
+    db.crash()
+    return db
+
+
+def time_to_first_request(root, disk: Disk, lazy: bool) -> float:
+    """Seconds from cold-start begin until one get is answered."""
+    started = time.perf_counter()
+    db = KVDatabase.cold_start(
+        root,
+        disk=disk,
+        method="physiological",
+        n_pages=N_PAGES,
+        cache_capacity=16,
+        commit_every=256,
+        checkpoint_every=None,
+        log_segment_size=512,
+        fsync=False,
+        lazy=lazy,
+    )
+    db.get("k0")
+    elapsed = time.perf_counter() - started
+    db.close()
+    return elapsed
+
+
+def restart_tier(n_ops: int) -> dict:
+    root = tempfile.mkdtemp(prefix=f"e23-{n_ops}-")
+    try:
+        crashed = load_and_crash(root, n_ops)
+        eager_s = min(
+            time_to_first_request(root, survivor(crashed), lazy=False)
+            for _ in range(REPEATS)
+        )
+        lazy_s = min(
+            time_to_first_request(root, survivor(crashed), lazy=True)
+            for _ in range(REPEATS)
+        )
+        crashed.close()
+        return {
+            "ops": n_ops,
+            "eager_ttfr_s": eager_s,
+            "lazy_ttfr_s": lazy_s,
+            "speedup": eager_s / lazy_s if lazy_s else float("inf"),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def identity_leg(method: str) -> dict:
+    """Lazy == eager byte identity for one method, reads mid-recovery."""
+    root = tempfile.mkdtemp(prefix=f"e23-id-{method}-")
+    try:
+        db = KVDatabase(
+            method=method,
+            n_pages=8,
+            log_dir=root,
+            fsync=False,
+            checkpoint_every=25,
+            log_segment_size=32,
+        )
+        ops = []
+        for i in range(150):
+            k = f"k{i % 17}"
+            if method != "physiological" and i % 11 == 7:
+                ops.append(("copyadd", f"d{i % 5}", (k, i)))
+            elif i % 7 == 3:
+                ops.append(("add", k, i))
+            else:
+                ops.append(("put", k, i * 10))
+        db.run(ops)
+        db.crash()
+        disk_eager, disk_lazy = survivor(db), survivor(db)
+        db.close()
+        kwargs = dict(
+            method=method,
+            n_pages=8,
+            checkpoint_every=25,
+            log_segment_size=32,
+            fsync=False,
+        )
+        eager = KVDatabase.cold_start(root, disk=disk_eager, **kwargs)
+        lazy = KVDatabase.cold_start(root, disk=disk_lazy, lazy=True, **kwargs)
+        served = sum(
+            lazy.get(f"k{i}") == eager.get(f"k{i}") for i in range(17)
+        )
+        assert served == 17, f"{method}: {17 - served} mid-recovery reads diverged"
+        lazy.drain_lazy()
+        eager.quiesce()
+        lazy.quiesce()
+        identical = canonical_state(eager) == canonical_state(lazy)
+        assert identical, f"{method}: lazy restart diverged from eager"
+        durable = eager.durable_count()
+        eager.close()
+        lazy.close()
+        return {"identical": True, "durable": durable, "served": served}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_e23_instant_restart():
+    tiers = [restart_tier(n) for n in TIERS]
+    identity = {method: identity_leg(method) for method in METHODS}
+
+    rows = [
+        [
+            t["ops"],
+            f"{t['eager_ttfr_s'] * 1e3:.1f}",
+            f"{t['lazy_ttfr_s'] * 1e3:.1f}",
+            f"{t['speedup']:.1f}x",
+        ]
+        for t in tiers
+    ]
+    lines = table(
+        rows,
+        headers=["ops", "eager TTFR ms", "lazy TTFR ms", "speedup"],
+    )
+    top = tiers[-1]
+    lines += [
+        "",
+        f"time to first served request after SIGKILL, {N_PAGES}-page "
+        f"engine, no checkpoints (the whole log is the redo suffix); "
+        f"lazy = analysis + one page's chain, eager = the full replay",
+        f"largest tier ({top['ops']} ops): {top['speedup']:.1f}x "
+        f"(floor {MIN_SPEEDUP}x)",
+        "",
+        "byte identity, lazy vs eager (reads taken during recovery, "
+        "then drained):",
+    ]
+    lines += [
+        f"  {method:15s} durable={info['durable']:<5d} "
+        f"mid-recovery reads ok, post-drain byte-identical"
+        for method, info in identity.items()
+    ]
+    emit("E23", "instant restart: time to first request", lines)
+    (RESULTS_DIR / "BENCH_restart.json").write_text(
+        json.dumps(
+            {
+                "cpus": os.cpu_count(),
+                "n_pages": N_PAGES,
+                "tiers": tiers,
+                "min_speedup": MIN_SPEEDUP,
+                "identity": identity,
+            },
+            indent=1,
+        )
+    )
+    assert top["speedup"] >= MIN_SPEEDUP, (
+        f"lazy restart must answer {MIN_SPEEDUP}x sooner than eager at "
+        f"{top['ops']} ops; got {top['speedup']:.1f}x"
+    )

@@ -33,6 +33,9 @@ Commands
     ``demo --log-dir DIR`` produces such files.  A sharded deployment
     root (a directory holding ``DEPLOY.json``) dumps every shard's log,
     lines prefixed with the shard directory, same exit-code contract.
+    ``--pages`` renders the per-page redo index instead (page → chain
+    length, first/last LSN) and verifies every ``.pages`` sidecar
+    against a full frame walk (exit 2 on mismatch).
 ``serve [--port N] [--log-dir DIR] [--shards N] [method]``
     Run the threaded KV server: a session per connection,
     line-delimited JSON protocol, commits coalesced by the
@@ -40,7 +43,11 @@ Commands
     disables the pipeline, for comparison).  ``--shards N`` serves a
     sharded deployment (per-shard WALs under the ``--log-dir`` root;
     an existing ``DEPLOY.json`` root cold-starts, ``--shards`` then
-    optional, with a live per-shard recovery progress line).  Telemetry
+    optional, with a live per-shard recovery progress line).
+    ``--lazy-restart`` makes a cold start instant: the server binds
+    after analysis alone and pages replay on first access while a
+    background thread drains the rest (``health`` shows the backlog).
+    Telemetry
     is on by default: per-op latency histograms behind ``stats``, the
     ``health`` op, and (with ``--log-dir``) a crash flight recorder in
     the log root fed by the server's serve span and 1 Hz health
@@ -323,6 +330,134 @@ def _dump_segment_files(paths, prefix: str = "") -> tuple[int, int] | None:
     return total, torn
 
 
+def _canon_edges(edges) -> list:
+    """Multi-page edges in one comparable shape (wire round-trips keep
+    tuple/list types, but the dump must not fail a sidecar on that)."""
+    return [(lsn, tuple(reads), tuple(writes)) for lsn, reads, writes in edges]
+
+
+def _index_segment_files(paths, prefix: str = ""):
+    """Page-index every segment file by a full frame walk, verifying any
+    sidecar against the walk.  Returns ``(index, verified, stale,
+    mismatched)`` — or None after printing a structural error.
+
+    The walk is the ground truth: a sidecar that covers the same bytes
+    (``base_lsn`` and ``region_len`` agree) must produce the identical
+    chains and edges, else it is corrupt and the caller exits 2.  A
+    sidecar for *different* bytes is merely stale — the runtime ignores
+    those by design (segment grew, sidecar lost the race) — so it is
+    reported but not fatal.
+    """
+    from repro.logmgr.codec import CodecError, decode_file_header, verify_seal
+    from repro.logmgr.filelog import _map_buffer, read_pages_blob, read_seal
+    from repro.logmgr.pageindex import (
+        PageRedoIndex,
+        index_buffer,
+        parse_page_index,
+    )
+
+    index = PageRedoIndex()
+    verified = stale = mismatched = 0
+    for path in paths:
+        buf, close = _map_buffer(path)
+        try:
+            try:
+                base_lsn = decode_file_header(buf)
+            except CodecError as exc:
+                print(f"{prefix}{path.name}: bad header ({exc})", file=sys.stderr)
+                return None
+            sealed = verify_seal(buf, read_seal(path))
+            if sealed is not None:
+                scanned = index_buffer(buf, base_lsn, end=sealed[0], verify_crc=False)
+            else:
+                scanned = index_buffer(buf, base_lsn)
+            blob = read_pages_blob(path)
+            sidecar = parse_page_index(blob)
+            if sidecar is None and blob is not None:
+                stale += 1
+                print(
+                    f"{prefix}{path.name}: undecodable page-index sidecar "
+                    f"(ignored, rebuild scan used)"
+                )
+            if sidecar is not None:
+                if (
+                    sidecar.base_lsn != base_lsn
+                    or sidecar.region_len != scanned.region_len
+                ):
+                    stale += 1
+                    print(
+                        f"{prefix}{path.name}: stale page-index sidecar "
+                        f"(ignored, rebuild scan used)"
+                    )
+                elif sidecar.pages == scanned.pages and _canon_edges(
+                    sidecar.edges
+                ) == _canon_edges(scanned.edges):
+                    verified += 1
+                else:
+                    mismatched += 1
+                    only_sidecar = sorted(set(sidecar.pages) - set(scanned.pages))
+                    only_walk = sorted(set(scanned.pages) - set(sidecar.pages))
+                    wrong = sorted(
+                        p
+                        for p in set(sidecar.pages) & set(scanned.pages)
+                        if sidecar.pages[p] != scanned.pages[p]
+                    )
+                    print(
+                        f"{prefix}{path.name}: page-index sidecar DISAGREES "
+                        f"with the frame walk "
+                        f"(sidecar-only={only_sidecar or '-'} "
+                        f"walk-only={only_walk or '-'} "
+                        f"chains-differ={wrong or '-'})",
+                        file=sys.stderr,
+                    )
+            index.add_segment(scanned)
+        finally:
+            close()
+    return index, verified, stale, mismatched
+
+
+def _dump_page_index(paths, prefix: str = "") -> int | None:
+    """Render one log directory's per-page redo index; returns the
+    number of corrupt sidecars, or None after a structural error."""
+    counts = _index_segment_files(paths, prefix=prefix)
+    if counts is None:
+        return None
+    index, verified, stale, mismatched = counts
+    pages = index.pages()
+    if pages:
+        print(f"{prefix}{'page':<14} {'frames':>7} {'first_lsn':>10} {'last_lsn':>9}")
+        for page_id in pages:
+            chain = index.chain(page_id)
+            print(
+                f"{prefix}{page_id:<14} {len(chain):>7} "
+                f"{chain[0][2]:>10} {chain[-1][2]:>9}"
+            )
+    components = index.components()
+    if components:
+        groups = sorted(
+            {members for members in components.values()},
+            key=lambda members: sorted(members),
+        )
+        for members in groups:
+            print(
+                f"{prefix}replay component: "
+                f"{{{','.join(sorted(members))}}} "
+                f"(multi-page records bind these pages)"
+            )
+    sidecars = f"{verified} sidecar(s) verified against the frame walk"
+    if stale:
+        sidecars += f", {stale} stale"
+    if mismatched:
+        sidecars += f", {mismatched} CORRUPT"
+    print(
+        f"{prefix}{len(pages)} page(s), {index.total_entries()} chain "
+        f"entr{'y' if index.total_entries() == 1 else 'ies'}, "
+        f"{len(index.edges)} multi-page edge(s) in {len(paths)} file(s); "
+        f"{sidecars}"
+    )
+    return mismatched
+
+
 def cmd_logdump(args) -> int:
     """Pretty-print binary segment files, torn tails included.
 
@@ -337,6 +472,13 @@ def cmd_logdump(args) -> int:
     line prefixed with the shard directory name, and damage anywhere in
     the deployment still drives the exit code (1 = torn tail somewhere,
     2 = structural error).
+
+    ``--pages`` renders the per-page redo index instead of the record
+    stream: one line per page (chain length, first/last LSN), the
+    multi-page replay components, and a verification of every
+    ``.pages`` sidecar against a full frame walk of its segment — a
+    sidecar that covers the segment's bytes but disagrees with the
+    walk is corrupt and the exit status is 2.
     """
     from pathlib import Path
 
@@ -351,6 +493,18 @@ def cmd_logdump(args) -> int:
             except DeploymentError as exc:
                 print(str(exc), file=sys.stderr)
                 return 2
+            if args.pages:
+                corrupt = 0
+                for dirname in manifest["shard_dirs"]:
+                    paths = _segment_paths(target / dirname)
+                    if not paths:
+                        print(f"[{dirname}] no segment files")
+                        continue
+                    bad = _dump_page_index(paths, prefix=f"[{dirname}] ")
+                    if bad is None:
+                        return 2
+                    corrupt += bad
+                return 2 if corrupt else 0
             total = torn = files = 0
             for dirname in manifest["shard_dirs"]:
                 paths = _segment_paths(target / dirname)
@@ -378,6 +532,9 @@ def cmd_logdump(args) -> int:
     else:
         print(f"{target}: no such file or directory", file=sys.stderr)
         return 2
+    if args.pages:
+        bad = _dump_page_index(paths)
+        return 2 if bad is None or bad else 0
     counts = _dump_segment_files(paths)
     if counts is None:
         return 2
@@ -455,12 +612,17 @@ def cmd_serve(args) -> int:
         if args.log_dir and is_deployment_root(args.log_dir):
 
             def shard_ready(result: dict) -> None:
+                if "replayed" in result:
+                    detail = (
+                        f"replayed={result['replayed']} "
+                        f"stable_lsn={result['stable_lsn']} "
+                        f"torn_tails={result['torn_tails']}"
+                    )
+                else:  # lazy restart: analysis only, redo still pending
+                    detail = f"replay_backlog={result['replay_backlog']}"
                 print(
                     f"[shard-{result['shard']:02d}] ready in "
-                    f"{result['time_to_ready_s']:.2f}s "
-                    f"(replayed={result['replayed']} "
-                    f"stable_lsn={result['stable_lsn']} "
-                    f"torn_tails={result['torn_tails']})",
+                    f"{result['time_to_ready_s']:.2f}s ({detail})",
                     flush=True,
                 )
 
@@ -469,6 +631,7 @@ def cmd_serve(args) -> int:
                 tracer=engine_tracer,
                 on_progress=shard_ready if telemetry else None,
                 progress=telemetry,
+                lazy=args.lazy_restart,
             )
             if tracer is not None and db.cold_report is not None:
                 tracer.event(
@@ -477,10 +640,11 @@ def cmd_serve(args) -> int:
                     critical_path_s=round(
                         db.cold_report["critical_path_s"], 3
                     ),
+                    lazy=bool(db.cold_report.get("lazy")),
                     shards=[
                         {
                             "shard": r["shard"],
-                            "stable_lsn": r["stable_lsn"],
+                            "stable_lsn": r.get("stable_lsn", -1),
                             "time_to_ready_s": round(
                                 r["time_to_ready_s"], 3
                             ),
@@ -495,6 +659,13 @@ def cmd_serve(args) -> int:
                     f"critical path {db.cold_report['critical_path_s']:.2f}s",
                     flush=True,
                 )
+                if db.cold_report.get("lazy"):
+                    print(
+                        f"lazy restart: serving with "
+                        f"{db.replay_backlog()} page(s) awaiting "
+                        f"background replay",
+                        flush=True,
+                    )
             if shards not in (0, n_shards):
                 print(
                     f"--shards {shards} conflicts with the manifest's "
@@ -520,7 +691,14 @@ def cmd_serve(args) -> int:
             commit_pipeline=not args.per_session_force,
             fsync=not args.no_fsync,
             tracer=engine_tracer,
+            lazy=args.lazy_restart,
         )
+        if args.lazy_restart and telemetry:
+            print(
+                f"lazy restart: serving with {db.replay_backlog()} "
+                f"page(s) awaiting background replay",
+                flush=True,
+            )
     else:
         db = KVDatabase(
             method=args.method,
@@ -681,6 +859,13 @@ def main(argv: list[str] | None = None) -> int:
     logdump.add_argument(
         "path", help="a segment directory, or one .wal/.arch file"
     )
+    logdump.add_argument(
+        "--pages",
+        action="store_true",
+        help="render the per-page redo index (chain length, first/last "
+        "LSN per page) and verify every .pages sidecar against a full "
+        "frame walk (exit 2 on mismatch)",
+    )
     serve = sub.add_parser(
         "serve", help="run the threaded KV server (line-delimited JSON)"
     )
@@ -713,6 +898,15 @@ def main(argv: list[str] | None = None) -> int:
         help="serve a sharded deployment of N engines (with --log-dir: "
         "the deployment root, cold-started when it holds a DEPLOY.json "
         "manifest, created fresh otherwise)",
+    )
+    serve.add_argument(
+        "--lazy-restart",
+        dest="lazy_restart",
+        action="store_true",
+        help="cold-start lazily: accept connections after analysis "
+        "alone, replay each page on first access (and in the "
+        "background), instead of replaying the whole log up front — "
+        "`health` reports the per-shard replay backlog while it drains",
     )
     serve.add_argument(
         "--commit-every",

@@ -130,6 +130,13 @@ class BufferPool:
         # Optional observer invoked with a page id after every install
         # (disk write or elision) — for tests and instrumentation.
         self.on_flush: Callable[[str], None] | None = None
+        # Optional fault handler consulted on every page access, under
+        # the pool mutex, *before* the frame/disk lookup — a lazy
+        # restart installs its per-page replay here so a page's first
+        # access redoes its log chain before anything reads the stale
+        # disk image.  The handler detaches itself (sets this back to
+        # None) once its backlog drains.
+        self.page_fault: Callable[[str], bool] | None = None
 
     # ------------------------------------------------------------------
     # Page access
@@ -144,6 +151,12 @@ class BufferPool:
         use :meth:`update` which does both.
         """
         with self.mutex:
+            if self.page_fault is not None:
+                # Lazy-restart hook: replay this page's log chain first,
+                # so the lookup below sees the recovered image.  The
+                # handler's own page accesses re-enter here and fall
+                # through (their pages are popped before replay).
+                self.page_fault(page_id)
             frame = self._frames.get(page_id)
             if frame is not None:
                 self.hits += 1

@@ -116,6 +116,7 @@ class EngineSpec:
         disk=None,
         *,
         recover: bool = True,
+        lazy: bool = False,
         tracer: Tracer | None = None,
         progress: "RecoveryProgress | None" = None,
     ) -> "KVDatabase":
@@ -127,6 +128,7 @@ class EngineSpec:
             disk=disk,
             method=self.method,
             recover=recover,
+            lazy=lazy,
             tracer=tracer,
             progress=progress,
             **kwargs,
@@ -215,6 +217,11 @@ class KVDatabase:
             if commit_pipeline
             else None
         )
+        # Lazy-restart state (set by _begin_lazy_restart): the method's
+        # replay plan, the background drainer, and its stop flag.
+        self._lazy_plan: Any = None
+        self._lazy_thread: threading.Thread | None = None
+        self._lazy_stop: threading.Event | None = None
 
     @classmethod
     def cold_start(
@@ -236,6 +243,7 @@ class KVDatabase:
         fsync: bool = True,
         commit_pipeline: bool = False,
         recover: bool = True,
+        lazy: bool = False,
         tracer: Tracer | None = None,
         progress: RecoveryProgress | None = None,
     ) -> "KVDatabase":
@@ -251,6 +259,13 @@ class KVDatabase:
         ``checkpoint_every=None`` workloads or ``full_scan`` semantics
         in mind), and ``recover()`` replays the stable prefix.  Pass
         ``recover=False`` to inspect the pre-recovery state.
+
+        ``lazy=True`` is the instant-restart path: only the analysis
+        phase runs before this returns — the engine serves immediately,
+        each page's first access replays its own log chain through the
+        buffer pool's fault hook, and a background thread drains the
+        rest in recLSN order.  Once drained (``drain_lazy()`` forces
+        it), the state is byte-identical to an eager cold start.
         """
         from repro.logmgr.manager import DEFAULT_SEGMENT_SIZE, LogManager
 
@@ -285,7 +300,8 @@ class KVDatabase:
             machine=machine,
         )
         if recover:
-            db.recover()
+            if not (lazy and db._begin_lazy_restart()):
+                db.recover()
         return db
 
     def _build_metrics(self) -> MetricsRegistry:
@@ -443,12 +459,20 @@ class KVDatabase:
         state — the handoff point the sharded cold start ships between
         processes.  Idempotent, unlike :meth:`checkpoint`."""
         with self.mutex:
+            self.drain_lazy()
             self._since_commit = 0
             self.method.quiesce()
 
     def checkpoint(self) -> None:
-        """Take a method checkpoint; resets the cadence counter."""
+        """Take a method checkpoint; resets the cadence counter.
+
+        A pending lazy-restart backlog is drained first: a fuzzy
+        checkpoint logs the pool's live dirty-page table, which cannot
+        see pages whose replay has not happened yet — checkpointing past
+        them would cut them out of the next analysis.
+        """
         with self.mutex:
+            self.drain_lazy()
             span = self.tracer.span("checkpoint", method=self.method_name)
             self.method.checkpoint()
             retired = 0
@@ -491,7 +515,11 @@ class KVDatabase:
 
         An active commit pipeline is *aborted*, not drained — the crash
         must lose the volatile tail, not flush it on the way down.
+        Likewise a lazy-restart backlog is *abandoned*, not replayed:
+        its records are stable in the log and the next incarnation's
+        analysis will find them again.
         """
+        self._stop_lazy()
         if self.pipeline is not None:
             self.pipeline.close(abort=True)
             self.pipeline = None
@@ -509,14 +537,95 @@ class KVDatabase:
     def recover(self) -> None:
         """Run the method's recovery procedure (and restart the commit
         pipeline, if this database was configured with one)."""
+        self._stop_lazy()
         with self.mutex:
             self.method.recover()
             if self._commit_pipeline_enabled and self.pipeline is None:
                 self.pipeline = GroupCommitPipeline(self.method.machine.log)
 
+    # ------------------------------------------------------------------
+    # Lazy restart (serve during recovery)
+    # ------------------------------------------------------------------
+
+    def _begin_lazy_restart(self) -> bool:
+        """Run analysis only and start serving; redo happens per page.
+
+        The method's :meth:`~repro.methods.base.RecoveryMethodKV.begin_lazy_recovery`
+        builds the replay plan (installing itself as the buffer pool's
+        fault hook), and a daemon thread drains the backlog in recLSN
+        order behind the foreground traffic.  Returns False when the
+        method has no lazy path — the caller falls back to eager
+        recovery.
+        """
+        with self.mutex:
+            plan = self.method.begin_lazy_recovery()
+            if plan is None:
+                return False
+            self._lazy_plan = plan
+            if self._commit_pipeline_enabled and self.pipeline is None:
+                self.pipeline = GroupCommitPipeline(self.method.machine.log)
+            progress = self.method.machine.progress
+            if progress.enabled:
+                progress.set_phase("background-replay")
+            self._lazy_stop = threading.Event()
+            self._lazy_thread = threading.Thread(
+                target=self._drain_lazy_backlog, name="lazy-redo", daemon=True
+            )
+            self._lazy_thread.start()
+        return True
+
+    def _drain_lazy_backlog(self) -> None:
+        plan, stop = self._lazy_plan, self._lazy_stop
+        while stop is not None and not stop.is_set():
+            if not plan.step():
+                break
+        if plan.done and stop is not None and not stop.is_set():
+            progress = self.method.machine.progress
+            if progress.enabled:
+                progress.finish()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "engine.lazy_drained",
+                    records=plan.records_fetched,
+                )
+
+    def drain_lazy(self) -> None:
+        """Synchronously finish any pending background replay.
+
+        A no-op after an eager start or once the backlog is gone.  The
+        byte-identity contract holds from here on: the state equals an
+        eager cold start's.
+        """
+        plan = self._lazy_plan
+        if plan is not None:
+            plan.drain()
+
+    def _stop_lazy(self) -> None:
+        """Abandon any lazy restart in progress (crash/shutdown): stop
+        the drainer and detach the plan; unreplayed records stay in the
+        log for the next incarnation."""
+        stop, thread, plan = self._lazy_stop, self._lazy_thread, self._lazy_plan
+        if stop is not None:
+            stop.set()
+        if plan is not None:
+            plan.close()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._lazy_plan = None
+        self._lazy_thread = None
+        self._lazy_stop = None
+
+    def replay_backlog(self) -> int:
+        """Pages (records, for logical) still awaiting lazy replay."""
+        plan = self._lazy_plan
+        return 0 if plan is None else plan.backlog()
+
     def close(self) -> None:
-        """Shut down cleanly: drain the commit pipeline (one last window
-        covers every appended record) and stop its committer thread."""
+        """Shut down cleanly: finish any background replay, then drain
+        the commit pipeline (one last window covers every appended
+        record) and stop its committer thread."""
+        self.drain_lazy()
+        self._stop_lazy()
         if self.pipeline is not None:
             self.pipeline.close()
             self.pipeline = None
@@ -600,6 +709,7 @@ class KVDatabase:
             stable = log.stable_lsn
             next_lsn = log.next_lsn
             dirty = len(self.method.machine.pool.scheduler.rec_lsns())
+        backlog = self.replay_backlog()
         return {
             "method": self.method_name,
             "stable_lsn": stable,
@@ -608,6 +718,8 @@ class KVDatabase:
             "dirty_pages": dirty,
             "operations": self.method.stats.operations,
             "recoveries": self.method.stats.recoveries,
+            "replay_backlog": backlog,
+            "state": "recovering" if backlog else "ready",
         }
 
 

@@ -37,20 +37,30 @@ from repro.logmgr.manager import (
     LogSegment,
     WalViolation,
 )
+from repro.logmgr.pageindex import (
+    CHECKPOINT_PAGE,
+    LOGICAL_PAGE,
+    PageRedoIndex,
+    SegmentPageIndex,
+)
 from repro.logmgr.pipeline import GroupCommitPipeline, PipelineClosed
 
 __all__ = [
+    "CHECKPOINT_PAGE",
     "CheckpointRecord",
     "CodecError",
     "DEFAULT_SEGMENT_SIZE",
     "FileLogStore",
     "GroupCommitPipeline",
+    "LOGICAL_PAGE",
     "LazyRecord",
     "LogEntry",
     "LogManager",
     "LogRecord",
     "LogSegment",
+    "PageRedoIndex",
     "PipelineClosed",
+    "SegmentPageIndex",
     "LogicalRedo",
     "MultiPageRedo",
     "PageAction",

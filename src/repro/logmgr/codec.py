@@ -811,6 +811,38 @@ def walk_frames(buf, offset: int = FILE_HEADER_SIZE, end: int | None = None,
         offset = body_start + length
 
 
+def read_frame_at(buf, offset: int, verify_crc: bool = True):
+    """Read exactly one frame at a known byte ``offset``: returns
+    ``(lsn, body_lo, body_hi)`` like one step of :func:`walk_frames`.
+
+    This is the random-access primitive the per-page redo index relies
+    on: given a ``(segment, offset)`` pair from a sidecar, one page's
+    log chain is fetched frame by frame without walking — or decoding —
+    anything in between.  The offset must land on a frame boundary;
+    anything else fails the length/CRC checks and raises
+    :class:`TornTail` (a stale index entry, treated like damage).
+    """
+    end = len(buf)
+    if end - offset < RECORD_OVERHEAD:
+        raise TornTail(offset, "truncated frame prefix")
+    try:
+        length, crc, version, lsn = _FRAME_AND_BODY_PREFIX.unpack_from(buf, offset)
+    except struct.error:
+        raise TornTail(offset, "truncated frame prefix") from None
+    body_start = offset + FRAME_PREFIX_SIZE
+    if end - body_start < length:
+        raise TornTail(
+            offset, f"frame body truncated ({end - body_start}/{length} bytes)"
+        )
+    if verify_crc and zlib.crc32(memoryview(buf)[body_start : body_start + length]) != crc:
+        raise TornTail(offset, "crc mismatch")
+    if length < _BODY_PREFIX.size:
+        raise TornTail(offset, "frame body truncated (no record header)")
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported format version {version} at byte {offset}")
+    return lsn, body_start + _BODY_PREFIX.size, body_start + length
+
+
 def iter_record_views(buf, offset: int = FILE_HEADER_SIZE, end: int | None = None,
                       verify_crc: bool = True, start_lsn: int = 0):
     """The LSN-filtered view of :func:`walk_frames`: yields

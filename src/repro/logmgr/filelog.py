@@ -78,7 +78,14 @@ from repro.logmgr.codec import (
     encode_file_header,
     encode_seal,
     iter_record_views,
+    read_frame_at,
     verify_seal,
+)
+from repro.logmgr.pageindex import (
+    PAGES_SUFFIX,
+    SegmentPageIndex,
+    index_buffer,
+    parse_page_index,
 )
 
 SEGMENT_SUFFIX = ".wal"
@@ -94,6 +101,28 @@ def segment_filename(base_lsn: int) -> str:
 def seal_path(path: Path) -> Path:
     """The sidecar seal file for a segment/archive path (may not exist)."""
     return path.with_name(path.name + SEAL_SUFFIX)
+
+
+def pages_path(path: Path) -> Path:
+    """The sidecar page-index file for a segment/archive path."""
+    return path.with_name(path.name + PAGES_SUFFIX)
+
+
+def read_pages_blob(path: Path) -> bytes | None:
+    """Raw page-index sidecar bytes for a segment/archive path, or None.
+    No validation here — :func:`~repro.logmgr.pageindex.parse_page_index`
+    treats any damaged or stale sidecar exactly like a missing one."""
+    try:
+        return pages_path(path).read_bytes()
+    except OSError:
+        return None
+
+
+def _drop_sidecars(path: Path) -> None:
+    """Remove both sidecars of a segment whose bytes changed or vanished
+    (the seal and the page index share one staleness lifecycle)."""
+    seal_path(path).unlink(missing_ok=True)
+    pages_path(path).unlink(missing_ok=True)
 
 
 def read_seal(path: Path) -> bytes | None:
@@ -295,6 +324,9 @@ class FileLogStore:
         self.segments_created = 0
         self.segments_archived = 0
         self.seals_written = 0
+        self.page_indexes_written = 0
+        self.page_index_rebuilds = 0
+        self.chain_frames_read = 0
 
     # ------------------------------------------------------------------
     # Attach (cold start)
@@ -320,7 +352,7 @@ class FileLogStore:
             base_lsn = decode_file_header(header)
             active = index == len(paths) - 1
             if active:
-                seal_path(path).unlink(missing_ok=True)
+                _drop_sidecars(path)
             fh = path.open("ab", buffering=0) if active else None
             store._handles.append(_SegmentHandle(path, base_lsn, fh, size, size))
         return store
@@ -462,6 +494,80 @@ class FileLogStore:
             self.seals_written += 1
         return True
 
+    def write_page_index(self, base_lsn: int, blob: bytes) -> None:
+        """Write a segment's page-index sidecar (no fsync — losing it in
+        a crash costs a rebuild scan, never a record)."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+            pages_path(handle.path).write_bytes(blob)
+            self.page_indexes_written += 1
+
+    def load_page_index(self, base_lsn: int) -> SegmentPageIndex | None:
+        """The segment's page index from its sidecar, or None when the
+        sidecar is absent, damaged, for the wrong segment, or stale
+        (covers a different byte count than the file holds)."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+            size = handle.size
+        index = parse_page_index(read_pages_blob(handle.path))
+        if index is None or index.base_lsn != base_lsn:
+            return None
+        if index.region_len != size - FILE_HEADER_SIZE:
+            return None
+        return index
+
+    def build_page_index(self, base_lsn: int) -> SegmentPageIndex:
+        """Rebuild a segment's page index with one structural scan — the
+        fallback for unsealed tails and pre-sidecar directories.  A
+        verified seal lets the walk skip per-frame CRCs."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+        buf, close = self._map_segment(base_lsn)
+        try:
+            decode_file_header(buf)
+            sealed = verify_seal(buf, read_seal(handle.path))
+            self.page_index_rebuilds += 1
+            if sealed is not None:
+                return index_buffer(buf, base_lsn, end=sealed[0], verify_crc=False)
+            return index_buffer(buf, base_lsn)
+        finally:
+            close()
+
+    def read_records_at(self, base_lsn: int, entries) -> list[LazyRecord]:
+        """Fetch records at known frame offsets of one segment — the
+        per-page chain read.  ``entries`` is an offset-ascending list of
+        ``(offset, lsn)`` pairs from the page index; the segment is
+        mapped once and only the requested frames are touched.  An entry
+        whose frame does not carry the expected LSN raises
+        :class:`CodecError` (a stale index is a structural bug — the
+        lifecycle is supposed to invalidate it)."""
+        with self._lock:
+            handle = self._handle_for(base_lsn)
+            sealed = handle.sealed
+        buf, close = self._map_segment(base_lsn)
+        records: list[LazyRecord] = []
+        new = LazyRecord.__new__
+        unset = _UNSET
+        try:
+            for offset, want_lsn in entries:
+                lsn, lo, hi = read_frame_at(buf, offset, verify_crc=not sealed)
+                if lsn != want_lsn:
+                    raise CodecError(
+                        f"page index points at LSN {lsn} where {want_lsn} "
+                        f"was expected (segment {base_lsn}, offset {offset})"
+                    )
+                record = new(LazyRecord)
+                record.lsn = lsn
+                record._body = buf[lo:hi]
+                record._payload = unset
+                record._labels = unset
+                records.append(record)
+        finally:
+            self.chain_frames_read += len(records)
+            self.records_decoded += len(records)
+            close()
+        return records
+
     def sync(self) -> None:
         """The durability point: ``fsync`` every file with unsynced
         bytes (and the directory when files were created), then close
@@ -539,7 +645,7 @@ class FileLogStore:
                 if handle.fh is not None:
                     handle.fh.close()
                 handle.path.unlink(missing_ok=True)
-                seal_path(handle.path).unlink(missing_ok=True)
+                _drop_sidecars(handle.path)
                 continue
             if handle.size > handle.synced_size:
                 if handle.fh is not None:
@@ -549,9 +655,9 @@ class FileLogStore:
                 handle.size = handle.synced_size
                 handle.fh = None
                 # The truncation cut a frame tail, so the running seal
-                # state no longer describes the file; a sidecar written
-                # for the longer file is stale and must go too.
-                seal_path(handle.path).unlink(missing_ok=True)
+                # state no longer describes the file; sidecars written
+                # for the longer file are stale and must go too.
+                _drop_sidecars(handle.path)
                 handle.sealed = False
                 handle.region_crc = None
                 handle.record_count = None
@@ -569,7 +675,7 @@ class FileLogStore:
         with handle.path.open("rb+") as fh:
             fh.truncate(byte_offset)
         handle.size = handle.synced_size = byte_offset
-        seal_path(handle.path).unlink(missing_ok=True)
+        _drop_sidecars(handle.path)
         handle.sealed = False
         handle.region_crc = None
         handle.record_count = None
@@ -587,7 +693,7 @@ class FileLogStore:
             if handle.fh is not None:
                 handle.fh.close()
             handle.path.unlink(missing_ok=True)
-            seal_path(handle.path).unlink(missing_ok=True)
+            _drop_sidecars(handle.path)
         self._handles = keep
         self._reopen_active()
         return len(drop)
@@ -738,10 +844,13 @@ class FileLogStore:
                 handle.fh = None
             target = handle.path.with_suffix(ARCHIVE_SUFFIX)
             handle.path.rename(target)
-            # The sidecar seal follows its segment into the archive.
+            # The sidecars follow their segment into the archive.
             old_seal = seal_path(handle.path)
             if old_seal.exists():
                 old_seal.rename(seal_path(target))
+            old_pages = pages_path(handle.path)
+            if old_pages.exists():
+                old_pages.rename(pages_path(target))
             self._handles.remove(handle)
             self.segments_archived += 1
             return target
@@ -768,6 +877,9 @@ class FileLogStore:
             "segments_created": self.segments_created,
             "segments_archived": self.segments_archived,
             "seals_written": self.seals_written,
+            "page_indexes_written": self.page_indexes_written,
+            "page_index_rebuilds": self.page_index_rebuilds,
+            "chain_frames_read": self.chain_frames_read,
         }
 
     def close(self) -> None:

@@ -60,6 +60,11 @@ from repro.logmgr.codec import (
     encode_window,
     payload_tag,
 )
+from repro.logmgr.pageindex import (
+    PageRedoIndex,
+    encode_page_index,
+    index_records,
+)
 from repro.logmgr.records import CheckpointRecord, LogRecord, Payload
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -478,13 +483,24 @@ class LogManager:
         """Seal every segment file that has rotated and whose records
         are all written: a 20-byte sidecar carrying the segment-level
         CRC, after which the happy-path reader verifies the whole file
-        with one checksum instead of one per frame."""
+        with one checksum instead of one per frame.  The page-index
+        sidecar is written in the same breath — the records are still
+        resident here (eviction runs after the sync), so indexing which
+        frames touch which page costs zero reads of the file."""
         for segment in self._segments[:-1]:
             if segment.end_lsn > self._written_lsn:
                 break
             if segment.base_lsn <= self._seal_watermark:
                 continue
             self._store.seal_segment(segment.base_lsn)
+            records = segment.records
+            if records is not None:
+                seg_index = index_records(segment.base_lsn, records)
+            else:  # evicted before sealing (stable covered it early)
+                seg_index = self._store.build_page_index(segment.base_lsn)
+            self._store.write_page_index(
+                segment.base_lsn, encode_page_index(seg_index)
+            )
             self._seal_watermark = segment.base_lsn
 
     def _evict_synced(self) -> None:
@@ -735,6 +751,73 @@ class LogManager:
         for record in self._store.scan_segment(segment.base_lsn, start_lsn=lsn):
             return record
         raise KeyError(f"LSN {lsn} missing from segment file {segment.base_lsn}")
+
+    def page_index(self, start_lsn: int = 0) -> PageRedoIndex:
+        """The per-page redo index over the stable records at or above
+        ``start_lsn``: every page's chain of ``(segment, offset, lsn)``
+        triples plus the multi-page replay components.
+
+        Sealed segments answer from their ``.pages`` sidecar when one is
+        present and fresh; unsealed tails, resident segments, and
+        pre-sidecar directories are indexed by one structural scan each
+        — so the index always exists, sidecars just make it cheap.  This
+        is what lazy recovery runs its analysis on: the cost is
+        O(sidecar bytes + tail segment), not O(log suffix).
+        """
+        index = PageRedoIndex(start_lsn=max(0, start_lsn))
+        with self._mutex:
+            segments = list(self._segments)
+            stable = self._stable_lsn
+        for segment in segments:
+            if segment.base_lsn > stable:
+                break
+            if len(segment) == 0 or segment.end_lsn < index.start_lsn:
+                continue
+            records = segment.records
+            if records is None:
+                seg_index = self._store.load_page_index(segment.base_lsn)
+                if seg_index is not None:
+                    index.add_segment(seg_index, from_sidecar=True)
+                    continue
+                index.add_segment(self._store.build_page_index(segment.base_lsn))
+                continue
+            if segment.end_lsn > stable:
+                records = records[: stable - segment.base_lsn + 1]
+            index.add_segment(index_records(segment.base_lsn, records))
+        return index
+
+    def fetch_chain(self, entries) -> list[LogRecord]:
+        """Materialize the records behind page-index chain entries
+        (``(segment_base, offset, lsn)`` triples, LSN ascending).
+
+        Resident segments answer from memory in O(1) per record (LSN
+        density makes ``records[lsn - base]`` exact); evicted segments
+        are mapped once per contiguous run and only the listed frames
+        are read — the zero-copy per-page read path that makes a
+        single-page replay independent of log volume.
+        """
+        result: list[LogRecord] = []
+        position = 0
+        count = len(entries)
+        while position < count:
+            base = entries[position][0]
+            group_end = position
+            while group_end < count and entries[group_end][0] == base:
+                group_end += 1
+            segment = self.segment_containing(base)
+            records = segment.records
+            if records is not None:
+                for _base, _offset, lsn in entries[position:group_end]:
+                    result.append(records[lsn - base])
+            else:
+                result.extend(
+                    self._store.read_records_at(
+                        base,
+                        [(offset, lsn) for _base, offset, lsn in entries[position:group_end]],
+                    )
+                )
+            position = group_end
+        return result
 
     def stable_count_of(self, *payload_types: type) -> int:
         """Stable records whose payload is an instance of the given

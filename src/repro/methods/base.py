@@ -277,6 +277,18 @@ class RecoveryMethodKV(ABC):
         LSN tests bypass whatever the backup does contain.
         """
 
+    def begin_lazy_recovery(self):
+        """Analysis-only restart: run the analysis phase, defer redo.
+
+        Returns a lazy plan (:mod:`repro.methods.lazy`) whose pages
+        replay on first access while a background drainer retires the
+        backlog — or None when this method has no lazy path, in which
+        case the caller falls back to eager :meth:`recover`.  After the
+        plan drains, the state is identical to what eager recovery
+        would have produced.
+        """
+        return None
+
     # -- media failure ---------------------------------------------------
 
     def backup(self) -> dict:

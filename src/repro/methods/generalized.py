@@ -139,6 +139,74 @@ class GeneralizedKV(RecoveryMethodKV):
     # Recovery
     # ------------------------------------------------------------------
 
+    def begin_lazy_recovery(self):
+        """Analysis-only restart for generalized (§6.4) recovery.
+
+        Same LSN-table analysis as the physiological path, plus the
+        multi-page wrinkle: a record that reads one page and writes
+        another links their chains with a conflict edge, so per-page
+        replay order alone is not conflict-order consistent.  The index
+        carries those edges; pages they connect replay together as one
+        union-find component, merged in global LSN order, so a replayed
+        read always sees the source page with exactly its earlier
+        replayed writes — Theorem 3's premise holds and the drained
+        state equals the eager scan's.
+        """
+        from repro.methods.lazy import PagewiseLazyPlan, lsn_table_analysis
+
+        tracer = self.tracer
+        progress = self.machine.progress
+        span = tracer.span("recovery.lazy", method=self.name)
+        self.machine.reboot_pool()
+        if progress.enabled:
+            progress.set_phase("analysis")
+        index, table = lsn_table_analysis(self.machine.log)
+        pool = self.machine.pool
+        reader = lambda pid: pool.get_page(pid, create=True)
+
+        def apply_record(entry) -> None:
+            self.stats.records_scanned += 1
+            payload = entry.payload
+            if isinstance(payload, PhysiologicalRedo):
+                page = pool.get_page(payload.page_id, create=True)
+                if page.lsn >= entry.lsn:
+                    self.stats.records_skipped += 1
+                    return
+                pool.update(
+                    payload.page_id,
+                    lambda p, a=payload.action, l=entry.lsn: a.apply_to(p, lsn=l),
+                )
+                self.stats.records_replayed += 1
+            elif isinstance(payload, MultiPageRedo):
+                replayed = False
+                for page_id, actions in payload.writes.items():
+                    page = pool.get_page(page_id, create=True)
+                    if page.lsn >= entry.lsn:
+                        continue
+
+                    def apply_actions(p, actions=actions, lsn=entry.lsn):
+                        for action in actions:
+                            action.apply_to(p, lsn=lsn, reader=reader)
+
+                    pool.update(page_id, apply_actions)
+                    replayed = True
+                    for read_id in payload.read_page_ids:
+                        if read_id != page_id:
+                            pool.add_flush_constraint(page_id, read_id)
+                if replayed:
+                    self.stats.records_replayed += 1
+                else:
+                    self.stats.records_skipped += 1
+            else:
+                self.stats.records_skipped += 1
+
+        plan = PagewiseLazyPlan(
+            self, index, table, apply_record, components=index.components()
+        )
+        self.stats.recoveries += 1
+        span.end(backlog=plan.backlog(), dirty_pages=len(table))
+        return plan
+
     def recover(self, full_scan: bool = False) -> None:
         """Analysis (reconstruct the dirty page table by streaming the
         stable checkpoint suffix), then LSN-test redo, also streamed.

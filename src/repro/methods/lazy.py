@@ -1,0 +1,281 @@
+"""Lazy (on-demand) redo: serve first, replay as touched.
+
+Eager recovery replays the whole redo suffix before the first request is
+answered; time-to-service is O(log suffix).  The per-page redo index
+(:mod:`repro.logmgr.pageindex`) decouples the two: analysis still runs
+up front (it is O(index), not O(log)), but replay happens *per page*,
+on the page's first access, with a background drainer retiring the
+backlog in recLSN order.  Time-to-service becomes O(analysis).
+
+Soundness is Theorem 3's schedule freedom made operational.  The redo
+records of one page form a chain; replaying a page's chain in LSN order
+is exactly the eager scan restricted to that page.  Two restrictions
+keep the reordered schedule conflict-order consistent:
+
+- **LSN-test methods** replay each fetched record under the same page-LSN
+  test the eager scan uses, so a record whose effect is already installed
+  is bypassed identically.
+- **Multi-page records** (§6.4) read pages other records write — a
+  cross-chain conflict edge.  Chains connected by such edges are replayed
+  together, as one merged LSN-ordered unit (the union-find components the
+  index exposes), so a replayed read never observes a page that is
+  missing earlier replayed writes.  Pages outside every component carry
+  no cross-chain edges: their chains commute with everything else
+  (Corollary 5 applied to the page-partitioned conflict graph).
+
+A page untouched by the backlog is *clean* by the analysis result —
+every record below its table entry is installed in the stable state —
+so serving it straight off the disk before the drain finishes returns
+exactly what eager recovery would have produced.
+
+Two plan shapes:
+
+- :class:`PagewiseLazyPlan` for the page-granular methods (physical,
+  physiological, generalized): a pending table page -> replay-start LSN,
+  faulted by the buffer pool's ``page_fault`` hook on first access.
+- :class:`SuffixLazyPlan` for logical recovery, whose single global
+  chain admits no page granularity: analysis is the O(1) root-pointer
+  read, and the first data access drains the whole suffix (the gate is
+  in :class:`~repro.methods.logical.LogicalKV`'s page accessors).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.logmgr import LogRecord, PageRedoIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.methods.base import RecoveryMethodKV
+
+
+def lsn_table_analysis(log) -> tuple[PageRedoIndex, dict[str, int]]:
+    """The §4.3 analysis phase off the per-page index, no record scan.
+
+    Reconstructs the same dirty page table as
+    :func:`~repro.methods.physiological.analysis_pass`: the last stable
+    checkpoint's logged snapshot, extended with every page first dirtied
+    after the checkpoint (its chain's first post-checkpoint LSN is the
+    recLSN the eager scan's ``setdefault`` would record).  The index is
+    built from the minimum LSN the table could name, so every returned
+    chain covers its page's full replay range.
+    """
+    checkpoint_lsn = log.last_stable_checkpoint_lsn
+    snapshot: dict[str, int] = {}
+    if checkpoint_lsn >= 0:
+        snapshot = dict(log.entry(checkpoint_lsn).payload.data[1])
+    earliest = min(snapshot.values(), default=checkpoint_lsn + 1)
+    index = log.page_index(start_lsn=max(0, min(earliest, checkpoint_lsn + 1)))
+    table = dict(snapshot)
+    for page_id in index.data_pages():
+        first = index.first_lsn(page_id, after_lsn=checkpoint_lsn)
+        if first is not None:
+            table.setdefault(page_id, first)
+    return index, table
+
+
+class PagewiseLazyPlan:
+    """The pending-replay state of one lazy restart, page-granular.
+
+    ``table`` maps each unrecovered page to its replay-start LSN; the
+    plan retires pages by fetching their chains through
+    :meth:`~repro.logmgr.manager.LogManager.fetch_chain` and feeding the
+    records to ``apply_record`` (the method's own replay body, LSN test
+    included).  ``components`` groups pages whose chains are linked by
+    multi-page conflict edges — a fault on any member replays the whole
+    group, merged in global LSN order.
+
+    Every mutation runs under :attr:`lock` — the buffer pool's own
+    mutex, because faults arrive from inside ``get_page`` already
+    holding it, and the background drainer must exclude exactly those
+    callers.  The plan installs itself as the pool's ``page_fault`` hook
+    and detaches when the last page retires.
+    """
+
+    def __init__(
+        self,
+        method: "RecoveryMethodKV",
+        index: PageRedoIndex,
+        table: dict[str, int],
+        apply_record: Callable[[LogRecord], None],
+        components: dict[str, frozenset] | None = None,
+    ):
+        self.method = method
+        self.index = index
+        self.lock = method.machine.pool.mutex
+        self._apply = apply_record
+        self._pending: dict[str, int] = dict(table)
+        # recLSN order for the background drain: oldest chains first, so
+        # the truncation horizon advances as fast as the drain does.
+        self._order = sorted(table, key=lambda p: (table[p], p))
+        self._cursor = 0
+        self._components = components if components is not None else {}
+        self.pages_total = len(table)
+        self.pages_replayed = 0
+        self.records_fetched = 0
+        self.closed = False
+        method.machine.pool.page_fault = self.fault
+
+    # -- observation (lock-free: reads are single attribute/len peeks) --
+
+    @property
+    def done(self) -> bool:
+        """No pages left (drained, or abandoned via :meth:`close`)."""
+        return self.closed or not self._pending
+
+    def backlog(self) -> int:
+        """Pages still awaiting replay (0 once closed)."""
+        return 0 if self.closed else len(self._pending)
+
+    # -- replay entry points -------------------------------------------
+
+    def fault(self, page_id: str) -> bool:
+        """First-access replay, called by ``BufferPool.get_page`` under
+        the pool mutex (= :attr:`lock`).  Replays the page's conflict
+        group and reports whether anything was pending.  Re-entrant
+        faults from inside a replay (the replay's own page reads) find
+        their pages already popped and fall through.
+        """
+        if self.closed or page_id not in self._pending:
+            return False
+        self._replay_group(page_id)
+        self._finish_if_drained()
+        return True
+
+    def step(self) -> bool:
+        """Retire the next pending group in recLSN order; False when
+        nothing is left (the drainer thread's loop condition)."""
+        with self.lock:
+            if self.closed:
+                return False
+            while self._cursor < len(self._order):
+                page_id = self._order[self._cursor]
+                self._cursor += 1
+                if page_id in self._pending:
+                    self._replay_group(page_id)
+                    self._finish_if_drained()
+                    return True
+            self._finish_if_drained()
+            return False
+
+    def drain(self) -> None:
+        """Replay everything still pending, synchronously."""
+        with self.lock:
+            while not self.closed and self._pending:
+                self._replay_group(next(iter(self._pending)))
+            self._finish_if_drained()
+
+    def close(self) -> None:
+        """Abandon the backlog (crash/shutdown): detach the fault hook
+        and drop pending pages — their records stay in the log for the
+        next incarnation's analysis."""
+        with self.lock:
+            self.closed = True
+            self._detach()
+
+    # -- internals ------------------------------------------------------
+
+    def _replay_group(self, page_id: str) -> None:
+        members = self._components.get(page_id)
+        group = (
+            [m for m in members if m in self._pending]
+            if members is not None
+            else [page_id]
+        )
+        starts = {member: self._pending.pop(member) for member in group}
+        entries = []
+        seen: set[int] = set()
+        for member in group:
+            for base, offset, lsn in self.index.chain(member, starts[member]):
+                # A multi-page record sits in every written member's
+                # chain; replay it once, at its global LSN position.
+                if lsn not in seen:
+                    seen.add(lsn)
+                    entries.append((base, offset, lsn))
+        entries.sort(key=lambda entry: entry[2])
+        records = self.method.machine.log.fetch_chain(entries)
+        for record in records:
+            self._apply(record)
+        self.records_fetched += len(records)
+        self.pages_replayed += len(group)
+
+    def _finish_if_drained(self) -> None:
+        if not self._pending and not self.closed:
+            self.closed = True
+            self._detach()
+
+    def _detach(self) -> None:
+        pool = self.method.machine.pool
+        if pool.page_fault == self.fault:
+            pool.page_fault = None
+
+
+class SuffixLazyPlan:
+    """Logical recovery's lazy plan: one chain, drained on first touch.
+
+    ``entries`` is the global logical chain (everything after the root
+    pointer's checkpoint LSN); ``backlog`` counts its remaining records.
+    :meth:`step` replays one batch (the background drainer's unit);
+    :meth:`drain` is the foreground gate — re-entrant calls from inside
+    a replayed record's own page access are absorbed by the ``_active``
+    latch, because the outer drain is already consuming the suffix in
+    LSN order.
+    """
+
+    BATCH = 64
+
+    def __init__(
+        self,
+        method: "RecoveryMethodKV",
+        entries: list[tuple[int, int, int]],
+        apply_record: Callable[[LogRecord], None],
+    ):
+        self.method = method
+        self.lock = method.machine.pool.mutex
+        self._apply = apply_record
+        self._entries = entries
+        self._cursor = 0
+        self._active = False
+        self.records_total = len(entries)
+        self.records_fetched = 0
+        self.closed = False
+
+    @property
+    def done(self) -> bool:
+        return self.closed or self._cursor >= len(self._entries)
+
+    def backlog(self) -> int:
+        """Records still awaiting replay (0 once closed)."""
+        return 0 if self.closed else len(self._entries) - self._cursor
+
+    def step(self) -> bool:
+        """Replay one batch; False when the suffix is exhausted."""
+        with self.lock:
+            if self.done or self._active:
+                return False
+            self._replay_batch()
+            return True
+
+    def drain(self) -> None:
+        """Replay the whole remaining suffix (the foreground gate)."""
+        with self.lock:
+            if self._active:
+                return
+            while not self.done:
+                self._replay_batch()
+
+    def close(self) -> None:
+        """Abandon the rest of the suffix (crash/shutdown)."""
+        with self.lock:
+            self.closed = True
+
+    def _replay_batch(self) -> None:
+        batch = self._entries[self._cursor : self._cursor + self.BATCH]
+        self._cursor += len(batch)
+        self._active = True
+        try:
+            for record in self.method.machine.log.fetch_chain(batch):
+                self._apply(record)
+        finally:
+            self._active = False
+        self.records_fetched += len(batch)

@@ -44,12 +44,27 @@ class LogicalKV(RecoveryMethodKV):
         # The System R cache: every page updated since the last checkpoint
         # stays here in full; the stable directory is never touched.
         self._cache: dict[str, Page] = {}
+        # Set by begin_lazy_recovery(); first data access drains it.
+        self._lazy_plan = None
 
     # ------------------------------------------------------------------
     # Page access
     # ------------------------------------------------------------------
 
+    def _lazy_gate(self) -> None:
+        """Drain any pending lazy-restart suffix before serving data.
+
+        Logical recovery has one global chain, so the first access pays
+        the whole remaining replay (the drain is re-entrant-safe: a
+        replayed record's own page reads fall through the plan's active
+        latch instead of recursing).
+        """
+        plan = self._lazy_plan
+        if plan is not None and not plan.done:
+            plan.drain()
+
     def _page_for_update(self, page_id: str) -> Page:
+        self._lazy_gate()
         page = self._cache.get(page_id)
         if page is None:
             if self.shadow.has_current(page_id):
@@ -60,6 +75,7 @@ class LogicalKV(RecoveryMethodKV):
         return page
 
     def _page_for_read(self, page_id: str) -> Page | None:
+        self._lazy_gate()
         page = self._cache.get(page_id)
         if page is not None:
             return page
@@ -126,6 +142,10 @@ class LogicalKV(RecoveryMethodKV):
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> None:
+        # A pending lazy suffix must be applied before the swing: the
+        # root pointer moves past every stable LSN, so records not yet
+        # replayed would silently leave redo_set.
+        self._lazy_gate()
         # Barrier, not a plain force: the staged pages snapshot the live
         # cache — state through the last *applied* operation — so the
         # stable log must cover every applied LSN before the swing, or a
@@ -156,6 +176,7 @@ class LogicalKV(RecoveryMethodKV):
         start replays the (now empty) suffix after the swung root and
         quiesces into a no-op.
         """
+        self._lazy_gate()
         self.machine.log.flush(barrier=True)
         if not self._cache:
             return
@@ -180,6 +201,49 @@ class LogicalKV(RecoveryMethodKV):
     def crash(self) -> None:
         super().crash()
         self._cache.clear()
+        self._lazy_plan = None
+
+    def begin_lazy_recovery(self):
+        """Analysis-only restart: the O(1) root-pointer read, with the
+        whole replay suffix deferred.
+
+        Logical operations are state-to-state maps over one global
+        chain — there is no page granularity to exploit — so "lazy"
+        here means the analysis (reading the replay start off the root
+        pointer) is decoupled from the replay: the engine serves
+        immediately, the background drainer consumes the suffix in
+        batches, and the first foreground data access pays whatever
+        remains (the :meth:`_lazy_gate` in the page accessors).
+        """
+        from repro.logmgr import LOGICAL_PAGE
+        from repro.methods.lazy import SuffixLazyPlan
+
+        tracer = self.tracer
+        progress = self.machine.progress
+        span = tracer.span("recovery.lazy", method=self.name)
+        self.machine.reboot_pool()
+        self._cache.clear()
+        self.shadow = ShadowStore(self.machine.disk)
+        self.shadow.abandon_staging()  # half-built staging is garbage
+        if progress.enabled:
+            progress.set_phase("analysis")
+        checkpoint_lsn = self.shadow.checkpoint_lsn()
+        index = self.machine.log.page_index(start_lsn=max(0, checkpoint_lsn + 1))
+        entries = index.chain(LOGICAL_PAGE, checkpoint_lsn + 1)
+
+        def apply_record(record) -> None:
+            self.stats.records_scanned += 1
+            if not isinstance(record.payload, LogicalRedo):
+                self.stats.records_skipped += 1
+                return
+            self._apply_logical(record.payload.description)
+            self.stats.records_replayed += 1
+
+        plan = SuffixLazyPlan(self, entries, apply_record)
+        self._lazy_plan = plan
+        self.stats.recoveries += 1
+        span.end(backlog=plan.backlog(), redo_start=checkpoint_lsn + 1)
+        return plan
 
     def recover(self, full_scan: bool = False) -> None:
         """Start from the stable state named by the root pointer and
@@ -197,6 +261,7 @@ class LogicalKV(RecoveryMethodKV):
         before = self.stats.as_dict()
         self.machine.reboot_pool()
         self._cache.clear()
+        self._lazy_plan = None
         self.shadow = ShadowStore(self.machine.disk)
         self.shadow.abandon_staging()  # half-built staging is garbage
         if progress.enabled:
@@ -243,6 +308,7 @@ class LogicalKV(RecoveryMethodKV):
     # ------------------------------------------------------------------
 
     def dump(self) -> dict[str, Any]:
+        self._lazy_gate()
         result: dict[str, Any] = {}
         page_ids = set(self.shadow.current_page_ids()) | set(self._cache)
         for page_id in sorted(page_ids):

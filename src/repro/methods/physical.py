@@ -145,6 +145,51 @@ class PhysicalKV(RecoveryMethodKV):
         page.stamp(max(page.lsn, record.lsn))
         return True
 
+    def begin_lazy_recovery(self):
+        """Analysis-only restart for physical recovery.
+
+        The eager pass replays the whole checkpoint suffix blindly; the
+        lazy pass replays each page's own chain (everything after the
+        checkpoint), also blindly, on first access.  Physical records
+        are single-page blind writes — no cross-chain conflict edges —
+        so per-page chain order alone is conflict-order consistent and
+        the drained state equals the eager one.
+        """
+        from repro.methods.lazy import PagewiseLazyPlan
+
+        tracer = self.tracer
+        progress = self.machine.progress
+        span = tracer.span("recovery.lazy", method=self.name)
+        self.machine.reboot_pool()
+        if progress.enabled:
+            progress.set_phase("analysis")
+        log = self.machine.log
+        start = max(0, log.last_stable_checkpoint_lsn + 1)
+        index = log.page_index(start_lsn=start)
+        table: dict[str, int] = {}
+        for page_id in index.data_pages():
+            first = index.first_lsn(page_id, after_lsn=start - 1)
+            if first is not None:
+                table[page_id] = first
+        pool = self.machine.pool
+
+        def apply_record(record: LogRecord) -> None:
+            self.stats.records_scanned += 1
+            if not isinstance(record.payload, PhysicalRedo):
+                self.stats.records_skipped += 1
+                return
+            pool.update(
+                record.payload.page_id,
+                lambda p, r=record: self._apply_physical(p, r),
+                create=True,
+            )
+            self.stats.records_replayed += 1
+
+        plan = PagewiseLazyPlan(self, index, table, apply_record)
+        self.stats.recoveries += 1
+        span.end(backlog=plan.backlog(), redo_start=start)
+        return plan
+
     def recover(self, full_scan: bool = False) -> None:
         """Replay every stable physical record after the last stable
         checkpoint (or the whole log for media recovery), blindly,

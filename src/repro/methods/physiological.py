@@ -213,6 +213,50 @@ class PhysiologicalKV(RecoveryMethodKV):
         if progress.enabled:
             progress.finish()
 
+    def begin_lazy_recovery(self):
+        """Analysis off the per-page index, redo deferred to first touch.
+
+        The reconstructed dirty page table is the same one
+        :func:`analysis_pass` streams out — checkpoint snapshot plus
+        first post-checkpoint dirtying per page — but read from chain
+        metadata instead of a record scan.  Each faulted page replays
+        its own chain under the identical page-LSN test, so the drained
+        state matches the eager scan record for record; records below a
+        page's recLSN are exactly the ones whose LSN test would have
+        skipped them, so never fetching them changes nothing.
+        """
+        from repro.methods.lazy import PagewiseLazyPlan, lsn_table_analysis
+
+        tracer = self.tracer
+        progress = self.machine.progress
+        span = tracer.span("recovery.lazy", method=self.name)
+        self.machine.reboot_pool()
+        if progress.enabled:
+            progress.set_phase("analysis")
+        index, table = lsn_table_analysis(self.machine.log)
+        pool = self.machine.pool
+
+        def apply_record(record: LogRecord) -> None:
+            self.stats.records_scanned += 1
+            payload = record.payload
+            if not isinstance(payload, PhysiologicalRedo):
+                self.stats.records_skipped += 1
+                return
+            page = pool.get_page(payload.page_id, create=True)
+            if page.lsn >= record.lsn:
+                self.stats.records_skipped += 1
+                return
+            pool.update(
+                payload.page_id,
+                lambda p, a=payload.action, l=record.lsn: a.apply_to(p, lsn=l),
+            )
+            self.stats.records_replayed += 1
+
+        plan = PagewiseLazyPlan(self, index, table, apply_record)
+        self.stats.recoveries += 1
+        span.end(backlog=plan.backlog(), dirty_pages=len(table))
+        return plan
+
     def _redo_sequential(self, redo_start: int) -> None:
         pool = self.machine.pool
         tracer = self.tracer

@@ -290,10 +290,13 @@ class KVServer(socketserver.ThreadingTCPServer):
                 "stable_lsn",
                 "pipeline_depth",
                 "dirty_pages",
+                "replay_backlog",
+                "state",
                 "n_shards",
                 "stable_lsn_total",
                 "pipeline_depth_total",
                 "dirty_pages_total",
+                "replay_backlog_total",
             ):
                 if key in health:
                     fields[key] = health[key]

@@ -82,7 +82,8 @@ def render_top(
         lines.append("")
         lines.append(
             f"{'shard':>5}  {'stable_lsn':>10}  {'depth':>5}  "
-            f"{'dirty':>5}  {'ops':>10}  {'recoveries':>10}"
+            f"{'dirty':>5}  {'ops':>10}  {'recoveries':>10}  "
+            f"{'backlog':>7}  {'state':<10}"
         )
         for index, shard in enumerate(shards):
             lines.append(
@@ -90,14 +91,24 @@ def render_top(
                 f"{shard.get('pipeline_depth', 0):>5}  "
                 f"{shard.get('dirty_pages', 0):>5}  "
                 f"{shard.get('operations', 0):>10}  "
-                f"{shard.get('recoveries', 0):>10}"
+                f"{shard.get('recoveries', 0):>10}  "
+                f"{shard.get('replay_backlog', 0):>7}  "
+                f"{shard.get('state', 'ready'):<10}"
+            )
+        backlog_total = health.get("replay_backlog_total", 0)
+        if backlog_total:
+            lines.append(
+                f"lazy restart: {backlog_total} pages awaiting replay "
+                f"(deployment {health.get('state', 'recovering')})"
             )
     elif "stable_lsn" in health:
         lines.append(
             f"engine: stable_lsn={health['stable_lsn']} "
             f"depth={health.get('pipeline_depth', 0)} "
             f"dirty={health.get('dirty_pages', 0)} "
-            f"method={health.get('method', '?')}"
+            f"method={health.get('method', '?')} "
+            f"backlog={health.get('replay_backlog', 0)} "
+            f"state={health.get('state', 'ready')}"
         )
 
     latency = stats.get("latency") or {}

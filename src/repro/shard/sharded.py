@@ -195,6 +195,7 @@ class ShardedDatabase:
         tracer=None,
         on_progress=None,
         progress: bool = False,
+        lazy: bool = False,
     ) -> "ShardedDatabase":
         """Restart a whole deployment from its root directory.
 
@@ -227,6 +228,15 @@ class ShardedDatabase:
         summary the moment it completes (fan-out order, not shard
         order); ``progress=True`` additionally has each child print a
         live per-shard recovery line to stderr.
+
+        ``lazy=True`` is the instant-restart path: no process pool and
+        no up-front replay — every shard runs analysis only
+        (:meth:`KVDatabase.cold_start` with ``lazy=True``) and is
+        serving when this returns, its redo backlog draining in the
+        background and on first page touch.  Each shard's
+        ``time_to_ready_s`` is then its analysis time alone; ``health``
+        reports the remaining per-shard backlogs until the drain
+        completes (or :meth:`drain_lazy` forces it).
         """
         root = Path(root)
         manifest = read_manifest(root)
@@ -238,6 +248,37 @@ class ShardedDatabase:
             raise DeploymentError(
                 f"{len(disks)} survivor disks for {n_shards} shards"
             )
+        if lazy:
+            started = time.perf_counter()
+            shards = []
+            per_shard = []
+            for index in range(n_shards):
+                shard_started = time.perf_counter()
+                shard = spec.cold_start(
+                    root / dirs[index],
+                    disk=disks[index] if disks is not None else None,
+                    lazy=True,
+                    tracer=tracer,
+                )
+                shards.append(shard)
+                summary = {
+                    "shard": index,
+                    "dir": str(root / dirs[index]),
+                    "elapsed_s": time.perf_counter() - shard_started,
+                    "time_to_ready_s": time.perf_counter() - started,
+                    "replay_backlog": shard.replay_backlog(),
+                }
+                per_shard.append(summary)
+                if on_progress is not None:
+                    on_progress(summary)
+            deployment = cls(shards, keymap, spec, root=root)
+            deployment.cold_report = {
+                "wall_s": time.perf_counter() - started,
+                "critical_path_s": max(r["elapsed_s"] for r in per_shard),
+                "per_shard": per_shard,
+                "lazy": True,
+            }
+            return deployment
         tasks = [
             {
                 "shard": index,
@@ -381,6 +422,16 @@ class ShardedDatabase:
             shard.recover()
             shard.quiesce()
 
+    def drain_lazy(self) -> None:
+        """Finish every shard's background replay synchronously (a
+        no-op after an eager cold start)."""
+        for shard in self.shards:
+            shard.drain_lazy()
+
+    def replay_backlog(self) -> int:
+        """Deployment-wide pages still awaiting lazy replay."""
+        return sum(shard.replay_backlog() for shard in self.shards)
+
     def close(self) -> None:
         """Shut down every shard cleanly (drain commit pipelines)."""
         for shard in self.shards:
@@ -451,11 +502,14 @@ class ShardedDatabase:
         """Per-shard liveness (:meth:`KVDatabase.health` per shard) plus
         deployment shape — the payload behind the server's ``health`` op."""
         per_shard = [shard.health() for shard in self.shards]
+        backlog_total = sum(h["replay_backlog"] for h in per_shard)
         return {
             "n_shards": self.keymap.n_shards,
             "stable_lsn_total": sum(h["stable_lsn"] for h in per_shard),
             "pipeline_depth_total": sum(h["pipeline_depth"] for h in per_shard),
             "dirty_pages_total": sum(h["dirty_pages"] for h in per_shard),
+            "replay_backlog_total": backlog_total,
+            "state": "recovering" if backlog_total else "ready",
             "shards": per_shard,
         }
 

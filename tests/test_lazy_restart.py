@@ -1,0 +1,488 @@
+"""Lazy restart ("instant restart") tests.
+
+Covers the whole stack the per-page redo index enables: index/sidecar
+correctness against the frame walk, analysis-only cold starts that
+serve immediately (reads before the backlog drains must match an eager
+cold start — Corollary 4 page by page), the on-demand fault path
+through the buffer pool, checkpoint/quiesce safety while a backlog is
+outstanding, backward compatibility with sidecar-less ("v1") segment
+directories, and the ``logdump --pages`` verification contract.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import KVDatabase
+from repro.logmgr.codec import encode_file_header, encode_record
+from repro.logmgr.filelog import segment_filename
+from repro.logmgr.pageindex import (
+    PageRedoIndex,
+    SegmentPageIndex,
+    encode_page_index,
+    parse_page_index,
+)
+from repro.logmgr.records import LogRecord, PhysicalRedo
+from repro.methods.base import page_of
+from repro.sim.crash import canonical_state
+from repro.storage import Disk
+
+ALL_METHODS = ["logical", "physical", "physiological", "generalized"]
+# Methods whose lazy plan is page-granular (per-page chains); logical
+# recovery is suffix-granular (one global chain) and is tested apart.
+PAGE_METHODS = ["physical", "physiological", "generalized"]
+
+
+def mixed_stream(method, n=120):
+    """Puts/adds/deletes, plus cross-page copyadds where the method
+    supports them (physiological §6.3 is single-page by definition)."""
+    ops = []
+    for i in range(n):
+        k = f"k{i % 17}"
+        if method != "physiological" and i % 11 == 7:
+            ops.append(("copyadd", f"d{i % 5}", (k, i)))
+        elif i % 7 == 3:
+            ops.append(("add", k, i))
+        elif i % 13 == 9:
+            ops.append(("delete", k, None))
+        else:
+            ops.append(("put", k, i * 10))
+    return ops
+
+
+def build_crashed(root, method, ckpt=25, n=120):
+    """A database crashed mid-workload over a real segment directory,
+    small segments so several sealed sidecars exist."""
+    db = KVDatabase(
+        method=method,
+        n_pages=8,
+        log_dir=root,
+        fsync=False,
+        checkpoint_every=ckpt,
+        log_segment_size=32,
+    )
+    db.run(mixed_stream(method, n))
+    db.crash()
+    return db
+
+
+def survivor(db):
+    """An independent copy of the crashed machine's disk."""
+    disk = Disk()
+    for page in db.method.machine.disk.snapshot().values():
+        disk.write_page(page.copy())
+    return disk
+
+
+def cold(root, method, ckpt=25, **kwargs):
+    return KVDatabase.cold_start(
+        root,
+        method=method,
+        n_pages=8,
+        checkpoint_every=ckpt,
+        log_segment_size=32,
+        fsync=False,
+        **kwargs,
+    )
+
+
+class TestPageRedoIndex:
+    def test_sidecar_index_equals_scan_index(self, tmp_path):
+        """The sidecar fast path and the rebuild scan are the same index:
+        strip every sidecar and the chains and edges must not change."""
+        db = build_crashed(tmp_path, "generalized")
+        db.close()
+        via_sidecars = cold(tmp_path, "generalized", recover=False)
+        index_a = via_sidecars.method.machine.log.page_index()
+        assert index_a.sidecars_used > 0
+        via_sidecars.close()
+        for sidecar in tmp_path.glob("*.pages"):
+            sidecar.unlink()
+        via_scan = cold(tmp_path, "generalized", recover=False)
+        index_b = via_scan.method.machine.log.page_index()
+        assert index_b.sidecars_used == 0
+        assert index_b.scans == index_b.segments_indexed
+        via_scan.close()
+        assert index_a.pages() == index_b.pages()
+        for page_id in index_a.pages():
+            assert index_a.chain(page_id) == index_b.chain(page_id)
+        assert index_a.edges == index_b.edges
+
+    def test_chain_filtering_and_first_lsn(self):
+        index = PageRedoIndex(start_lsn=10)
+        index.add_segment(
+            SegmentPageIndex(
+                base_lsn=0,
+                region_len=100,
+                pages={"data001": [12, 5, 40, 12, 60, 20]},
+                edges=[(15, ("data001",), ("data002",))],
+            )
+        )
+        # The lsn-5 entry is below start_lsn and never enters the index.
+        assert index.chain("data001") == [(0, 40, 12), (0, 60, 20)]
+        assert index.chain("data001", start_lsn=15) == [(0, 60, 20)]
+        assert index.chain_length("data001") == 2
+        assert index.first_lsn("data001") == 12
+        assert index.first_lsn("data001", after_lsn=12) == 20
+        assert index.first_lsn("data001", after_lsn=20) is None
+        assert index.first_lsn("absent") is None
+        assert index.edges == [(15, ("data001",), ("data002",))]
+
+    def test_components_are_closed_both_directions(self):
+        """Union-find over read∪write sets: a chain of multi-page records
+        merges transitively, untouched pages stay singleton (omitted)."""
+        index = PageRedoIndex()
+        index.add_segment(
+            SegmentPageIndex(
+                base_lsn=0,
+                region_len=10,
+                pages={p: [0, 1] for p in "abcde"},
+                edges=[
+                    (1, ("a",), ("b",)),
+                    (2, ("c",), ("d",)),
+                    (3, ("b",), ("c",)),
+                ],
+            )
+        )
+        components = index.components()
+        group = frozenset("abcd")
+        assert components == {p: group for p in "abcd"}
+        assert "e" not in components  # singleton: callers default to {e}
+
+    def test_sidecar_roundtrip_and_rejection(self):
+        index = SegmentPageIndex(
+            base_lsn=7,
+            region_len=123,
+            pages={"data000": [13, 7, 55, 9]},
+            edges=[(8, ("data000",), ("data001",))],
+        )
+        blob = encode_page_index(index)
+        assert parse_page_index(blob) == index
+        assert parse_page_index(None) is None
+        assert parse_page_index(blob[:10]) is None  # truncated header
+        assert parse_page_index(b"XXXX" + blob[4:]) is None  # bad magic
+        corrupt = bytearray(blob)
+        corrupt[-1] ^= 0xFF
+        assert parse_page_index(bytes(corrupt)) is None  # payload CRC
+
+
+class TestLazyMatchesEager:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    @pytest.mark.parametrize("ckpt", [None, 25])
+    def test_serve_during_recovery_and_post_drain_identity(
+        self, method, ckpt, tmp_path
+    ):
+        """The instant-restart contract: reads during recovery return
+        exactly what an eager cold start would, writes land, and after
+        the backlog drains the two incarnations are byte-identical."""
+        db = build_crashed(tmp_path, method, ckpt=ckpt)
+        disk_eager, disk_lazy = survivor(db), survivor(db)
+        db.close()
+        eager = cold(tmp_path, method, ckpt=ckpt, disk=disk_eager)
+        lazy = cold(tmp_path, method, ckpt=ckpt, disk=disk_lazy, lazy=True)
+        # Serve during recovery: every key, before the drain finishes.
+        for i in range(17):
+            assert lazy.get(f"k{i}") == eager.get(f"k{i}"), (method, ckpt, i)
+        for i in range(5):
+            assert lazy.get(f"d{i}") == eager.get(f"d{i}")
+        # Writes during recovery land on both incarnations.
+        lazy.execute(("put", "fresh", 777))
+        eager.execute(("put", "fresh", 777))
+        lazy.drain_lazy()
+        assert lazy.replay_backlog() == 0
+        health = lazy.health()
+        assert health["state"] == "ready"
+        assert health["replay_backlog"] == 0
+        eager.quiesce()
+        lazy.quiesce()
+        assert canonical_state(eager) == canonical_state(lazy), (method, ckpt)
+        eager.close()
+        lazy.close()
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_second_crash_before_drain_converges(self, method, tmp_path):
+        """Crash again while the backlog is still outstanding: the
+        records are all still in the log, so the next cold start (eager)
+        lands exactly where an eager start before the crash would."""
+        db = build_crashed(tmp_path, method)
+        disk_a, disk_b = survivor(db), survivor(db)
+        db.close()
+        lazy = cold(tmp_path, method, disk=disk_a, lazy=True)
+        lazy.crash()  # abandons the backlog, replays nothing more
+        recovered = cold(
+            tmp_path, method, disk=lazy.method.machine.disk
+        )
+        baseline = cold(tmp_path, method, disk=disk_b)
+        recovered.quiesce()
+        baseline.quiesce()
+        assert canonical_state(recovered) == canonical_state(baseline)
+        recovered.close()
+        baseline.close()
+
+
+class TestFaultPathReplay:
+    @pytest.mark.parametrize("method", PAGE_METHODS)
+    def test_first_access_replays_exactly_that_page(self, method, tmp_path):
+        """Drive the plan by hand (no background thread): a get faults
+        the page in through the pool hook, shrinking the backlog by that
+        page's replay group only."""
+        db = build_crashed(tmp_path, method, ckpt=None)
+        disk_lazy, disk_eager = survivor(db), survivor(db)
+        db.close()
+        lazy = cold(tmp_path, method, ckpt=None, disk=disk_lazy, recover=False)
+        plan = lazy.method.begin_lazy_recovery()
+        assert plan is not None
+        backlog = plan.backlog()
+        assert backlog > 0
+        lazy.get("k0")  # faults the key's page (and its replay group) in
+        assert plan.pages_replayed >= 1
+        assert plan.backlog() < backlog
+        plan.drain()
+        assert plan.done
+        assert plan.backlog() == 0
+        # The pool hook detaches itself once the backlog is gone.
+        assert lazy.method.machine.pool.page_fault is None
+        eager = cold(tmp_path, method, ckpt=None, disk=disk_eager)
+        lazy.quiesce()
+        eager.quiesce()
+        assert canonical_state(lazy) == canonical_state(eager)
+        lazy.close()
+        eager.close()
+
+    def test_logical_first_access_drains_the_suffix(self, tmp_path):
+        """Logical recovery is suffix-granular: the first data access
+        gates on the whole outstanding chain (replaying it through the
+        normal code path), so one get leaves the plan done."""
+        db = build_crashed(tmp_path, "logical", ckpt=None)
+        disk = survivor(db)
+        db.close()
+        lazy = cold(tmp_path, "logical", ckpt=None, disk=disk, recover=False)
+        plan = lazy.method.begin_lazy_recovery()
+        assert plan is not None and plan.backlog() > 0
+        lazy.get("k0")
+        assert plan.done
+        assert plan.backlog() == 0
+        lazy.close()
+
+
+class TestCheckpointDuringLazy:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_checkpoint_drains_first(self, method, tmp_path):
+        """A fuzzy checkpoint (or a root swing) taken mid-backlog would
+        record state that cannot see the unreplayed pages — so the
+        engine drains before checkpointing, and nothing is lost."""
+        db = build_crashed(tmp_path, method)
+        disk_lazy, disk_eager = survivor(db), survivor(db)
+        db.close()
+        lazy = cold(tmp_path, method, disk=disk_lazy, lazy=True)
+        eager = cold(tmp_path, method, disk=disk_eager)
+        lazy.checkpoint()
+        assert lazy.replay_backlog() == 0
+        assert lazy.method.dump() == eager.method.dump()
+        lazy.close()
+        eager.close()
+
+
+class TestBackwardCompat:
+    @pytest.mark.parametrize("method", ["physiological", "logical"])
+    def test_sidecarless_directory_cold_starts_both_ways(
+        self, method, tmp_path
+    ):
+        """A pre-sidecar directory (every ``.pages`` file stripped) must
+        cold-start eagerly AND lazily — lazy falls back to the one-pass
+        rebuild scan and lands on the identical state."""
+        db = build_crashed(tmp_path, method)
+        disk_eager, disk_lazy = survivor(db), survivor(db)
+        db.close()
+        stripped = [p for p in tmp_path.glob("*.pages")]
+        assert stripped, "workload too small to seal any segment"
+        for sidecar in stripped:
+            sidecar.unlink()
+        eager = cold(tmp_path, method, disk=disk_eager)
+        lazy = cold(tmp_path, method, disk=disk_lazy, lazy=True)
+        for i in range(17):
+            assert lazy.get(f"k{i}") == eager.get(f"k{i}")
+        lazy.drain_lazy()
+        eager.quiesce()
+        lazy.quiesce()
+        assert canonical_state(eager) == canonical_state(lazy)
+        eager.close()
+        lazy.close()
+
+    def test_handwritten_v1_segment_directory(self, tmp_path):
+        """A segment file written by hand from codec primitives alone —
+        header plus frames, no seal, no sidecar — is a faithful v1
+        directory; eager and lazy cold starts both serve it."""
+        n_pages = 8
+        frames = bytearray(encode_file_header(0))
+        expected = {}
+        for i in range(40):
+            key, value = f"k{i}", i * 3
+            expected[key] = value
+            frames += encode_record(
+                LogRecord(
+                    lsn=i,
+                    payload=PhysicalRedo(
+                        page_id=page_of(key, n_pages), cells={key: value}
+                    ),
+                )
+            )
+        (tmp_path / segment_filename(0)).write_bytes(bytes(frames))
+        eager = KVDatabase.cold_start(
+            tmp_path, method="physical", n_pages=n_pages,
+            checkpoint_every=None, fsync=False,
+        )
+        lazy = KVDatabase.cold_start(
+            tmp_path, method="physical", n_pages=n_pages,
+            checkpoint_every=None, fsync=False, lazy=True,
+        )
+        for key, value in expected.items():
+            assert lazy.get(key) == value
+            assert eager.get(key) == value
+        lazy.drain_lazy()
+        eager.quiesce()
+        lazy.quiesce()
+        assert canonical_state(eager) == canonical_state(lazy)
+        eager.close()
+        lazy.close()
+
+
+class TestLogdumpPages:
+    def _prepare(self, tmp_path):
+        db = build_crashed(tmp_path / "log", "generalized")
+        db.close()
+        return tmp_path / "log"
+
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        root = self._prepare(tmp_path)
+        assert main(["logdump", str(root), "--pages"]) == 0
+        out = capsys.readouterr().out
+        assert "sidecar(s) verified against the frame walk" in out
+        assert "data000" in out
+        assert "replay component" in out  # copyadds bind pages
+
+    def test_corrupt_sidecar_exits_two(self, tmp_path, capsys):
+        """A sidecar that covers the segment's bytes but disagrees with
+        the frame walk is corruption, not staleness: exit 2."""
+        from repro.__main__ import main
+
+        root = self._prepare(tmp_path)
+        victim = sorted(root.glob("*.pages"))[0]
+        index = parse_page_index(victim.read_bytes())
+        pages = {p: list(flat) for p, flat in index.pages.items()}
+        page_id = next(iter(pages))
+        pages[page_id][1] += 1  # one shifted LSN: valid blob, wrong content
+        victim.write_bytes(
+            encode_page_index(
+                SegmentPageIndex(
+                    index.base_lsn, index.region_len, pages, index.edges
+                )
+            )
+        )
+        assert main(["logdump", str(root), "--pages"]) == 2
+        assert "DISAGREES" in capsys.readouterr().err
+
+    def test_stale_sidecar_is_ignored_not_fatal(self, tmp_path, capsys):
+        """A sidecar for different bytes (region_len off) is what the
+        lifecycle produces when a write races a crash — the runtime
+        ignores it, and so does the dump."""
+        from repro.__main__ import main
+
+        root = self._prepare(tmp_path)
+        victim = sorted(root.glob("*.pages"))[0]
+        index = parse_page_index(victim.read_bytes())
+        victim.write_bytes(
+            encode_page_index(
+                SegmentPageIndex(
+                    index.base_lsn,
+                    index.region_len + 1,
+                    index.pages,
+                    index.edges,
+                )
+            )
+        )
+        assert main(["logdump", str(root), "--pages"]) == 0
+        assert "stale page-index sidecar" in capsys.readouterr().out
+
+    def test_crc_damaged_sidecar_is_treated_as_absent(self, tmp_path):
+        from repro.__main__ import main
+
+        root = self._prepare(tmp_path)
+        victim = sorted(root.glob("*.pages"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        assert main(["logdump", str(root), "--pages"]) == 0
+
+    def test_restamped_crc_over_damaged_payload_is_not_fatal(
+        self, tmp_path, capsys
+    ):
+        """Damaged payload bytes under a *recomputed* CRC must not crash
+        the decoder: the parse fails cleanly, the dump reports the
+        sidecar as undecodable, and the runtime (which uses the same
+        parse) falls back to the rebuild scan — exit 0, not a
+        traceback."""
+        import struct
+        import zlib
+
+        from repro.__main__ import main
+        from repro.logmgr.pageindex import PAGES_HEADER_SIZE
+
+        root = self._prepare(tmp_path)
+        victim = sorted(root.glob("*.pages"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        header = struct.Struct("<4sBQQII")
+        magic, ver, base, region, plen, _crc = header.unpack_from(blob, 0)
+        payload = bytes(blob[PAGES_HEADER_SIZE : PAGES_HEADER_SIZE + plen])
+        blob[: PAGES_HEADER_SIZE] = header.pack(
+            magic, ver, base, region, plen, zlib.crc32(payload)
+        )
+        victim.write_bytes(bytes(blob))
+        assert parse_page_index(bytes(blob)) is None
+        assert main(["logdump", str(root), "--pages"]) == 0
+        assert "undecodable page-index sidecar" in capsys.readouterr().out
+
+    def test_single_file_and_pages_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        root = self._prepare(tmp_path)
+        segment = sorted(root.glob("segment-*.wal"))[0]
+        assert main(["logdump", str(segment), "--pages"]) == 0
+        assert "page" in capsys.readouterr().out
+
+
+class TestBackgroundDrain:
+    def test_background_thread_finishes_without_access(self, tmp_path):
+        """With no foreground traffic at all, the drainer alone empties
+        the backlog and flips health to ready."""
+        db = build_crashed(tmp_path, "physiological", ckpt=None)
+        disk = survivor(db)
+        db.close()
+        lazy = cold(tmp_path, "physiological", ckpt=None, disk=disk, lazy=True)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and lazy.replay_backlog():
+            time.sleep(0.01)
+        assert lazy.replay_backlog() == 0
+        assert lazy.health()["state"] == "ready"
+        lazy.close()
+
+    def test_progress_reports_background_replay_phase(self, tmp_path):
+        from repro.obs.progress import RecoveryProgress
+
+        db = build_crashed(tmp_path, "physiological", ckpt=None)
+        disk = survivor(db)
+        db.close()
+        phases = []
+        progress = RecoveryProgress(
+            on_update=lambda snap: phases.append(snap["phase"])
+        )
+        lazy = cold(
+            tmp_path, "physiological", ckpt=None, disk=disk,
+            lazy=True, progress=progress,
+        )
+        lazy.drain_lazy()
+        assert "background-replay" in phases
+        lazy.close()

@@ -1,6 +1,7 @@
 """Cross-process recovery tests for sharded deployments: warm/cold
 byte-identity per shard, the spawn-pool fan-out, per-shard torn-tail
-handling, and crash-during-cold-start (SIGKILL mid-replay)."""
+handling, crash-during-cold-start (SIGKILL mid-replay), and
+crash-during-*lazy*-restart (SIGKILL mid-background-replay)."""
 
 import os
 import signal
@@ -220,3 +221,90 @@ class TestCrashDuringColdStart:
             cut = len(part) - 1 if index == 1 else len(part)
             merged.update(apply_to_oracle(part[:cut]))
         assert second.dump() == merged
+
+
+class TestLazyRestartSharded:
+    def test_lazy_cold_start_serves_and_converges(self, tmp_path):
+        """``cold_start(lazy=True)``: every shard serves after analysis
+        alone, health reports the backlog, and after the drain the
+        deployment equals an eager cold start byte for byte."""
+        sdb = build_deployment(tmp_path, "physiological", checkpoint_every=None)
+        stream = mixed_stream(60)
+        sdb.run(stream)
+        sdb.sync()
+        sdb.close()
+        lazy = ShardedDatabase.cold_start(tmp_path, lazy=True)
+        assert lazy.cold_report["lazy"] is True
+        assert all(
+            "replay_backlog" in r for r in lazy.cold_report["per_shard"]
+        )
+        # Serving immediately: the full oracle mapping is readable even
+        # though the backlog may not have drained yet.
+        assert lazy.dump() == apply_to_oracle(stream)
+        lazy.drain_lazy()
+        health = lazy.health()
+        assert health["state"] == "ready"
+        assert health["replay_backlog_total"] == 0
+        assert all(s["state"] == "ready" for s in health["shards"])
+        eager = ShardedDatabase.cold_start(tmp_path, processes=0)
+        for shard in (*lazy.shards, *eager.shards):
+            shard.quiesce()
+        assert [canonical_state(s) for s in lazy.shards] == [
+            canonical_state(s) for s in eager.shards
+        ]
+        lazy.close()
+        eager.close()
+
+    def test_sigkill_mid_background_replay_then_converge(self, tmp_path):
+        """SIGKILL a process while its background replay threads are
+        still draining, then cold-start again — once eagerly, once
+        lazily — and both must land on the identical durable prefix.
+        Sound because lazy replay mutates only the volatile pool: the
+        log keeps every record until replay is complete, so the next
+        incarnation re-derives the same backlog (Theorem 3's redo set
+        is a function of the durable state alone)."""
+        sdb = build_deployment(
+            tmp_path, "physiological", commit_every=1, checkpoint_every=None
+        )
+        stream = [("put", f"k{i}", i) for i in range(300)]
+        sdb.run(stream)
+        sdb.sync()
+        sdb.close()
+
+        script = textwrap.dedent(
+            """
+            import sys, time
+            from repro.shard import ShardedDatabase
+            sdb = ShardedDatabase.cold_start(sys.argv[1], lazy=True)
+            print("serving", sdb.replay_backlog(), flush=True)
+            time.sleep(30)  # parent SIGKILLs us mid-drain
+            """
+        )
+        script_path = tmp_path / "lazy_once.py"
+        script_path.write_text(script)
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, str(script_path), str(tmp_path)],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        line = proc.stdout.readline().split()
+        assert line and line[0] == "serving"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        eager = ShardedDatabase.cold_start(tmp_path, processes=0)
+        lazy = ShardedDatabase.cold_start(tmp_path, lazy=True)
+        lazy.drain_lazy()
+        for shard in (*eager.shards, *lazy.shards):
+            shard.quiesce()
+        state_a = [canonical_state(s) for s in eager.shards]
+        state_b = [canonical_state(s) for s in lazy.shards]
+        assert state_a == state_b
+        # And the converged state is the full durable prefix.
+        assert lazy.durable_count() == len(stream)
+        assert lazy.dump() == apply_to_oracle(stream)
+        eager.close()
+        lazy.close()
